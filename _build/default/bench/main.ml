@@ -1,0 +1,194 @@
+(* The benchmark harness.
+
+   Running with no arguments regenerates every table and figure of the
+   paper's evaluation (Section 5) — Figure 3, Table 2, Figure 4, Table 3,
+   the headline statistics quoted in the text, and the execution-time
+   improvements — and then times the pipeline components with Bechamel.
+
+   A single argument selects one piece:
+     fig3 | table2 | fig4 | table3 | stats | exectime | micro | ablation
+   plus `quick`, which shrinks the processor sweep for a fast pass. *)
+
+module E = Falseshare.Experiments
+module Sim = Falseshare.Sim
+module T = Fs_transform.Transform
+module Plan = Fs_layout.Plan
+module Layout = Fs_layout.Layout
+module Interp = Fs_interp.Interp
+module C = Fs_cache.Mpcache
+module W = Fs_workloads.Workload
+module Ws = Fs_workloads.Workloads
+
+let section title = Printf.printf "\n=== %s ===\n\n" title
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Paper reproductions                                                 *)
+
+let fig3 () =
+  section "Figure 3 - miss rates, unoptimized vs compiler-transformed \
+           (16B and 128B blocks; paper: white bar = false sharing)";
+  let rows, dt = time_it (fun () -> E.figure3 ()) in
+  print_string (E.render_figure3 rows);
+  Printf.printf "(%.1fs)\n" dt
+
+let table2 () =
+  section "Table 2 - false-sharing reduction by transformation \
+           (averaged over 8-256B blocks)";
+  let rows, dt = time_it (fun () -> E.table2 ()) in
+  print_string (E.render_table2 rows);
+  print_string
+    "\npaper:    maxflow 56.5% (pad 49.2, locks 7.3) | pverify 91.2% (g&t 6.4, \
+     ind 81.6, locks 3.1)\n\
+    \          topopt 79.9% (g&t 61.3, ind 18.6) | fmm 90.8% (g&t 84.8, locks 6.0)\n\
+    \          radiosity 93.5% (g&t 85.6, pad 1.0, locks 6.8) | raytrace 78.3% \
+     (g&t 70.4, pad 3.3, locks 4.6)\n";
+  Printf.printf "(%.1fs)\n" dt
+
+let fig4 ~procs () =
+  section "Figure 4 - scalability of the three representative programs \
+           (speedup vs processors, relative to unoptimized uniprocessor)";
+  let series, dt = time_it (fun () -> E.figure4 ?procs ()) in
+  print_string (E.render_series series);
+  print_string
+    "paper maxima: raytrace 7.0/9.6/9.2 | fmm 16.4/33.6/16.4 | pverify 2.5/5.9/3.5\n";
+  Printf.printf "(%.1fs)\n" dt
+
+let table3 ~procs () =
+  section "Table 3 - maximum speedup (and processor count) per version";
+  let series, dt = time_it (fun () -> E.speedups ?procs ()) in
+  let rows = E.table3 ~series () in
+  print_string (E.render_table3 rows);
+  print_string
+    "\npaper:    maxflow 1.4(8)/4.3(16) | pverify 2.5(16)/5.9(16)/3.5(8) | \
+     topopt 9.2(44)/10.3(28)/10.2(28)\n\
+    \          fmm 16.4(20)/33.6(48+)/16.4(20) | radiosity 7.0(8)/19.2(28)/7.4(8) | \
+     raytrace 7.0(8)/9.6(12)/9.2(12)\n\
+    \          locusroute -/12.3(20)/12.0(20) | mp3d -/2.9(28)/1.3(4) | \
+     pthor -/2.8(4)/2.2(4) | water -/9.9(40)/4.6(12)\n";
+  Printf.printf "(%.1fs)\n" dt
+
+let stats () =
+  section "Headline statistics (abstract / Section 1)";
+  let s, dt = time_it E.text_stats in
+  print_string (E.render_stats s);
+  Printf.printf "(%.1fs)\n" dt
+
+let exectime ~procs () =
+  section "Execution-time improvements while the unoptimized version still \
+           scales (Section 5; paper: fmm 3%, radiosity 6%, raytrace 2%, \
+           maxflow 50%, pverify 58%, topopt 20%)";
+  let rows, dt = time_it (fun () -> E.exec_time_improvements ?procs ()) in
+  print_string (E.render_exec rows);
+  Printf.printf "(%.1fs)\n" dt
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of the design choices DESIGN.md calls out                 *)
+
+let ablation () =
+  section "Ablations - lock padding, static profiling, RSD merge limit \
+           (residual false-sharing misses at 128B under each compiler variant)";
+  let fs_with options (w : W.t) =
+    let nprocs = w.fig3_procs in
+    let prog = w.build ~nprocs ~scale:w.default_scale in
+    let plan = (T.plan ~options prog ~nprocs).T.plan in
+    (Sim.cache_sim prog plan ~nprocs ~block:128).Sim.counts.C.false_sh
+  in
+  let header = [ "program"; "full"; "no lock pad"; "no profiling"; "rsd limit 1" ] in
+  let rows =
+    List.map
+      (fun (w : W.t) ->
+        let base = fs_with T.default_options w in
+        let nolocks = fs_with { T.default_options with pad_locks = false } w in
+        let noprof = fs_with { T.default_options with profile = false } w in
+        let rsd1 = fs_with { T.default_options with rsd_limit = 1 } w in
+        [ w.name; string_of_int base; string_of_int nolocks;
+          string_of_int noprof; string_of_int rsd1 ])
+      (Ws.simulated ())
+  in
+  print_string (Fs_util.Table.render ~header rows)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the pipeline components                *)
+
+let micro () =
+  section "Component micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let pverify = Ws.find "pverify" in
+  let prog = pverify.W.build ~nprocs:8 ~scale:1 in
+  let layout = Layout.default prog ~block:128 in
+  let bench_analysis =
+    Test.make ~name:"analyze+plan (pverify, P=8)"
+      (Staged.stage (fun () -> ignore (T.plan prog ~nprocs:8)))
+  in
+  let bench_layout =
+    let plan = (T.plan prog ~nprocs:8).T.plan in
+    Test.make ~name:"layout realize (pverify)"
+      (Staged.stage (fun () -> ignore (Layout.realize prog plan ~block:128)))
+  in
+  let bench_interp =
+    Test.make ~name:"interpret (pverify, P=8)"
+      (Staged.stage (fun () ->
+           ignore
+             (Interp.run_to_sink prog ~nprocs:8 ~layout ~sink:Fs_trace.Sink.null)))
+  in
+  let bench_cache =
+    (* a synthetic ping-pong trace through the protocol simulator *)
+    Test.make ~name:"cache sim (100k refs)"
+      (Staged.stage (fun () ->
+           let t = C.create (C.default_config ~nprocs:8 ~block:64) in
+           for k = 0 to 99_999 do
+             ignore
+               (C.access t ~proc:(k mod 8) ~write:(k land 1 = 0)
+                  ~addr:(4 * (k mod 512)))
+           done))
+  in
+  let bench_full =
+    Test.make ~name:"full pipeline (pverify cache sim)"
+      (Staged.stage (fun () ->
+           ignore (Sim.cache_sim prog Plan.empty ~nprocs:8 ~block:128)))
+  in
+  let tests =
+    Test.make_grouped ~name:"falseshare"
+      [ bench_analysis; bench_layout; bench_interp; bench_cache; bench_full ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> Printf.sprintf "%.3f ms" (t /. 1e6)
+          | _ -> "n/a"
+        in
+        [ name; est ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  print_string (Fs_util.Table.render ~header:[ "component"; "time/run" ] rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick = Array.exists (( = ) "quick") Sys.argv in
+  let procs = if quick then Some [ 1; 2; 4; 8; 12; 16; 24; 32 ] else None in
+  let pick = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let all = pick = "all" || pick = "quick" in
+  if all || pick = "fig3" then fig3 ();
+  if all || pick = "table2" then table2 ();
+  if all || pick = "stats" then stats ();
+  if all || pick = "fig4" then fig4 ~procs ();
+  if all || pick = "table3" then table3 ~procs ();
+  if all || pick = "exectime" then exectime ~procs ();
+  if all || pick = "ablation" then ablation ();
+  if all || pick = "micro" then micro ()

@@ -1,0 +1,241 @@
+(* Command-line front end.
+
+   falseshare list                      -- the benchmark suite (Table 1)
+   falseshare report  <workload>        -- compiler analysis + decisions
+   falseshare source  <workload>        -- ParC source of a benchmark
+   falseshare sim     <workload> [...]  -- cache simulation, N vs C vs P
+   falseshare speedup <workload> [...]  -- KSR2 scalability curves
+   falseshare fig3 | table2 | fig4 | table3 | stats | exectime
+                                        -- reproduce the paper's evaluation *)
+
+open Cmdliner
+module E = Falseshare.Experiments
+module Sim = Falseshare.Sim
+module T = Fs_transform.Transform
+module C = Fs_cache.Mpcache
+module W = Fs_workloads.Workload
+module Ws = Fs_workloads.Workloads
+
+let workload_arg =
+  let wconv =
+    Arg.conv
+      ( (fun s ->
+          match Ws.find s with
+          | w -> Ok w
+          | exception Not_found ->
+            Error
+              (`Msg
+                 (Printf.sprintf "unknown workload %S (try: %s)" s
+                    (String.concat ", " (List.map (fun w -> w.W.name) Ws.all))))),
+        fun fmt w -> Format.pp_print_string fmt w.W.name )
+  in
+  Arg.(required & pos 0 (some wconv) None & info [] ~docv:"WORKLOAD")
+
+let nprocs_arg =
+  Arg.(value & opt int 12 & info [ "p"; "procs" ] ~docv:"P" ~doc:"Processor count.")
+
+let scale_arg =
+  Arg.(value & opt (some int) None & info [ "s"; "scale" ] ~docv:"N" ~doc:"Problem scale.")
+
+let block_arg =
+  Arg.(value & opt int 128 & info [ "b"; "block" ] ~docv:"BYTES" ~doc:"Cache block size.")
+
+let scale_of w = function Some s -> s | None -> w.W.default_scale
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    let header = [ "name"; "description"; "versions"; "orig. LoC" ] in
+    let rows =
+      List.map
+        (fun (w : W.t) ->
+          [ w.name;
+            w.description;
+            String.concat "/"
+              (List.map
+                 (fun v ->
+                   match v with W.N -> "N" | W.C -> "C" | W.P -> "P")
+                 w.versions);
+            string_of_int w.lines_of_c ])
+        Ws.all
+    in
+    print_string (Fs_util.Table.render ~header rows)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite (Table 1).")
+    Term.(const run $ const ())
+
+(* --- report --- *)
+
+let report_cmd =
+  let run w nprocs scale =
+    let prog = w.W.build ~nprocs ~scale:(scale_of w scale) in
+    let report = T.plan prog ~nprocs in
+    Format.printf "%a@." T.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Run the compile-time analysis and print its decisions.")
+    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg)
+
+(* --- source --- *)
+
+let source_cmd =
+  let run w nprocs scale =
+    let prog = w.W.build ~nprocs ~scale:(scale_of w scale) in
+    print_string (Fs_ir.Pp.program_to_string prog)
+  in
+  Cmd.v (Cmd.info "source" ~doc:"Print a benchmark's ParC source.")
+    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg)
+
+(* --- sim --- *)
+
+let sim_cmd =
+  let run w nprocs scale block =
+    let scale = scale_of w scale in
+    let prog = w.W.build ~nprocs ~scale in
+    let versions =
+      List.filter_map
+        (fun v ->
+          match v with
+          | W.N -> Some ("unoptimized", [])
+          | W.C -> Some ("compiler", E.plan_for w W.C prog ~nprocs ~scale)
+          | W.P -> Some ("programmer", E.plan_for w W.P prog ~nprocs ~scale))
+        (if List.mem W.N w.versions then w.versions else W.N :: w.versions)
+    in
+    let header = [ "version"; "accesses"; "misses"; "false sharing"; "miss rate" ] in
+    let rows =
+      List.map
+        (fun (name, plan) ->
+          let r = Sim.cache_sim prog plan ~nprocs ~block in
+          let c = r.Sim.counts in
+          [ name;
+            string_of_int (C.accesses c);
+            string_of_int (C.misses c);
+            string_of_int c.C.false_sh;
+            Fs_util.Table.pct (C.miss_rate c) ])
+        versions
+    in
+    print_string (Fs_util.Table.render ~header rows)
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"Trace-driven cache simulation of a benchmark, one row per version.")
+    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg)
+
+(* --- speedup --- *)
+
+let speedup_cmd =
+  let procs_arg =
+    Arg.(value & opt (list int) [ 1; 2; 4; 8; 12; 16; 24; 32 ]
+         & info [ "procs-list" ] ~docv:"P,P,..." ~doc:"Processor counts to sweep.")
+  in
+  let run w procs =
+    let series = E.speedups ~procs ~names:[ w.W.name ] () in
+    print_string (E.render_series series)
+  in
+  Cmd.v
+    (Cmd.info "speedup" ~doc:"KSR2-model scalability curves for one benchmark.")
+    Term.(const run $ workload_arg $ procs_arg)
+
+(* --- hotspots --- *)
+
+let hotspots_cmd =
+  let version_arg =
+    Arg.(value & opt string "unoptimized"
+         & info [ "layout" ] ~docv:"V"
+             ~doc:"Which layout: unoptimized, compiler, or programmer.")
+  in
+  let run w nprocs scale block version =
+    let scale = scale_of w scale in
+    let prog = w.W.build ~nprocs ~scale in
+    let plan =
+      match version with
+      | "unoptimized" -> []
+      | "compiler" -> E.plan_for w W.C prog ~nprocs ~scale
+      | "programmer" -> E.plan_for w W.P prog ~nprocs ~scale
+      | other -> failwith ("unknown version " ^ other)
+    in
+    let rows = Falseshare.Attribution.attribute prog plan ~nprocs ~block in
+    print_string (Falseshare.Attribution.render rows)
+  in
+  Cmd.v
+    (Cmd.info "hotspots"
+       ~doc:
+         "Attribute simulated misses back to the shared data structures — \
+          the dynamic counterpart of the compiler's static report.")
+    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg $ version_arg)
+
+(* --- check (.parc sources) --- *)
+
+let check_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.parc")
+  in
+  let procs_for_run =
+    Arg.(value & opt (some int) None
+         & info [ "run" ] ~docv:"P" ~doc:"Also execute with P processes.")
+  in
+  let run file procs =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    match Fs_parc.Parser.parse_and_validate src with
+    | Error errs ->
+      List.iter prerr_endline errs;
+      exit 1
+    | Ok prog ->
+      Printf.printf "%s: ok (%d globals, %d functions)\n" prog.Fs_ir.Ast.pname
+        (List.length prog.Fs_ir.Ast.globals)
+        (List.length prog.Fs_ir.Ast.funcs);
+      (match procs with
+       | None -> ()
+       | Some nprocs ->
+         let report = T.plan prog ~nprocs in
+         Format.printf "%a@." T.pp_report report)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and validate a ParC source file.")
+    Term.(const run $ file_arg $ procs_for_run)
+
+(* --- paper reproductions --- *)
+
+let paper_cmd name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+
+let fig3_cmd =
+  paper_cmd "fig3" "Reproduce Figure 3 (miss rates before/after)." (fun () ->
+      print_string (E.render_figure3 (E.figure3 ())))
+
+let table2_cmd =
+  paper_cmd "table2" "Reproduce Table 2 (reduction by transformation)." (fun () ->
+      print_string (E.render_table2 (E.table2 ())))
+
+let fig4_cmd =
+  paper_cmd "fig4" "Reproduce Figure 4 (scalability curves)." (fun () ->
+      print_string (E.render_series (E.figure4 ())))
+
+let table3_cmd =
+  paper_cmd "table3" "Reproduce Table 3 (maximum speedups)." (fun () ->
+      print_string (E.render_table3 (E.table3 ())))
+
+let stats_cmd =
+  paper_cmd "stats" "Reproduce the headline statistics." (fun () ->
+      print_string (E.render_stats (E.text_stats ())))
+
+let exectime_cmd =
+  paper_cmd "exectime" "Reproduce the execution-time improvements." (fun () ->
+      print_string (E.render_exec (E.exec_time_improvements ())))
+
+let () =
+  let doc =
+    "Compile-time shared-data transformations that reduce false sharing \
+     (reproduction of Jeremiassen & Eggers, PPoPP 1995)."
+  in
+  let info = Cmd.info "falseshare" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; report_cmd; source_cmd; sim_cmd; speedup_cmd;
+            hotspots_cmd; check_cmd; fig3_cmd;
+            table2_cmd; fig4_cmd; table3_cmd; stats_cmd; exectime_cmd ]))

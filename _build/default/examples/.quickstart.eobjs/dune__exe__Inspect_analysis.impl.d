@@ -1,0 +1,1 @@
+examples/inspect_analysis.ml: Array Format Fs_analysis Fs_cfg Fs_ir Fs_rsd Fs_transform Fs_workloads List Printf String Sys

@@ -1,0 +1,1 @@
+examples/inspect_analysis.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Falseshare Format Fs_cache Fs_ir Fs_machine Fs_transform Fs_util Printf

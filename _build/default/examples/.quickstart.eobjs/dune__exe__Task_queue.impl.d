@@ -1,0 +1,1 @@
+examples/task_queue.ml: Falseshare Format Fs_analysis Fs_cache Fs_ir Fs_layout Fs_transform List Printf

@@ -1,0 +1,1 @@
+examples/worker_stats.ml: Falseshare Format Fs_ir Fs_layout Fs_machine Fs_transform List Printf

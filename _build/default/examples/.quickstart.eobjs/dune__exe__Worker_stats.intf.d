@@ -1,0 +1,1 @@
+examples/worker_stats.mli:

@@ -1,0 +1,73 @@
+(* A tour of the compiler internals on a real benchmark: the per-process
+   regular-section summaries (stage 1+3), the PDV set, the barrier phase
+   structure (stage 2), and the transformation decisions.
+
+   Run with:  dune exec examples/inspect_analysis.exe [workload]     *)
+
+module W = Fs_workloads.Workload
+module Ws = Fs_workloads.Workloads
+module Summary = Fs_analysis.Summary
+module Pdv = Fs_analysis.Pdv
+module NC = Fs_analysis.Nonconcurrency
+module CG = Fs_cfg.Callgraph
+module T = Fs_transform.Transform
+module Rsd = Fs_rsd.Rsd
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "pverify" in
+  let w = try Ws.find name with Not_found ->
+    Printf.eprintf "unknown workload %s; try one of: %s\n" name
+      (String.concat ", " (List.map (fun (w : W.t) -> w.W.name) Ws.all));
+    exit 1
+  in
+  let nprocs = 4 in
+  let prog = w.W.build ~nprocs ~scale:1 in
+  Printf.printf "=== %s (%s), analyzed for %d processes ===\n\n" w.W.name
+    w.W.description nprocs;
+
+  (* the call graph (used by every interprocedural stage) *)
+  let cg = CG.build prog in
+  Printf.printf "functions reachable from %s: %s\n" prog.Fs_ir.Ast.entry
+    (String.concat ", " (CG.reachable cg));
+
+  (* stage 2: barrier phase structure *)
+  let nc = NC.analyze prog in
+  Printf.printf "static phases: %d (barrier loop depths: %s)\n\n"
+    (NC.phase_count nc)
+    (String.concat ", " (List.map string_of_int (NC.barrier_depths nc)));
+
+  (* PDV detection *)
+  List.iter
+    (fun fname ->
+      match Pdv.pdv_privates (Pdv.analyze prog) fname with
+      | [] -> ()
+      | pdvs ->
+        Printf.printf "PDV-derived privates in %s: %s\n" fname
+          (String.concat ", " pdvs))
+    (CG.reachable cg);
+
+  (* stages 1+3: per-process sections, shown for the first processes *)
+  let s = Summary.analyze prog ~nprocs in
+  Printf.printf "\nper-process write sections (all phases):\n";
+  List.iter
+    (fun key ->
+      let any =
+        List.exists
+          (fun pid ->
+            not (Rsd.Set.is_empty (Summary.per_pid s ~pid key).Summary.writes))
+          [ 0; 1 ]
+      in
+      if any then begin
+        Printf.printf "  %s\n" (Summary.key_to_string key);
+        List.iter
+          (fun pid ->
+            let a = Summary.per_pid s ~pid key in
+            if not (Rsd.Set.is_empty a.Summary.writes) then
+              Format.printf "    P%d: %a@." pid Rsd.Set.pp a.Summary.writes)
+          [ 0; 1 ]
+      end)
+    (Summary.keys s);
+
+  (* the decisions *)
+  let report = T.plan prog ~nprocs in
+  Format.printf "@.=== transformation decisions ===@.%a@." T.pp_report report

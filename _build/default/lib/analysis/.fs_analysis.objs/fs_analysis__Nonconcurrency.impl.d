@@ -1,0 +1,1 @@
+lib/analysis/nonconcurrency.ml: Array Fs_ir List

@@ -1,0 +1,1 @@
+lib/analysis/nonconcurrency.mli: Fs_ir

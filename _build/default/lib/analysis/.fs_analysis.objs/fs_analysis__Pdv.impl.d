@@ -1,0 +1,1 @@
+lib/analysis/pdv.ml: Fs_ir Hashtbl List

@@ -1,0 +1,1 @@
+lib/analysis/pdv.mli: Fs_ir

@@ -1,0 +1,1 @@
+lib/analysis/summary.ml: Array Format Fs_cfg Fs_ir Fs_rsd Hashtbl List Option String

@@ -1,0 +1,37 @@
+module Ast = Fs_ir.Ast
+
+type t = { depths : int array }
+
+let analyze (prog : Ast.program) =
+  let acc = ref [] in
+  let rec walk_block stack depth (b : Ast.block) =
+    List.iter (walk_stmt stack depth) b
+  and walk_stmt stack depth (s : Ast.stmt) =
+    match s with
+    | Ast.Barrier -> acc := depth :: !acc
+    | Ast.If (_, b1, b2) ->
+      walk_block stack depth b1;
+      walk_block stack depth b2
+    | Ast.While (_, b) | Ast.For (_, _, _, b) -> walk_block stack (depth + 1) b
+    | Ast.Call { callee; _ } -> (
+      if not (List.mem callee stack) then
+        match List.find_opt (fun (f : Ast.func) -> f.fname = callee) prog.funcs with
+        | Some f -> walk_block (callee :: stack) depth f.body
+        | None -> ())
+    | Ast.Store _ | Ast.Set _ | Ast.Decl _ | Ast.Return _ | Ast.Lock _
+    | Ast.Unlock _ -> ()
+  in
+  (match List.find_opt (fun (f : Ast.func) -> f.fname = prog.entry) prog.funcs with
+   | Some f -> walk_block [ prog.entry ] 0 f.body
+   | None -> ());
+  { depths = Array.of_list (List.rev !acc) }
+
+let phase_count t = Array.length t.depths + 1
+let barrier_depths t = Array.to_list t.depths
+
+let can_repeat t i =
+  let n = Array.length t.depths in
+  if i < 0 || i > n then invalid_arg "Nonconcurrency.can_repeat";
+  let before = if i = 0 then 0 else t.depths.(i - 1) in
+  let after = if i = n then 0 else t.depths.(i) in
+  before > 0 || after > 0

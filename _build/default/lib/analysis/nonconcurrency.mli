@@ -1,0 +1,23 @@
+(** Non-concurrency analysis over the barrier structure (stage 2,
+    Section 3.1; after Masticola & Ryder).
+
+    Splits the program into static phases delimited by global barriers and
+    records, for each barrier, the loop depth at which it executes: a
+    barrier inside a loop means the phases around it recur, i.e. the
+    program's sharing pattern cycles through them.  Code in different
+    phases cannot execute concurrently. *)
+
+type t
+
+val analyze : Fs_ir.Ast.program -> t
+
+val phase_count : t -> int
+(** Static barriers along the entry, plus one. *)
+
+val barrier_depths : t -> int list
+(** Loop depth of each barrier, in program (walk) order; length is
+    [phase_count - 1]. *)
+
+val can_repeat : t -> int -> bool
+(** Whether phase [i] (0-based) can execute more than once, i.e. one of
+    its delimiting barriers sits inside a loop. *)

@@ -1,0 +1,66 @@
+module Ast = Fs_ir.Ast
+
+type t = (string, (string, unit) Hashtbl.t) Hashtbl.t
+
+let analyze (prog : Ast.program) : t =
+  let deps : t = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ast.func) -> Hashtbl.add deps f.fname (Hashtbl.create 8))
+    prog.funcs;
+  let changed = ref true in
+  let dep_of fname = Hashtbl.find deps fname in
+  let rec expr_dep fname (e : Ast.expr) =
+    match e with
+    | Pdv -> true
+    | Int_lit _ | Float_lit _ | Nprocs -> false
+    | Priv n -> Hashtbl.mem (dep_of fname) n
+    | Load lv ->
+      (* shared memory contents are not PDVs, but index expressions do not
+         contribute either way *)
+      ignore lv;
+      false
+    | Unop (_, e) -> expr_dep fname e
+    | Binop (_, e1, e2) -> expr_dep fname e1 || expr_dep fname e2
+  in
+  let mark fname n =
+    let tbl = dep_of fname in
+    if not (Hashtbl.mem tbl n) then begin
+      Hashtbl.add tbl n ();
+      changed := true
+    end
+  in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f : Ast.func) ->
+        Ast.iter_stmts
+          (fun s ->
+            match s with
+            | Ast.Set (n, e) | Ast.Decl (n, e) ->
+              if expr_dep f.fname e then mark f.fname n
+            | Ast.For (n, lo, hi, _) ->
+              if expr_dep f.fname lo || expr_dep f.fname hi then mark f.fname n
+            | Ast.Call { callee; args; _ } -> (
+              match List.find_opt (fun (g : Ast.func) -> g.fname = callee) prog.funcs with
+              | None -> ()
+              | Some g ->
+                List.iteri
+                  (fun i arg ->
+                    if i < List.length g.params && expr_dep f.fname arg then
+                      mark g.fname (List.nth g.params i))
+                  args)
+            | _ -> ())
+          f.body)
+      prog.funcs
+  done;
+  deps
+
+let pdv_privates t fname =
+  match Hashtbl.find_opt t fname with
+  | None -> raise Not_found
+  | Some tbl -> List.sort compare (Hashtbl.fold (fun n () acc -> n :: acc) tbl [])
+
+let is_pdv t ~func n =
+  match Hashtbl.find_opt t func with
+  | None -> false
+  | Some tbl -> Hashtbl.mem tbl n

@@ -1,0 +1,21 @@
+(** Process-differentiating-variable detection.
+
+    A PDV is a private variable whose value differs across processes —
+    transitively derived from [Pdv] (Section 2 of the paper).  The set is
+    computed interprocedurally: an argument that is PDV-derived at any call
+    site makes the callee's parameter PDV-derived.
+
+    The summary analysis does not consult this set (it propagates concrete
+    per-process values instead, which subsumes it); it exists for the
+    compiler report and for validating the analysis against hand
+    inspection in tests. *)
+
+type t
+
+val analyze : Fs_ir.Ast.program -> t
+
+val pdv_privates : t -> string -> string list
+(** PDV-derived private variables of a function, sorted.
+    @raise Not_found for an unknown function. *)
+
+val is_pdv : t -> func:string -> string -> bool

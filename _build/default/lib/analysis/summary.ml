@@ -1,0 +1,333 @@
+module Ast = Fs_ir.Ast
+module Sym = Fs_rsd.Sym
+module Rsd = Fs_rsd.Rsd
+module Callgraph = Fs_cfg.Callgraph
+
+let unknown_loop_weight = 10.0
+
+type key = { var : string; fieldsig : string list }
+
+let key_to_string k =
+  match k.fieldsig with
+  | [] -> k.var
+  | fs -> k.var ^ "." ^ String.concat "." fs
+
+type var_access = { reads : Rsd.Set.t; writes : Rsd.Set.t }
+
+type t = {
+  nprocs_ : int;
+  phases_ : int;
+  rsd_limit : int;
+  tbl : (int * int * key, var_access) Hashtbl.t;  (* phase, pid, key *)
+  phase_weight_ : float array;
+  all_keys : key list;
+}
+
+let nprocs t = t.nprocs_
+let phases t = t.phases_
+let keys t = t.all_keys
+let get t ~phase ~pid key = Hashtbl.find_opt t.tbl (phase, pid, key)
+
+let empty_access limit =
+  { reads = Rsd.Set.empty ~limit (); writes = Rsd.Set.empty ~limit () }
+
+let union_access a b =
+  { reads = Rsd.Set.union a.reads b.reads; writes = Rsd.Set.union a.writes b.writes }
+
+let per_pid t ~pid key =
+  let acc = ref (empty_access t.rsd_limit) in
+  for phase = 0 to t.phases_ - 1 do
+    match get t ~phase ~pid key with
+    | Some a -> acc := union_access !acc a
+    | None -> ()
+  done;
+  !acc
+
+let phase_access t ~phase key =
+  let acc = ref (empty_access t.rsd_limit) in
+  for pid = 0 to t.nprocs_ - 1 do
+    match get t ~phase ~pid key with
+    | Some a -> acc := union_access !acc a
+    | None -> ()
+  done;
+  !acc
+
+let phase_weight t phase = t.phase_weight_.(phase)
+
+let fold_key t key f init =
+  let acc = ref init in
+  for phase = 0 to t.phases_ - 1 do
+    for pid = 0 to t.nprocs_ - 1 do
+      match get t ~phase ~pid key with
+      | Some a -> acc := f !acc a
+      | None -> ()
+    done
+  done;
+  !acc
+
+let read_weight t key =
+  fold_key t key (fun acc a -> acc +. Rsd.Set.total_weight a.reads) 0.0
+
+let write_weight t key =
+  fold_key t key (fun acc a -> acc +. Rsd.Set.total_weight a.writes) 0.0
+
+(* ------------------------------------------------------------------ *)
+(* The abstract walk.                                                  *)
+
+type walker = {
+  prog : Ast.program;
+  cg : Callgraph.t;
+  pid : int;
+  nprocs : int;
+  profile : bool;
+  limit : int;
+  tbl : (int * int * key, var_access) Hashtbl.t;
+  phase_weight : float array;
+  mutable phase : int;
+}
+
+(* Names assigned anywhere in a block (recursively), used to widen
+   loop-carried private variables before walking a loop body. *)
+let assigned_names block =
+  let acc = ref [] in
+  Ast.iter_stmts
+    (fun s ->
+      match s with
+      | Ast.Set (n, _) | Ast.Decl (n, _) | Ast.Call { ret = Some n; _ } ->
+        if not (List.mem n !acc) then acc := n :: !acc
+      | _ -> ())
+    block;
+  !acc
+
+let static_barriers_block cg block =
+  let n = ref 0 in
+  Ast.iter_stmts
+    (fun s ->
+      match s with
+      | Ast.Barrier -> incr n
+      | Ast.Call { callee; _ } -> n := !n + Callgraph.barriers_in cg callee
+      | _ -> ())
+    block;
+  !n
+
+let key_of_lvalue (lv : Ast.lvalue) =
+  {
+    var = lv.base;
+    fieldsig =
+      List.filter_map (function Ast.Fld f -> Some f | Ast.Idx _ -> None) lv.path;
+  }
+
+let record w lv ~write ~weight dims =
+  let key = key_of_lvalue lv in
+  let cell = (w.phase, w.pid, key) in
+  let a =
+    match Hashtbl.find_opt w.tbl cell with
+    | Some a -> a
+    | None -> empty_access w.limit
+  in
+  let rsd = Rsd.create (Array.of_list dims) ~weight in
+  let a =
+    if write then { a with writes = Rsd.Set.add a.writes rsd }
+    else { a with reads = Rsd.Set.add a.reads rsd }
+  in
+  Hashtbl.replace w.tbl cell a;
+  w.phase_weight.(w.phase) <- w.phase_weight.(w.phase) +. weight
+
+type env = (string * Sym.t) list
+
+let lookup env n =
+  match List.assoc_opt n env with Some s -> s | None -> Sym.Unknown
+
+(* Evaluate an expression in the abstract domain, recording the shared
+   reads it performs. *)
+let rec eval w env ~weight (e : Ast.expr) : Sym.t =
+  match e with
+  | Int_lit n -> Sym.Const n
+  | Float_lit _ -> Sym.Unknown
+  | Pdv -> Sym.Const w.pid
+  | Nprocs -> Sym.Const w.nprocs
+  | Priv n -> lookup env n
+  | Load lv ->
+    record_access w env ~weight ~write:false lv;
+    Sym.Unknown
+  | Unop (Neg, e) -> Sym.neg (eval w env ~weight e)
+  | Unop (Not, e) -> (
+    match eval w env ~weight e with
+    | Sym.Const 0 -> Sym.Const 1
+    | Sym.Const _ -> Sym.Const 0
+    | _ -> Sym.Unknown)
+  | Binop (op, e1, e2) ->
+    let a = eval w env ~weight e1 in
+    let b = eval w env ~weight e2 in
+    let of_opt = function
+      | Some true -> Sym.Const 1
+      | Some false -> Sym.Const 0
+      | None -> Sym.Unknown
+    in
+    (match op with
+     | Add -> Sym.add a b
+     | Sub -> Sym.sub a b
+     | Mul -> Sym.mul a b
+     | Div -> Sym.div a b
+     | Mod -> Sym.mod_ a b
+     | Min -> Sym.min_ a b
+     | Max -> Sym.max_ a b
+     | Lt -> of_opt (Sym.lt a b)
+     | Le -> of_opt (Sym.le a b)
+     | Gt -> of_opt (Sym.lt b a)
+     | Ge -> of_opt (Sym.le b a)
+     | Eq -> of_opt (Sym.eq a b)
+     | Ne -> of_opt (Option.map not (Sym.eq a b))
+     | And -> (
+       match (Sym.eq a (Sym.Const 0), Sym.eq b (Sym.Const 0)) with
+       | Some true, _ | _, Some true -> Sym.Const 0
+       | Some false, Some false -> Sym.Const 1
+       | _ -> Sym.Unknown)
+     | Or -> (
+       match (Sym.eq a (Sym.Const 0), Sym.eq b (Sym.Const 0)) with
+       | Some false, _ | _, Some false -> Sym.Const 1
+       | Some true, Some true -> Sym.Const 0
+       | _ -> Sym.Unknown))
+
+and record_access w env ~weight ~write (lv : Ast.lvalue) =
+  let dims =
+    List.filter_map
+      (function
+        | Ast.Idx e -> Some (eval w env ~weight e)
+        | Ast.Fld _ -> None)
+      lv.path
+  in
+  record w lv ~write ~weight dims
+
+let decide sym =
+  match sym with
+  | Sym.Const 0 -> Some false
+  | Sym.Const _ -> Some true
+  | _ -> (
+    match Sym.eq sym (Sym.Const 0) with
+    | Some true -> Some false
+    | Some false -> Some true
+    | None -> None)
+
+let widen env names = List.map (fun n -> (n, Sym.Unknown)) names @ env
+
+let rec walk_block w env ~weight ~stack (block : Ast.block) : env =
+  List.fold_left (fun env s -> walk_stmt w env ~weight ~stack s) env block
+
+and walk_stmt w env ~weight ~stack (s : Ast.stmt) : env =
+  match s with
+  | Store (lv, e) ->
+    let _ = eval w env ~weight e in
+    record_access w env ~weight ~write:true lv;
+    env
+  | Set (n, e) | Decl (n, e) -> (n, eval w env ~weight e) :: env
+  | If (c, b1, b2) -> (
+    match decide (eval w env ~weight c) with
+    | Some true ->
+      let env' = walk_block w env ~weight ~stack b1 in
+      (* keep phases aligned across processes even when this process
+         provably skips the other arm *)
+      w.phase <- w.phase + static_barriers_block w.cg b2;
+      env'
+    | Some false ->
+      w.phase <- w.phase + static_barriers_block w.cg b1;
+      walk_block w env ~weight ~stack b2
+    | None ->
+      let wgt = if w.profile then weight *. 0.5 else weight in
+      let _ = walk_block w env ~weight:wgt ~stack b1 in
+      let _ = walk_block w env ~weight:wgt ~stack b2 in
+      (* join: variables assigned in either arm become unknown *)
+      widen env (assigned_names b1 @ assigned_names b2))
+  | While (c, b) ->
+    (* variables assigned in the body are unknown both inside the loop and
+       after it (the loop may run any number of times) *)
+    let env = widen env (assigned_names b) in
+    let _ = eval w env ~weight c in
+    let wgt = if w.profile then weight *. unknown_loop_weight else weight in
+    let _ = walk_block w env ~weight:wgt ~stack b in
+    env
+  | For (v, lo, hi, b) ->
+    let slo = eval w env ~weight lo in
+    let shi = eval w env ~weight hi in
+    let env' = widen env (List.filter (fun n -> n <> v) (assigned_names b)) in
+    let bounds_known = (Sym.bounds slo, Sym.bounds shi) in
+    (match bounds_known with
+     | Some (l, _), Some (_, h) when h <= l ->
+       (* statically empty loop: the body never runs; keep the phase
+          numbering consistent anyway *)
+       w.phase <- w.phase + static_barriers_block w.cg b
+     | _ ->
+       let range, trip =
+         match bounds_known with
+         | Some (l, _), Some (_, h) ->
+           (Sym.interval ~lo:l ~hi:(h - 1) ~stride:1, Some (h - l))
+         | _ -> (Sym.Unknown, None)
+       in
+       let wgt =
+         if not w.profile then weight
+         else
+           match trip with
+           | Some n -> weight *. float_of_int (max 1 n)
+           | None -> weight *. unknown_loop_weight
+       in
+       let _ = walk_block w ((v, range) :: env') ~weight:wgt ~stack b in
+       ());
+    (* body assignments survive the loop with unknown values *)
+    widen env (assigned_names b)
+  | Call { ret; callee; args } ->
+    let argvals = List.map (fun a -> eval w env ~weight a) args in
+    (if not (List.mem callee stack) then
+       match List.find_opt (fun (f : Ast.func) -> f.fname = callee) w.prog.funcs with
+       | Some f ->
+         let cenv = List.combine f.params argvals in
+         let _ = walk_block w cenv ~weight ~stack:(callee :: stack) f.body in
+         ()
+       | None -> ());
+    (match ret with Some n -> (n, Sym.Unknown) :: env | None -> env)
+  | Return e ->
+    (match e with Some e -> ignore (eval w env ~weight e) | None -> ());
+    env
+  | Barrier ->
+    w.phase <- w.phase + 1;
+    env
+  | Lock lv | Unlock lv ->
+    (* lock traffic appears in the summary as writes to the lock datum *)
+    record_access w env ~weight ~write:true lv;
+    env
+
+let analyze ?(rsd_limit = Rsd.Set.default_limit) ?(profile = true) prog ~nprocs =
+  let cg = Callgraph.build prog in
+  let n_phases = Callgraph.barriers_in cg prog.Ast.entry + 1 in
+  let tbl = Hashtbl.create 256 in
+  let phase_weight = Array.make n_phases 0.0 in
+  for pid = 0 to nprocs - 1 do
+    let w =
+      { prog; cg; pid; nprocs; profile; limit = rsd_limit; tbl; phase_weight;
+        phase = 0 }
+    in
+    let entry = Ast.find_func prog prog.entry in
+    let _ = walk_block w [] ~weight:1.0 ~stack:[ prog.entry ] entry.body in
+    ()
+  done;
+  let key_set = Hashtbl.create 32 in
+  Hashtbl.iter (fun (_, _, k) _ -> Hashtbl.replace key_set k ()) tbl;
+  let all_keys =
+    Hashtbl.fold (fun k () acc -> k :: acc) key_set []
+    |> List.sort (fun a b -> compare (key_to_string a) (key_to_string b))
+  in
+  { nprocs_ = nprocs; phases_ = n_phases; rsd_limit; tbl;
+    phase_weight_ = phase_weight; all_keys }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>summary: %d procs, %d phases@," t.nprocs_ t.phases_;
+  List.iter
+    (fun key ->
+      Format.fprintf fmt "%s: R %.1f / W %.1f@," (key_to_string key)
+        (read_weight t key) (write_weight t key);
+      for pid = 0 to min 3 (t.nprocs_ - 1) do
+        let a = per_pid t ~pid key in
+        if not (Rsd.Set.is_empty a.writes) then
+          Format.fprintf fmt "  P%d writes %a@," pid Rsd.Set.pp a.writes
+      done)
+    t.all_keys;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,67 @@
+(** Per-process summary side-effect analysis (stages 1 and 3 of the paper,
+    Section 3.1), with the phase structure of stage 2 threaded through.
+
+    For each process id, the analysis abstractly interprets the program
+    from the SPMD entry with [Pdv] bound to that id:
+
+    - {b Stage 1} (per-process control flow): branch conditions are
+      evaluated in the abstract index domain, so conditions decided by the
+      PDV (e.g. [if (pid == 0)]) restrict the walk to the code that
+      process actually executes.  Interprocedural: the walk descends into
+      callees with the abstract values of their arguments, so PDV-derived
+      parameters keep differentiating processes across call boundaries.
+    - {b Stage 2} (non-concurrency): a phase counter advances at every
+      barrier (statically — each loop body is visited once, and calls
+      advance the counter by their static barrier count), so side effects
+      are recorded per inter-barrier phase.
+    - {b Stage 3} (summary side effects): every shared reference is
+      summarized as a bounded regular section descriptor over the abstract
+      values of its index expressions, weighted by static profiling:
+      constant-trip loops multiply by their trip count, loops with
+      unknown bounds and while loops by {!unknown_loop_weight}, and the
+      arms of undecidable conditionals by 0.5.
+
+    Assumption (as in the paper's model): barriers are not placed under
+    PDV-dependent conditionals, so every process sees the same phase
+    numbering. *)
+
+val unknown_loop_weight : float
+
+(** A summarized datum: a shared global plus the struct-field path that
+    selects one scalar (or sub-array) family inside it.  Plain arrays and
+    scalars have an empty [fieldsig]. *)
+type key = { var : string; fieldsig : string list }
+
+val key_to_string : key -> string
+
+type var_access = { reads : Fs_rsd.Rsd.Set.t; writes : Fs_rsd.Rsd.Set.t }
+
+type t
+
+val analyze :
+  ?rsd_limit:int -> ?profile:bool -> Fs_ir.Ast.program -> nprocs:int -> t
+(** [profile:false] disables the static-profile weighting (every reference
+    counts 1.0 — an ablation of the paper's weighting). *)
+
+val nprocs : t -> int
+val phases : t -> int
+(** Static phase count ([barriers along the entry + 1]). *)
+
+val keys : t -> key list
+(** All distinct summarized data, sorted by name. *)
+
+val get : t -> phase:int -> pid:int -> key -> var_access option
+val per_pid : t -> pid:int -> key -> var_access
+(** Aggregated over all phases. *)
+
+val phase_access : t -> phase:int -> key -> var_access
+(** Aggregated over all processes within a phase. *)
+
+val phase_weight : t -> int -> float
+(** Total access weight recorded in the phase, across processes. *)
+
+val read_weight : t -> key -> float
+val write_weight : t -> key -> float
+(** Aggregated over phases and processes. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/cache/mpcache.ml: Array Fs_util Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/cache/mpcache.mli: Fs_trace

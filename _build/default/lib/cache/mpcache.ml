@@ -1,0 +1,297 @@
+module Align = Fs_util.Align
+
+let word_size = 4
+
+type config = { nprocs : int; block : int; cache_bytes : int; assoc : int }
+
+let default_config ~nprocs ~block =
+  { nprocs; block; cache_bytes = 32 * 1024; assoc = 4 }
+
+type kind = Cold | Replacement | True_sharing | False_sharing
+
+let kind_to_string = function
+  | Cold -> "cold"
+  | Replacement -> "replacement"
+  | True_sharing -> "true sharing"
+  | False_sharing -> "false sharing"
+
+type counts = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable cold : int;
+  mutable repl : int;
+  mutable true_sh : int;
+  mutable false_sh : int;
+  mutable invalidations : int;
+  mutable upgrades : int;
+}
+
+let zero_counts () =
+  { reads = 0; writes = 0; cold = 0; repl = 0; true_sh = 0; false_sh = 0;
+    invalidations = 0; upgrades = 0 }
+
+let accesses c = c.reads + c.writes
+let misses c = c.cold + c.repl + c.true_sh + c.false_sh
+
+let miss_rate c =
+  let a = accesses c in
+  if a = 0 then 0.0 else float_of_int (misses c) /. float_of_int a
+
+let false_sharing_rate c =
+  let a = accesses c in
+  if a = 0 then 0.0 else float_of_int c.false_sh /. float_of_int a
+
+type miss_info = { kind : kind; provider : int }
+
+type outcome =
+  | Hit
+  | Upgrade of { invalidated : int }
+  | Miss of { info : miss_info; invalidated : int }
+
+(* Why a processor's copy of a block went away. *)
+type lost = Never | Evicted | Invalidated of int
+
+(* Per-processor, per-block bookkeeping; survives loss of the copy. *)
+type entry = {
+  mutable state : int;  (* 0 = I, 1 = S, 2 = M *)
+  mutable lost : lost;
+  mutable last_use : int;
+}
+
+(* Global, per-block bookkeeping. *)
+type binfo = {
+  mutable mask : int;        (* bit p: processor p holds a valid copy *)
+  mutable owner : int;       (* processor with the M copy, or -1 *)
+  mutable last_writer : int; (* most recent writer ever, or -1 *)
+  wproc : int array;         (* per word: last writing processor, or -1 *)
+  wtime : int array;         (* per word: time of that write *)
+}
+
+type pcache = {
+  entries : (int, entry) Hashtbl.t;  (* block -> entry *)
+  sets : int list array;             (* set index -> resident blocks *)
+}
+
+type t = {
+  cfg : config;
+  nsets : int;
+  procs : pcache array;
+  blocks : (int, binfo) Hashtbl.t;
+  totals : counts;
+  per_block_tbl : (int, counts) Hashtbl.t option;
+  mutable time : int;
+}
+
+let create ?(track_blocks = false) cfg =
+  if not (Align.is_power_of_two cfg.block) || cfg.block < word_size then
+    invalid_arg "Mpcache.create: block must be a power of two >= 4";
+  if cfg.assoc <= 0 || cfg.cache_bytes < cfg.block * cfg.assoc then
+    invalid_arg "Mpcache.create: cache too small for one set";
+  let nsets = cfg.cache_bytes / (cfg.block * cfg.assoc) in
+  {
+    cfg;
+    nsets;
+    procs =
+      Array.init cfg.nprocs (fun _ ->
+          { entries = Hashtbl.create 512; sets = Array.make nsets [] });
+    blocks = Hashtbl.create 1024;
+    totals = zero_counts ();
+    per_block_tbl = (if track_blocks then Some (Hashtbl.create 256) else None);
+    time = 0;
+  }
+
+let config t = t.cfg
+
+let entry_of pc b =
+  match Hashtbl.find_opt pc.entries b with
+  | Some e -> e
+  | None ->
+    let e = { state = 0; lost = Never; last_use = 0 } in
+    Hashtbl.add pc.entries b e;
+    e
+
+let binfo_of t b =
+  match Hashtbl.find_opt t.blocks b with
+  | Some bi -> bi
+  | None ->
+    let words = t.cfg.block / word_size in
+    let bi =
+      { mask = 0; owner = -1; last_writer = -1;
+        wproc = Array.make words (-1); wtime = Array.make words 0 }
+    in
+    Hashtbl.add t.blocks b bi;
+    bi
+
+let block_counts t b =
+  match t.per_block_tbl with
+  | None -> None
+  | Some tbl -> (
+    match Hashtbl.find_opt tbl b with
+    | Some c -> Some c
+    | None ->
+      let c = zero_counts () in
+      Hashtbl.add tbl b c;
+      Some c)
+
+(* Remove [proc]'s copy because a remote write invalidated it. *)
+let invalidate t bi b ~victim =
+  let pc = t.procs.(victim) in
+  let e = entry_of pc b in
+  e.state <- 0;
+  e.lost <- Invalidated t.time;
+  bi.mask <- bi.mask land lnot (1 lsl victim);
+  if bi.owner = victim then bi.owner <- -1;
+  let set = b mod t.nsets in
+  pc.sets.(set) <- List.filter (fun b' -> b' <> b) pc.sets.(set);
+  t.totals.invalidations <- t.totals.invalidations + 1
+
+let invalidate_others t bi b ~keep =
+  let mask = bi.mask land lnot (1 lsl keep) in
+  let n = ref 0 in
+  if mask <> 0 then
+    for q = 0 to t.cfg.nprocs - 1 do
+      if mask land (1 lsl q) <> 0 then begin
+        invalidate t bi b ~victim:q;
+        incr n
+      end
+    done;
+  !n
+
+(* Make room in [proc]'s set for block [b] and insert it. *)
+let install t ~proc b =
+  let pc = t.procs.(proc) in
+  let set = b mod t.nsets in
+  let resident = pc.sets.(set) in
+  if List.length resident >= t.cfg.assoc then begin
+    let victim =
+      List.fold_left
+        (fun best b' ->
+          let e' = Hashtbl.find pc.entries b' in
+          match best with
+          | None -> Some (b', e'.last_use)
+          | Some (_, lu) when e'.last_use < lu -> Some (b', e'.last_use)
+          | some -> some)
+        None resident
+    in
+    match victim with
+    | None -> ()
+    | Some (vb, _) ->
+      let ve = Hashtbl.find pc.entries vb in
+      ve.state <- 0;
+      ve.lost <- Evicted;
+      let vbi = binfo_of t vb in
+      vbi.mask <- vbi.mask land lnot (1 lsl proc);
+      if vbi.owner = proc then vbi.owner <- -1;
+      pc.sets.(set) <- List.filter (fun b' -> b' <> vb) pc.sets.(set)
+  end;
+  pc.sets.(set) <- b :: pc.sets.(set)
+
+let classify_miss bi ~proc ~word e =
+  match e.lost with
+  | Never -> Cold
+  | Evicted -> Replacement
+  | Invalidated t_inv ->
+    if bi.wproc.(word) >= 0 && bi.wproc.(word) <> proc && bi.wtime.(word) >= t_inv
+    then True_sharing
+    else False_sharing
+
+let provider_of bi =
+  if bi.owner >= 0 then bi.owner
+  else if bi.last_writer >= 0 && bi.mask land (1 lsl bi.last_writer) <> 0 then
+    bi.last_writer
+  else -1
+
+let bump_kind c = function
+  | Cold -> c.cold <- c.cold + 1
+  | Replacement -> c.repl <- c.repl + 1
+  | True_sharing -> c.true_sh <- c.true_sh + 1
+  | False_sharing -> c.false_sh <- c.false_sh + 1
+
+let access t ~proc ~write ~addr =
+  t.time <- t.time + 1;
+  let b = addr / t.cfg.block in
+  let word = addr mod t.cfg.block / word_size in
+  let pc = t.procs.(proc) in
+  let e = entry_of pc b in
+  let bi = binfo_of t b in
+  let bc = block_counts t b in
+  let count f = f t.totals; Option.iter f bc in
+  if write then count (fun c -> c.writes <- c.writes + 1)
+  else count (fun c -> c.reads <- c.reads + 1);
+  let note_write () =
+    bi.wproc.(word) <- proc;
+    bi.wtime.(word) <- t.time;
+    bi.last_writer <- proc
+  in
+  let outcome =
+    if write then begin
+      match e.state with
+      | 2 ->
+        e.last_use <- t.time;
+        note_write ();
+        Hit
+      | 1 ->
+        (* write hit on a shared copy: upgrade, invalidating other sharers *)
+        let invalidated = invalidate_others t bi b ~keep:proc in
+        e.state <- 2;
+        e.last_use <- t.time;
+        bi.owner <- proc;
+        note_write ();
+        count (fun c -> c.upgrades <- c.upgrades + 1);
+        Upgrade { invalidated }
+      | _ ->
+        let kind = classify_miss bi ~proc ~word e in
+        let provider = provider_of bi in
+        let invalidated = invalidate_others t bi b ~keep:proc in
+        install t ~proc b;
+        e.state <- 2;
+        e.lost <- Never;
+        e.last_use <- t.time;
+        bi.mask <- bi.mask lor (1 lsl proc);
+        bi.owner <- proc;
+        note_write ();
+        count (fun c -> bump_kind c kind);
+        Miss { info = { kind; provider }; invalidated }
+    end
+    else begin
+      match e.state with
+      | 1 | 2 ->
+        e.last_use <- t.time;
+        Hit
+      | _ ->
+        let kind = classify_miss bi ~proc ~word e in
+        let provider = provider_of bi in
+        (* a modified copy elsewhere is downgraded to shared *)
+        if bi.owner >= 0 then begin
+          let oe = entry_of t.procs.(bi.owner) b in
+          oe.state <- 1;
+          bi.owner <- -1
+        end;
+        install t ~proc b;
+        e.state <- 1;
+        e.lost <- Never;
+        e.last_use <- t.time;
+        bi.mask <- bi.mask lor (1 lsl proc);
+        count (fun c -> bump_kind c kind);
+        Miss { info = { kind; provider }; invalidated = 0 }
+    end
+  in
+  outcome
+
+let sink t ~proc ~write ~addr = ignore (access t ~proc ~write ~addr)
+
+let counts t = t.totals
+
+let per_block t =
+  match t.per_block_tbl with
+  | None -> []
+  | Some tbl ->
+    Hashtbl.fold (fun b c acc -> (b, c) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let state_of t ~proc ~addr =
+  let b = addr / t.cfg.block in
+  match Hashtbl.find_opt t.procs.(proc).entries b with
+  | Some { state = 2; _ } -> `Modified
+  | Some { state = 1; _ } -> `Shared
+  | Some _ | None -> `Invalid

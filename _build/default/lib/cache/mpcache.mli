@@ -1,0 +1,93 @@
+(** Write-invalidate multiprocessor cache simulator.
+
+    Models the simulation architecture of Section 4 of the paper: one
+    private first-level cache per processor (default 32 KB, 4-way LRU) in
+    front of an infinite second-level cache, kept coherent with an MSI
+    write-invalidate protocol.  The block size is a parameter (the paper
+    sweeps 4–256 bytes).
+
+    Every first-level miss is classified:
+    - {b Cold} — the processor touches the block for the first time.
+    - {b Replacement} — the processor's copy was evicted (capacity or
+      conflict; with LRU sets the two are not distinguished).
+    - {b True sharing} — the copy was invalidated by another processor,
+      and the word now accessed was written by another processor while
+      this processor's copy was invalid: the communication was essential.
+    - {b False sharing} — the copy was invalidated, but the word now
+      accessed was not written by any other processor in that interval;
+      the miss exists only because unrelated data share the block, and
+      would vanish with one-word blocks.
+
+    The classification is exact at word (4-byte) granularity: the simulator
+    tracks the last writer and write time of every word, and the
+    invalidation time of every processor/block pair. *)
+
+type config = {
+  nprocs : int;
+  block : int;        (** block size in bytes, a power of two >= 4 *)
+  cache_bytes : int;  (** capacity of each processor's cache *)
+  assoc : int;        (** set associativity *)
+}
+
+val default_config : nprocs:int -> block:int -> config
+(** 32 KB, 4-way, as in the paper's simulations. *)
+
+type kind = Cold | Replacement | True_sharing | False_sharing
+
+val kind_to_string : kind -> string
+
+type counts = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable cold : int;
+  mutable repl : int;
+  mutable true_sh : int;
+  mutable false_sh : int;
+  mutable invalidations : int;  (** copies invalidated by remote writes *)
+  mutable upgrades : int;       (** S->M transitions without data transfer *)
+}
+
+val accesses : counts -> int
+val misses : counts -> int
+val miss_rate : counts -> float
+val false_sharing_rate : counts -> float
+(** False-sharing misses per access. *)
+
+type miss_info = {
+  kind : kind;
+  provider : int;
+      (** processor whose cache supplies the block: the current modified
+          owner, else the most recent writer still holding a copy, else
+          [-1] (the block comes from the infinite second level) *)
+}
+
+(** Result of one reference.  [invalidated] is the number of remote copies
+    the reference destroyed — the coherence traffic it put on the
+    interconnect. *)
+type outcome =
+  | Hit
+  | Upgrade of { invalidated : int }
+      (** write hit on a Shared copy: invalidations, but no data transfer *)
+  | Miss of { info : miss_info; invalidated : int }
+
+type t
+
+val create : ?track_blocks:bool -> config -> t
+val config : t -> config
+
+val access : t -> proc:int -> write:bool -> addr:int -> outcome
+(** Simulate one reference. *)
+
+val sink : t -> Fs_trace.Sink.t
+(** Feed the simulator from an interpreter run, ignoring outcomes. *)
+
+val counts : t -> counts
+(** Live totals (the record is the simulator's own accumulator). *)
+
+val per_block : t -> (int * counts) list
+(** Per-block counters, available when created with [~track_blocks:true];
+    empty otherwise.  Sorted by block number. *)
+
+val state_of : t -> proc:int -> addr:int -> [ `Modified | `Shared | `Invalid ]
+(** Protocol state of the block containing [addr] in [proc]'s cache
+    (Invalid when never present or evicted) — for invariant tests. *)

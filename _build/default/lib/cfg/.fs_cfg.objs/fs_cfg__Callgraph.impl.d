@@ -1,0 +1,1 @@
+lib/cfg/callgraph.ml: Fs_ir Hashtbl List

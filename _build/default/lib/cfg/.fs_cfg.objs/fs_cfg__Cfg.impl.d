@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Format Fs_ir Fun List Printf String

@@ -1,0 +1,142 @@
+module Ast = Fs_ir.Ast
+
+type t = {
+  prog : Ast.program;
+  callees_tbl : (string, string list) Hashtbl.t;
+  callers_tbl : (string, string list) Hashtbl.t;
+  recursive_tbl : (string, bool) Hashtbl.t;
+  barriers_tbl : (string, int) Hashtbl.t;
+}
+
+let direct_callees (f : Ast.func) =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  Ast.iter_stmts
+    (fun s ->
+      match s with
+      | Ast.Call { callee; _ } ->
+        if not (Hashtbl.mem seen callee) then begin
+          Hashtbl.add seen callee ();
+          acc := callee :: !acc
+        end
+      | _ -> ())
+    f.body;
+  List.rev !acc
+
+(* Tarjan-free cycle detection: a function is recursive iff it can reach
+   itself.  The graphs here are tiny, so a DFS per function is fine. *)
+let can_reach callees_tbl start target =
+  let visited = Hashtbl.create 16 in
+  let rec go n =
+    List.exists
+      (fun c ->
+        c = target
+        || (not (Hashtbl.mem visited c))
+           && (Hashtbl.add visited c ();
+               match Hashtbl.find_opt callees_tbl c with
+               | Some _ -> go c
+               | None -> false))
+      (match Hashtbl.find_opt callees_tbl n with Some l -> l | None -> [])
+  in
+  go start
+
+let build (prog : Ast.program) =
+  let callees_tbl = Hashtbl.create 16 in
+  let callers_tbl = Hashtbl.create 16 in
+  List.iter (fun (f : Ast.func) -> Hashtbl.add callers_tbl f.fname []) prog.funcs;
+  List.iter
+    (fun (f : Ast.func) ->
+      let cs = direct_callees f in
+      Hashtbl.add callees_tbl f.fname cs;
+      List.iter
+        (fun c ->
+          match Hashtbl.find_opt callers_tbl c with
+          | Some l when not (List.mem f.fname l) ->
+            Hashtbl.replace callers_tbl c (f.fname :: l)
+          | _ -> ())
+        cs)
+    prog.funcs;
+  let recursive_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ast.func) ->
+      Hashtbl.add recursive_tbl f.fname (can_reach callees_tbl f.fname f.fname))
+    prog.funcs;
+  (* Static barrier counts, memoized; on-cycle calls contribute nothing
+     beyond the first unrolling. *)
+  let barriers_tbl = Hashtbl.create 16 in
+  let rec barriers stack fname =
+    match Hashtbl.find_opt barriers_tbl fname with
+    | Some n -> n
+    | None ->
+      if List.mem fname stack then 0
+      else begin
+        let f = Ast.find_func prog fname in
+        let n = ref 0 in
+        Ast.iter_stmts
+          (fun s ->
+            match s with
+            | Ast.Barrier -> incr n
+            | Ast.Call { callee; _ } -> n := !n + barriers (fname :: stack) callee
+            | _ -> ())
+          f.body;
+        (* Memoize only cycle-free results; recursive functions keep
+           recomputing, which is fine at this scale. *)
+        if not (Hashtbl.find recursive_tbl fname) then Hashtbl.add barriers_tbl fname !n;
+        !n
+      end
+  in
+  List.iter (fun (f : Ast.func) -> ignore (barriers [] f.fname)) prog.funcs;
+  let t = { prog; callees_tbl; callers_tbl; recursive_tbl; barriers_tbl } in
+  t
+
+let callees t fname =
+  match Hashtbl.find_opt t.callees_tbl fname with
+  | Some l -> l
+  | None -> raise Not_found
+
+let callers t fname =
+  match Hashtbl.find_opt t.callers_tbl fname with
+  | Some l -> l
+  | None -> raise Not_found
+
+let reachable t =
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec go n =
+    if not (Hashtbl.mem visited n) then begin
+      Hashtbl.add visited n ();
+      order := n :: !order;
+      match Hashtbl.find_opt t.callees_tbl n with
+      | Some cs -> List.iter go cs
+      | None -> ()
+    end
+  in
+  go t.prog.entry;
+  List.rev !order
+
+let is_recursive t fname =
+  match Hashtbl.find_opt t.recursive_tbl fname with
+  | Some b -> b
+  | None -> raise Not_found
+
+let barriers_in t fname =
+  match Hashtbl.find_opt t.barriers_tbl fname with
+  | Some n -> n
+  | None ->
+    (* recursive function: recompute with a cycle cut *)
+    let rec barriers stack fname =
+      if List.mem fname stack then 0
+      else begin
+        let f = Ast.find_func t.prog fname in
+        let n = ref 0 in
+        Ast.iter_stmts
+          (fun s ->
+            match s with
+            | Ast.Barrier -> incr n
+            | Ast.Call { callee; _ } -> n := !n + barriers (fname :: stack) callee
+            | _ -> ())
+          f.body;
+        !n
+      end
+    in
+    barriers [] fname

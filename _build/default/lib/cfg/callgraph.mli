@@ -1,0 +1,30 @@
+(** Interprocedural call graph of a ParC program.
+
+    Feeds the interprocedural parts of all three analysis stages: which
+    functions are reachable from the SPMD entry, which are recursive (their
+    side-effect walks are cut off rather than followed forever), and how
+    many static barrier synchronizations a call executes (so the
+    non-concurrency analysis can number phases across call boundaries). *)
+
+type t
+
+val build : Fs_ir.Ast.program -> t
+
+val callees : t -> string -> string list
+(** Distinct direct callees, in first-call order.
+    @raise Not_found for an unknown function. *)
+
+val callers : t -> string -> string list
+(** Distinct direct callers, unordered. *)
+
+val reachable : t -> string list
+(** Functions reachable from the entry, entry first, preorder. *)
+
+val is_recursive : t -> string -> bool
+(** True when the function lies on a call-graph cycle (including self
+    recursion). *)
+
+val barriers_in : t -> string -> int
+(** Static barrier count of one activation: barriers in the body (loop
+    bodies counted once) plus, recursively, those of every call site.
+    Calls to recursive functions contribute their body's own count once. *)

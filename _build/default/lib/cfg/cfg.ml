@@ -1,0 +1,136 @@
+module Ast = Fs_ir.Ast
+
+type node_id = int
+
+type node_kind =
+  | Entry
+  | Exit
+  | Straight of Ast.stmt list
+  | Branch of Ast.expr
+  | Loop_head of Ast.expr
+
+type node = {
+  kind : node_kind;
+  mutable succs : node_id list;  (* ordered: true/body edge first *)
+  mutable preds : node_id list;
+  depth : int;
+}
+
+type t = { nodes : node array; entry : node_id; exit_ : node_id }
+
+type builder = { mutable acc : node list; mutable count : int }
+
+let fresh b kind depth =
+  let id = b.count in
+  b.count <- id + 1;
+  b.acc <- { kind; succs = []; preds = []; depth } :: b.acc;
+  id
+
+let node_of b id = List.nth b.acc (b.count - 1 - id)
+
+let link b src dst =
+  let s = node_of b src and d = node_of b dst in
+  s.succs <- s.succs @ [ dst ];
+  d.preds <- d.preds @ [ src ]
+
+(* Statements that do not change control flow within the function.  Calls
+   and returns are kept inside straight-line blocks: the interprocedural
+   analyses handle calls themselves, and a return simply truncates the
+   block's fallthrough (conservatively ignored here — the graph
+   over-approximates flow, which is the safe direction for analysis). *)
+let is_simple = function
+  | Ast.Store _ | Ast.Set _ | Ast.Decl _ | Ast.Call _ | Ast.Return _
+  | Ast.Barrier | Ast.Lock _ | Ast.Unlock _ -> true
+  | Ast.If _ | Ast.While _ | Ast.For _ -> false
+
+(* Compile a block; returns the node every path of the block exits from. *)
+let rec build_block b depth (stmts : Ast.block) ~from =
+  match stmts with
+  | [] -> from
+  | _ ->
+    let simple, rest =
+      let rec span acc = function
+        | s :: tl when is_simple s -> span (s :: acc) tl
+        | tl -> (List.rev acc, tl)
+      in
+      span [] stmts
+    in
+    let from =
+      if simple = [] then from
+      else begin
+        let n = fresh b (Straight simple) depth in
+        link b from n;
+        n
+      end
+    in
+    (match rest with
+     | [] -> from
+     | ctrl :: tail ->
+       let after_ctrl =
+         match ctrl with
+         | Ast.If (c, b1, b2) ->
+           let br = fresh b (Branch c) depth in
+           link b from br;
+           (* Build the true arm and link it to the join before building the
+              false arm, so the branch node's successor order stays
+              true-edge-first even when an arm is empty (an empty arm's
+              [build_block] returns [br] itself). *)
+           let t_end = build_block b depth b1 ~from:br in
+           let join = fresh b (Straight []) depth in
+           link b t_end join;
+           let f_end = build_block b depth b2 ~from:br in
+           if not (f_end = br && t_end = br) then link b f_end join;
+           join
+         | Ast.While (c, body) ->
+           let head = fresh b (Loop_head c) depth in
+           link b from head;
+           let body_end = build_block b (depth + 1) body ~from:head in
+           link b body_end head;
+           let exit_n = fresh b (Straight []) depth in
+           link b head exit_n;
+           exit_n
+         | Ast.For (v, lo, hi, body) ->
+           (* model the trip test as a loop head on v < hi *)
+           let init = fresh b (Straight [ Ast.Set (v, lo) ]) depth in
+           link b from init;
+           let head = fresh b (Loop_head (Ast.Binop (Ast.Lt, Ast.Priv v, hi))) depth in
+           link b init head;
+           let body_end = build_block b (depth + 1) body ~from:head in
+           link b body_end head;
+           let exit_n = fresh b (Straight []) depth in
+           link b head exit_n;
+           exit_n
+         | _ -> assert false
+       in
+       build_block b depth tail ~from:after_ctrl)
+
+let build (f : Ast.func) =
+  let b = { acc = []; count = 0 } in
+  let entry = fresh b Entry 0 in
+  let last = build_block b 0 f.body ~from:entry in
+  let exit_ = fresh b Exit 0 in
+  link b last exit_;
+  { nodes = Array.of_list (List.rev b.acc); entry; exit_ }
+
+let entry t = t.entry
+let exit_node t = t.exit_
+let kind t id = t.nodes.(id).kind
+let succs t id = t.nodes.(id).succs
+let preds t id = t.nodes.(id).preds
+let nodes t = List.init (Array.length t.nodes) Fun.id
+let loop_depth t id = t.nodes.(id).depth
+
+let pp fmt t =
+  Array.iteri
+    (fun i n ->
+      let k =
+        match n.kind with
+        | Entry -> "entry"
+        | Exit -> "exit"
+        | Straight ss -> Printf.sprintf "straight(%d)" (List.length ss)
+        | Branch _ -> "branch"
+        | Loop_head _ -> "loop"
+      in
+      Format.fprintf fmt "%d:%s -> %s@." i k
+        (String.concat "," (List.map string_of_int n.succs)))
+    t.nodes

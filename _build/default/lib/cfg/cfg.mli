@@ -1,0 +1,36 @@
+(** Intraprocedural control-flow graphs over ParC's structured statements.
+
+    Stage 1 of the paper annotates control-flow-graph nodes with the set of
+    processes that execute them; this module provides the graph itself:
+    basic blocks of straight-line statements linked by edges, with branch
+    nodes recording the controlling expression so that the per-process
+    analysis can test whether it is decided by the PDV. *)
+
+type node_id = int
+
+type node_kind =
+  | Entry
+  | Exit
+  | Straight of Fs_ir.Ast.stmt list
+      (** simple statements: stores, private sets, calls, sync ops *)
+  | Branch of Fs_ir.Ast.expr
+      (** two successors: the true edge first, then the false edge *)
+  | Loop_head of Fs_ir.Ast.expr
+      (** two successors: the body edge first, then the exit edge *)
+
+type t
+
+val build : Fs_ir.Ast.func -> t
+
+val entry : t -> node_id
+val exit_node : t -> node_id
+val kind : t -> node_id -> node_kind
+val succs : t -> node_id -> node_id list
+val preds : t -> node_id -> node_id list
+val nodes : t -> node_id list
+(** All node ids in creation order (entry first). *)
+
+val loop_depth : t -> node_id -> int
+(** Number of enclosing loops of the node (0 at top level). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/attribution.ml: Array Fs_cache Fs_interp Fs_ir Fs_layout Fs_util Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/attribution.mli: Fs_cache Fs_ir Fs_layout

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Buffer Fs_cache Fs_layout Fs_machine Fs_util Fs_workloads Hashtbl List Option Printf Sim String

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Fs_ir Fs_layout Fs_workloads

@@ -1,0 +1,1 @@
+lib/core/sim.ml: Fs_cache Fs_interp Fs_layout Fs_machine Fs_transform

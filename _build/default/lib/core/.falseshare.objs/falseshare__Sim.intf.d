@@ -1,0 +1,1 @@
+lib/core/sim.mli: Fs_cache Fs_interp Fs_ir Fs_layout Fs_machine Fs_transform

@@ -1,0 +1,98 @@
+module Mpcache = Fs_cache.Mpcache
+module Layout = Fs_layout.Layout
+module Interp = Fs_interp.Interp
+
+type row = { var : string; counts : Mpcache.counts; blocks : int }
+
+let zero () =
+  { Mpcache.reads = 0; writes = 0; cold = 0; repl = 0; true_sh = 0;
+    false_sh = 0; invalidations = 0; upgrades = 0 }
+
+let add_into (dst : Mpcache.counts) (src : Mpcache.counts) =
+  dst.Mpcache.reads <- dst.Mpcache.reads + src.Mpcache.reads;
+  dst.writes <- dst.writes + src.writes;
+  dst.cold <- dst.cold + src.cold;
+  dst.repl <- dst.repl + src.repl;
+  dst.true_sh <- dst.true_sh + src.true_sh;
+  dst.false_sh <- dst.false_sh + src.false_sh;
+  dst.invalidations <- dst.invalidations + src.invalidations;
+  dst.upgrades <- dst.upgrades + src.upgrades
+
+let pointer_owner = "(indirection pointers)"
+
+let attribute ?(cache_bytes = 32 * 1024) ?(assoc = 4) prog plan ~nprocs ~block =
+  let layout = Layout.realize prog plan ~block in
+  let cache =
+    Mpcache.create ~track_blocks:true
+      { Mpcache.nprocs; block; cache_bytes; assoc }
+  in
+  let _ =
+    Interp.run_to_sink prog ~nprocs ~layout ~sink:(Mpcache.sink cache)
+  in
+  (* dominant owner of each block, by cell count *)
+  let owner_cells : (int, (string, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 256 in
+  let bump blk var =
+    let tbl =
+      match Hashtbl.find_opt owner_cells blk with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 4 in
+        Hashtbl.add owner_cells blk t;
+        t
+    in
+    Hashtbl.replace tbl var
+      (1 + Option.value (Hashtbl.find_opt tbl var) ~default:0)
+  in
+  List.iter
+    (fun (name, _) ->
+      let vl = Layout.lookup layout name in
+      Array.iter (fun a -> bump (a / block) name) vl.Layout.addr;
+      Array.iter (fun a -> if a >= 0 then bump (a / block) pointer_owner) vl.Layout.extra)
+    prog.Fs_ir.Ast.globals;
+  let dominant blk =
+    match Hashtbl.find_opt owner_cells blk with
+    | None -> "(unmapped)"
+    | Some tbl ->
+      fst
+        (Hashtbl.fold
+           (fun var n (bv, bn) -> if n > bn then (var, n) else (bv, bn))
+           tbl ("(unmapped)", 0))
+  in
+  let per_var : (string, Mpcache.counts * int ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (blk, c) ->
+      let var = dominant blk in
+      let dst, nblocks =
+        match Hashtbl.find_opt per_var var with
+        | Some x -> x
+        | None ->
+          let x = (zero (), ref 0) in
+          Hashtbl.add per_var var x;
+          x
+      in
+      incr nblocks;
+      add_into dst c)
+    (Mpcache.per_block cache);
+  Hashtbl.fold
+    (fun var (counts, nblocks) acc ->
+      { var; counts; blocks = !nblocks } :: acc)
+    per_var []
+  |> List.sort (fun a b ->
+         compare b.counts.Mpcache.false_sh a.counts.Mpcache.false_sh)
+
+let render rows =
+  let header =
+    [ "data structure"; "blocks"; "accesses"; "misses"; "false sh."; "true sh." ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        [ r.var;
+          string_of_int r.blocks;
+          string_of_int (Mpcache.accesses r.counts);
+          string_of_int (Mpcache.misses r.counts);
+          string_of_int r.counts.Mpcache.false_sh;
+          string_of_int r.counts.Mpcache.true_sh ])
+      rows
+  in
+  Fs_util.Table.render ~header body

@@ -1,0 +1,31 @@
+(** Per-data-structure miss attribution.
+
+    The paper's central validation is that the static analysis identifies
+    the data structures responsible for most false-sharing misses.  This
+    module closes that loop from the dynamic side: it runs the cache
+    simulation with per-block tracking and folds the per-block counters
+    back onto the shared globals through the layout's address map, so the
+    simulator's verdict can be compared with the compiler's report
+    structure by structure. *)
+
+type row = {
+  var : string;
+      (** a shared global, or ["(indirection pointers)"] for the pointer
+          cells a transformation injected *)
+  counts : Fs_cache.Mpcache.counts;
+  blocks : int;  (** distinct cache blocks the variable's cells occupy *)
+}
+
+val attribute :
+  ?cache_bytes:int ->
+  ?assoc:int ->
+  Fs_ir.Ast.program ->
+  Fs_layout.Plan.t ->
+  nprocs:int ->
+  block:int ->
+  row list
+(** Rows sorted by false-sharing misses, heaviest first.  A block shared
+    by several variables (the packed default layout) is attributed to the
+    variable owning the most cells in it. *)
+
+val render : row list -> string

@@ -1,0 +1,44 @@
+module Mpcache = Fs_cache.Mpcache
+module Layout = Fs_layout.Layout
+module Interp = Fs_interp.Interp
+module Ksr = Fs_machine.Ksr
+
+type cache_run = {
+  counts : Mpcache.counts;
+  per_block : (int * Mpcache.counts) list;
+  layout_bytes : int;
+  interp : Interp.result;
+}
+
+let cache_sim ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?(track_blocks = false)
+    prog plan ~nprocs ~block =
+  let layout = Layout.realize prog plan ~block in
+  let cache =
+    Mpcache.create ~track_blocks
+      { Mpcache.nprocs; block; cache_bytes; assoc }
+  in
+  let interp =
+    Interp.run_to_sink prog ~nprocs ~layout ~sink:(Mpcache.sink cache)
+  in
+  {
+    counts = Mpcache.counts cache;
+    per_block = Mpcache.per_block cache;
+    layout_bytes = Layout.size layout;
+    interp;
+  }
+
+type timed_run = { machine : Ksr.result; work : int array }
+
+let machine_sim ?config prog plan ~nprocs =
+  let config =
+    match config with Some c -> c | None -> Ksr.default_config ~nprocs
+  in
+  let layout = Layout.realize prog plan ~block:config.Ksr.block in
+  let machine = Ksr.create config in
+  let interp =
+    Interp.run prog ~nprocs ~layout ~listener:(Ksr.listener machine)
+  in
+  { machine = Ksr.finish machine; work = interp.Interp.work }
+
+let compiler_plan ?options prog ~nprocs =
+  (Fs_transform.Transform.plan ?options prog ~nprocs).Fs_transform.Transform.plan

@@ -1,0 +1,42 @@
+(** One-call simulation drivers tying the pipeline together:
+    program -> plan -> layout -> interpreter -> cache / timing model. *)
+
+type cache_run = {
+  counts : Fs_cache.Mpcache.counts;
+  per_block : (int * Fs_cache.Mpcache.counts) list;
+      (** populated when [track_blocks] *)
+  layout_bytes : int;
+  interp : Fs_interp.Interp.result;
+}
+
+val cache_sim :
+  ?cache_bytes:int ->
+  ?assoc:int ->
+  ?track_blocks:bool ->
+  Fs_ir.Ast.program ->
+  Fs_layout.Plan.t ->
+  nprocs:int ->
+  block:int ->
+  cache_run
+(** Trace-driven simulation of the paper's Section 4 architecture
+    (32 KB 4-way L1 per processor unless overridden, infinite L2). *)
+
+type timed_run = {
+  machine : Fs_machine.Ksr.result;
+  work : int array;
+}
+
+val machine_sim :
+  ?config:Fs_machine.Ksr.config ->
+  Fs_ir.Ast.program ->
+  Fs_layout.Plan.t ->
+  nprocs:int ->
+  timed_run
+(** Execution-time run on the KSR2 model (128-byte blocks). *)
+
+val compiler_plan :
+  ?options:Fs_transform.Transform.options ->
+  Fs_ir.Ast.program ->
+  nprocs:int ->
+  Fs_layout.Plan.t
+(** The compiler path: analyze and choose transformations. *)

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Effect Format Fs_ir Fs_layout Fs_trace Hashtbl List Option Printf Queue String Value

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Fs_ir Fs_layout Fs_trace Hashtbl Value

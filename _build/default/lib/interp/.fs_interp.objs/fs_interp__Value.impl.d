@@ -1,0 +1,1 @@
+lib/interp/value.ml: Format Fs_ir Printf

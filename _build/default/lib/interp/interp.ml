@@ -1,0 +1,526 @@
+module Ast = Fs_ir.Ast
+module Cells = Fs_ir.Cells
+module Layout = Fs_layout.Layout
+module Listener = Fs_trace.Listener
+
+exception Runtime_error of string
+exception Deadlock of string
+exception Nontermination of string
+
+type result = {
+  work : int array;
+  accesses : int array;
+  barrier_episodes : int;
+  store : (string, Value.t array) Hashtbl.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Effects through which processes yield to the scheduler.             *)
+
+type _ Effect.t += Yield : unit Effect.t
+type _ Effect.t += Barrier_wait : unit Effect.t
+type _ Effect.t += Lock_acq : int -> unit Effect.t
+type _ Effect.t += Lock_rel : int -> unit Effect.t
+
+exception Return_of of Value.t option
+
+(* ------------------------------------------------------------------ *)
+(* Run context and per-process environments.                           *)
+
+type ginfo = {
+  gty : Ast.ty;
+  values : Value.t array;     (* cell id -> current value *)
+  gaddr : int array;          (* cell id -> physical address *)
+  gextra : int array;         (* cell id -> pointer-cell address or -1; [||] if none *)
+}
+
+type ctx = {
+  prog : Ast.program;
+  nprocs : int;
+  quantum : int;
+  max_steps : int;
+  listener : Listener.t;
+  ginfos : (string, ginfo) Hashtbl.t;
+  pending : int array;        (* work units since last yield, per proc *)
+  workpend : int array;       (* work units since last listener.work flush *)
+  work : int array;
+  accesses : int array;
+  mutable total : int;
+  mutable barrier_episodes : int;
+}
+
+type env = { proc : int; privs : Value.t array }
+
+let err fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+let flush_work ctx proc =
+  let w = ctx.workpend.(proc) in
+  if w > 0 then begin
+    ctx.workpend.(proc) <- 0;
+    ctx.listener.work ~proc ~amount:w
+  end
+
+let tick ctx proc w =
+  ctx.total <- ctx.total + w;
+  if ctx.total > ctx.max_steps then
+    raise (Nontermination (Printf.sprintf "exceeded %d work units" ctx.max_steps));
+  ctx.work.(proc) <- ctx.work.(proc) + w;
+  ctx.workpend.(proc) <- ctx.workpend.(proc) + w;
+  let p = ctx.pending.(proc) + w in
+  if p >= ctx.quantum then begin
+    ctx.pending.(proc) <- 0;
+    Effect.perform Yield
+  end
+  else ctx.pending.(proc) <- p
+
+let access_cost = 3
+
+let emit ctx g ~write ~proc cell =
+  flush_work ctx proc;
+  ctx.accesses.(proc) <- ctx.accesses.(proc) + 1;
+  if Array.length g.gextra > 0 && g.gextra.(cell) >= 0 then
+    ctx.listener.access ~proc ~write:false ~addr:g.gextra.(cell);
+  ctx.listener.access ~proc ~write ~addr:g.gaddr.(cell);
+  tick ctx proc access_cost
+
+(* ------------------------------------------------------------------ *)
+(* Compilation of the AST to closures.                                 *)
+
+(* Private variables of a function are slot-allocated, flow-insensitively:
+   one slot per distinct name among parameters, [Decl]s, [For] variables
+   and call-return targets. *)
+let slot_table (f : Ast.func) =
+  let slots = Hashtbl.create 16 in
+  let add n = if not (Hashtbl.mem slots n) then Hashtbl.add slots n (Hashtbl.length slots) in
+  List.iter add f.params;
+  Ast.iter_stmts
+    (fun s ->
+      match s with
+      | Ast.Decl (n, _) | Ast.For (n, _, _, _) | Ast.Call { ret = Some n; _ } -> add n
+      | _ -> ())
+    f.body;
+  slots
+
+type compiled_fun = env -> Value.t option
+
+let compile ctx =
+  let prog = ctx.prog in
+  let funs : (string, compiled_fun ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ast.func) ->
+      Hashtbl.add funs f.fname (ref (fun _ -> err "function %s not yet compiled" f.fname)))
+    prog.funcs;
+  let ginfo name =
+    match Hashtbl.find_opt ctx.ginfos name with
+    | Some g -> g
+    | None -> err "unknown global %s" name
+  in
+  let compile_func (f : Ast.func) =
+    let slots = slot_table f in
+    let nslots = Hashtbl.length slots in
+    let slot n =
+      match Hashtbl.find_opt slots n with
+      | Some s -> s
+      | None -> err "undeclared private %s in %s" n f.fname
+    in
+    let rec compile_expr (e : Ast.expr) : env -> Value.t =
+      match e with
+      | Int_lit n ->
+        let v = Value.Vint n in
+        fun _ -> v
+      | Float_lit x ->
+        let v = Value.Vfloat x in
+        fun _ -> v
+      | Pdv -> fun env -> Value.Vint env.proc
+      | Nprocs ->
+        let v = Value.Vint ctx.nprocs in
+        fun _ -> v
+      | Priv n ->
+        let s = slot n in
+        fun env -> env.privs.(s)
+      | Load lv ->
+        let g, cellf = compile_lvalue lv in
+        fun env ->
+          let cell = cellf env in
+          emit ctx g ~write:false ~proc:env.proc cell;
+          g.values.(cell)
+      | Unop (op, e) ->
+        let ce = compile_expr e in
+        fun env -> Value.unop op (ce env)
+      | Binop (And, e1, e2) ->
+        let c1 = compile_expr e1 and c2 = compile_expr e2 in
+        fun env -> if Value.truthy (c1 env) then Value.of_bool (Value.truthy (c2 env)) else Value.zero
+      | Binop (Or, e1, e2) ->
+        let c1 = compile_expr e1 and c2 = compile_expr e2 in
+        fun env -> if Value.truthy (c1 env) then Value.Vint 1 else Value.of_bool (Value.truthy (c2 env))
+      | Binop (op, e1, e2) ->
+        let c1 = compile_expr e1 and c2 = compile_expr e2 in
+        fun env -> Value.binop op (c1 env) (c2 env)
+
+    (* An lvalue compiles to its global's info plus a cell-id computation:
+       constant field offsets are folded at compile time; each index
+       contributes eval * stride with a bounds check. *)
+    and compile_lvalue (lv : Ast.lvalue) : ginfo * (env -> int) =
+      let g = ginfo lv.base in
+      let rec walk ty path const parts =
+        match (ty, path) with
+        | _, [] -> (const, List.rev parts)
+        | Ast.Array (elt, n), Ast.Idx e :: rest ->
+          let ce = compile_expr e in
+          let stride = Cells.count prog elt in
+          walk elt rest const ((ce, stride, n) :: parts)
+        | Ast.Struct sname, Ast.Fld fld :: rest ->
+          let sdef = Ast.find_struct prog sname in
+          let fty =
+            match List.assoc_opt fld sdef.fields with
+            | Some t -> t
+            | None -> err "struct %s has no field %s" sname fld
+          in
+          walk fty rest (const + Cells.field_offset prog sdef fld) parts
+        | _ -> err "ill-shaped access path on %s" lv.base
+      in
+      let const, parts = walk g.gty lv.path 0 [] in
+      let check i n =
+        if i < 0 || i >= n then
+          err "index %d out of bounds [0,%d) on %s" i n lv.base
+      in
+      let cellf =
+        match parts with
+        | [] -> fun _ -> const
+        | [ (ce, stride, n) ] ->
+          fun env ->
+            let i = Value.to_int (ce env) in
+            check i n;
+            const + (i * stride)
+        | parts ->
+          let parts = Array.of_list parts in
+          fun env ->
+            let cell = ref const in
+            Array.iter
+              (fun (ce, stride, n) ->
+                let i = Value.to_int (ce env) in
+                check i n;
+                cell := !cell + (i * stride))
+              parts;
+            !cell
+      in
+      (g, cellf)
+    in
+    let rec compile_stmt (s : Ast.stmt) : env -> unit =
+      match s with
+      | Store (lv, e) ->
+        let g, cellf = compile_lvalue lv in
+        let ce = compile_expr e in
+        fun env ->
+          tick ctx env.proc 1;
+          let cell = cellf env in
+          let v = ce env in
+          emit ctx g ~write:true ~proc:env.proc cell;
+          g.values.(cell) <- v
+      | Set (n, e) ->
+        let s = slot n and ce = compile_expr e in
+        fun env ->
+          tick ctx env.proc 1;
+          env.privs.(s) <- ce env
+      | Decl (n, e) ->
+        let s = slot n and ce = compile_expr e in
+        fun env ->
+          tick ctx env.proc 1;
+          env.privs.(s) <- ce env
+      | If (c, b1, b2) ->
+        let cc = compile_expr c in
+        let cb1 = compile_block b1 and cb2 = compile_block b2 in
+        fun env ->
+          tick ctx env.proc 1;
+          if Value.truthy (cc env) then cb1 env else cb2 env
+      | While (c, b) ->
+        let cc = compile_expr c in
+        let cb = compile_block b in
+        fun env ->
+          tick ctx env.proc 1;
+          while Value.truthy (cc env) do
+            cb env;
+            tick ctx env.proc 1
+          done
+      | For (n, lo, hi, b) ->
+        let s = slot n in
+        let clo = compile_expr lo and chi = compile_expr hi in
+        let cb = compile_block b in
+        fun env ->
+          tick ctx env.proc 1;
+          let i = ref (Value.to_int (clo env)) in
+          while !i < Value.to_int (chi env) do
+            env.privs.(s) <- Value.Vint !i;
+            cb env;
+            tick ctx env.proc 1;
+            incr i
+          done
+      | Call { ret; callee; args } ->
+        let cf =
+          match Hashtbl.find_opt funs callee with
+          | Some r -> r
+          | None -> err "call to unknown function %s" callee
+        in
+        let cargs = Array.of_list (List.map compile_expr args) in
+        let rslot = Option.map (fun n -> slot n) ret in
+        fun env ->
+          tick ctx env.proc 1;
+          let argv = Array.map (fun ce -> ce env) cargs in
+          let res = !cf { env with privs = argv } in
+          (match (rslot, res) with
+           | None, _ -> ()
+           | Some s, Some v -> env.privs.(s) <- v
+           | Some _, None -> err "function %s returned no value" callee)
+      | Return e ->
+        let ce = Option.map compile_expr e in
+        fun env ->
+          tick ctx env.proc 1;
+          raise (Return_of (Option.map (fun ce -> ce env) ce))
+      | Barrier ->
+        fun env ->
+          tick ctx env.proc 1;
+          flush_work ctx env.proc;
+          ctx.listener.barrier_arrive ~proc:env.proc;
+          Effect.perform Barrier_wait
+      | Lock lv ->
+        let g, cellf = compile_lvalue lv in
+        fun env ->
+          tick ctx env.proc 1;
+          let cell = cellf env in
+          let addr = g.gaddr.(cell) in
+          (* the probe read of test-and-test-and-set *)
+          emit ctx g ~write:false ~proc:env.proc cell;
+          Effect.perform (Lock_acq addr);
+          (* granted: the re-read after invalidation and the acquiring write *)
+          emit ctx g ~write:false ~proc:env.proc cell;
+          emit ctx g ~write:true ~proc:env.proc cell;
+          g.values.(cell) <- Value.Vint 1
+      | Unlock lv ->
+        let g, cellf = compile_lvalue lv in
+        fun env ->
+          tick ctx env.proc 1;
+          let cell = cellf env in
+          let addr = g.gaddr.(cell) in
+          emit ctx g ~write:true ~proc:env.proc cell;
+          g.values.(cell) <- Value.Vint 0;
+          Effect.perform (Lock_rel addr)
+    and compile_block (b : Ast.block) : env -> unit =
+      let stmts = Array.of_list (List.map compile_stmt b) in
+      fun env -> Array.iter (fun cs -> cs env) stmts
+    in
+    let cbody = compile_block f.body in
+    let nparams = List.length f.params in
+    fun (env : env) ->
+      (* The caller passes evaluated arguments as the privs array; grow it
+         to the function's full slot count. *)
+      let privs =
+        if Array.length env.privs = nslots then env.privs
+        else begin
+          let a = Array.make nslots Value.zero in
+          Array.blit env.privs 0 a 0 (min nparams (Array.length env.privs));
+          a
+        end
+      in
+      let env = { env with privs } in
+      match cbody env with () -> None | exception Return_of v -> v
+  in
+  List.iter
+    (fun (f : Ast.func) -> Hashtbl.find funs f.fname := compile_func f)
+    prog.funcs;
+  funs
+
+(* ------------------------------------------------------------------ *)
+(* The scheduler.                                                      *)
+
+type pstate =
+  | Not_started
+  | Ready of (unit, unit) Effect.Deep.continuation
+  | Running
+  | At_barrier of (unit, unit) Effect.Deep.continuation
+  | Waiting_lock
+  | Finished
+
+type lockinfo = {
+  mutable owner : int;  (* -1 = free *)
+  waiters : (int * (unit, unit) Effect.Deep.continuation) Queue.t;
+}
+
+let run ?(quantum = 12) ?(max_steps = 400_000_000) prog ~nprocs ~layout ~listener =
+  if nprocs <= 0 then invalid_arg "Interp.run: nprocs must be positive";
+  (match Fs_ir.Validate.check prog with
+   | Ok () -> ()
+   | Error errs -> raise (Fs_ir.Validate.Invalid_program errs));
+  let ginfos = Hashtbl.create 16 in
+  List.iter
+    (fun (name, gty) ->
+      let n = Cells.count prog gty in
+      let vl = Layout.lookup layout name in
+      Hashtbl.add ginfos name
+        { gty; values = Array.make n Value.zero; gaddr = vl.Layout.addr; gextra = vl.Layout.extra })
+    prog.Ast.globals;
+  let ctx =
+    {
+      prog;
+      nprocs;
+      quantum;
+      max_steps;
+      listener;
+      ginfos;
+      pending = Array.make nprocs 0;
+      workpend = Array.make nprocs 0;
+      work = Array.make nprocs 0;
+      accesses = Array.make nprocs 0;
+      total = 0;
+      barrier_episodes = 0;
+    }
+  in
+  let funs = compile ctx in
+  let entry =
+    match Hashtbl.find_opt funs prog.entry with
+    | Some r -> !r
+    | None -> err "entry function %s not found" prog.entry
+  in
+  let states = Array.make nprocs Not_started in
+  let locks : (int, lockinfo) Hashtbl.t = Hashtbl.create 16 in
+  let lockinfo addr =
+    match Hashtbl.find_opt locks addr with
+    | Some l -> l
+    | None ->
+      let l = { owner = -1; waiters = Queue.create () } in
+      Hashtbl.add locks addr l;
+      l
+  in
+  let alive_count () =
+    Array.fold_left
+      (fun acc s -> match s with Finished -> acc | _ -> acc + 1)
+      0 states
+  in
+  let barrier_count () =
+    Array.fold_left
+      (fun acc s -> match s with At_barrier _ -> acc + 1 | _ -> acc)
+      0 states
+  in
+  let release_barrier_if_complete () =
+    let n_at = barrier_count () in
+    if n_at > 0 && n_at = alive_count () then begin
+      ctx.barrier_episodes <- ctx.barrier_episodes + 1;
+      ctx.listener.barrier_release ();
+      Array.iteri
+        (fun i s ->
+          match s with At_barrier k -> states.(i) <- Ready k | _ -> ())
+        states
+    end
+  in
+  let run_proc proc =
+    let body () =
+      let res = entry { proc; privs = [||] } in
+      ignore res;
+      flush_work ctx proc
+    in
+    Effect.Deep.match_with body ()
+      {
+        retc = (fun () -> states.(proc) <- Finished);
+        exnc = (fun e -> raise e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Yield ->
+              Some
+                (fun (k : (a, _) Effect.Deep.continuation) ->
+                  states.(proc) <- Ready k)
+            | Barrier_wait ->
+              Some
+                (fun (k : (a, _) Effect.Deep.continuation) ->
+                  states.(proc) <- At_barrier k;
+                  release_barrier_if_complete ())
+            | Lock_acq addr ->
+              Some
+                (fun (k : (a, _) Effect.Deep.continuation) ->
+                  let l = lockinfo addr in
+                  if l.owner < 0 then begin
+                    l.owner <- proc;
+                    ctx.listener.lock_grant ~proc ~addr ~from:(-1);
+                    Effect.Deep.continue k ()
+                  end
+                  else begin
+                    flush_work ctx proc;
+                    ctx.listener.lock_wait ~proc ~addr;
+                    Queue.add (proc, k) l.waiters;
+                    states.(proc) <- Waiting_lock
+                  end)
+            | Lock_rel addr ->
+              Some
+                (fun (k : (a, _) Effect.Deep.continuation) ->
+                  let l = lockinfo addr in
+                  if l.owner <> proc then
+                    err "P%d unlocks lock at 0x%x held by %d" proc addr l.owner;
+                  (match Queue.take_opt l.waiters with
+                   | None -> l.owner <- -1
+                   | Some (waiter, wk) ->
+                     l.owner <- waiter;
+                     ctx.listener.lock_grant ~proc:waiter ~addr ~from:proc;
+                     states.(waiter) <- Ready wk);
+                  Effect.Deep.continue k ())
+            | _ -> None);
+      }
+  in
+  (* Round-robin over ready processes; deterministic. *)
+  let next = ref 0 in
+  let find_ready () =
+    let rec go tried =
+      if tried >= nprocs then None
+      else
+        let p = (!next + tried) mod nprocs in
+        match states.(p) with
+        | Not_started | Ready _ -> Some p
+        | Running | At_barrier _ | Waiting_lock | Finished -> go (tried + 1)
+    in
+    go 0
+  in
+  let rec loop () =
+    match find_ready () with
+    | Some p ->
+      next := (p + 1) mod nprocs;
+      (match states.(p) with
+       | Not_started ->
+         states.(p) <- Running;
+         run_proc p
+       | Ready k ->
+         states.(p) <- Running;
+         Effect.Deep.continue k ()
+       | _ -> assert false);
+      loop ()
+    | None ->
+      if alive_count () = 0 then ()
+      else begin
+        let held =
+          Hashtbl.fold
+            (fun addr l acc ->
+              if l.owner >= 0 then Printf.sprintf "lock 0x%x held by P%d" addr l.owner :: acc
+              else acc)
+            locks []
+        in
+        raise
+          (Deadlock
+             (Printf.sprintf "%d processes blocked (%d at barrier)%s"
+                (alive_count ()) (barrier_count ())
+                (match held with [] -> "" | l -> "; " ^ String.concat ", " l)))
+      end
+  in
+  loop ();
+  let store = Hashtbl.create 16 in
+  Hashtbl.iter (fun name g -> Hashtbl.add store name g.values) ginfos;
+  {
+    work = ctx.work;
+    accesses = ctx.accesses;
+    barrier_episodes = ctx.barrier_episodes;
+    store;
+  }
+
+let run_to_sink ?quantum ?max_steps prog ~nprocs ~layout ~sink =
+  run ?quantum ?max_steps prog ~nprocs ~layout ~listener:(Listener.of_sink sink)
+
+let read_global r name cell =
+  match Hashtbl.find_opt r.store name with
+  | None -> raise Not_found
+  | Some values -> values.(cell)

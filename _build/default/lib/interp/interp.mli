@@ -1,0 +1,63 @@
+(** The SPMD interpreter.
+
+    Runs a ParC program with [nprocs] processes, each executing the entry
+    function with [Pdv] bound to its process id, exactly as the fork model
+    of Section 2 of the paper: processes are created together, run the same
+    code, synchronize at barriers and locks, and share the global data.
+
+    Processes are OCaml effect-handler coroutines scheduled round-robin
+    with a small quantum measured in interpreter work units, so the emitted
+    reference trace interleaves processor accesses at fine grain — the
+    cross-processor interleaving false sharing depends on.  Scheduling is
+    fully deterministic.
+
+    Every shared access is reported through the {!Fs_trace.Listener}
+    after translation through the memory layout; when the layout carries an
+    indirection, the injected pointer load is emitted before the data
+    access.  Spin waiting on a contended lock is modelled as
+    test-and-test-and-set: the initial probe read, then silence while
+    spinning on the locally cached copy, then the re-read and the
+    acquiring write when the lock is handed over. *)
+
+exception Runtime_error of string
+exception Deadlock of string
+exception Nontermination of string
+
+type result = {
+  work : int array;        (** interpreter work units per processor *)
+  accesses : int array;    (** shared-memory references per processor *)
+  barrier_episodes : int;  (** completed global barriers *)
+  store : (string, Value.t array) Hashtbl.t;  (** final shared memory *)
+}
+
+val run :
+  ?quantum:int ->
+  ?max_steps:int ->
+  Fs_ir.Ast.program ->
+  nprocs:int ->
+  layout:Fs_layout.Layout.t ->
+  listener:Fs_trace.Listener.t ->
+  result
+(** [quantum] (default 12) is the number of work units a process executes
+    between scheduling points; an access costs 3 units, other statements 1.
+    [max_steps] (default 400 million) bounds total work.
+
+    @raise Runtime_error on dynamic errors (bad index, float index,
+      division by zero, unlock of a lock not held, missing return value)
+    @raise Deadlock when no process can make progress
+    @raise Nontermination when [max_steps] is exceeded *)
+
+val run_to_sink :
+  ?quantum:int ->
+  ?max_steps:int ->
+  Fs_ir.Ast.program ->
+  nprocs:int ->
+  layout:Fs_layout.Layout.t ->
+  sink:Fs_trace.Sink.t ->
+  result
+(** Convenience wrapper around {!run} for consumers that only need memory
+    references. *)
+
+val read_global : result -> string -> int -> Value.t
+(** [read_global r name cell] reads a cell of the final shared memory.
+    @raise Not_found / Invalid_argument on bad names or cells. *)

@@ -1,0 +1,21 @@
+(** Dynamically-typed ParC runtime values.
+
+    Integer operands stay exact (indices, counters); mixing an integer with
+    a float promotes to float.  Comparison and logic produce integer 0/1. *)
+
+type t = Vint of int | Vfloat of float
+
+exception Type_error of string
+
+val zero : t
+val of_bool : bool -> t
+val to_int : t -> int
+(** @raise Type_error on a float (indices must be integers). *)
+
+val truthy : t -> bool
+val unop : Fs_ir.Ast.unop -> t -> t
+val binop : Fs_ir.Ast.binop -> t -> t -> t
+(** @raise Type_error on lock values, [Division_by_zero] on zero divisors. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

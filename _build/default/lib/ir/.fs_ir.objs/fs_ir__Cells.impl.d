@@ -1,0 +1,1 @@
+lib/ir/cells.ml: Ast List Printf

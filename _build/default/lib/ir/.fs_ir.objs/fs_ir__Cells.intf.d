@@ -1,0 +1,1 @@
+lib/ir/cells.mli: Ast

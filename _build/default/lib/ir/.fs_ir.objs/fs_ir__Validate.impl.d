@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Ast Hashtbl List Printf

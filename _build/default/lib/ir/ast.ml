@@ -1,0 +1,105 @@
+let word_size = 4
+
+type scalar = Tint | Tfloat | Tlock
+
+type ty = Scalar of scalar | Array of ty * int | Struct of string
+
+type struct_def = { sname : string; fields : (string * ty) list }
+
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+  | Min | Max
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Pdv
+  | Nprocs
+  | Priv of string
+  | Load of lvalue
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+
+and lvalue = { base : string; path : access list }
+and access = Idx of expr | Fld of string
+
+type stmt =
+  | Store of lvalue * expr
+  | Set of string * expr
+  | Decl of string * expr
+  | If of expr * block * block
+  | While of expr * block
+  | For of string * expr * expr * block
+  | Call of { ret : string option; callee : string; args : expr list }
+  | Return of expr option
+  | Barrier
+  | Lock of lvalue
+  | Unlock of lvalue
+
+and block = stmt list
+
+type func = { fname : string; params : string list; body : block }
+
+type program = {
+  pname : string;
+  structs : struct_def list;
+  globals : (string * ty) list;
+  funcs : func list;
+  entry : string;
+}
+
+let find_struct p name = List.find (fun s -> s.sname = name) p.structs
+let find_func p name = List.find (fun f -> f.fname = name) p.funcs
+let find_global p name = List.assoc name p.globals
+
+let rec scalar_of_ty p t ~path =
+  match (t, path) with
+  | Scalar s, [] -> Some s
+  | Scalar _, _ :: _ -> None
+  | Array (elt, _), Idx _ :: rest -> scalar_of_ty p elt ~path:rest
+  | Array _, _ -> None
+  | Struct name, Fld f :: rest -> (
+    match List.assoc_opt f (find_struct p name).fields with
+    | Some ft -> scalar_of_ty p ft ~path:rest
+    | None -> None)
+  | Struct _, _ -> None
+
+let iter_exprs_stmt f = function
+  | Store (lv, e) ->
+    List.iter (function Idx e -> f e | Fld _ -> ()) lv.path;
+    f e
+  | Set (_, e) | Decl (_, e) -> f e
+  | If (c, _, _) | While (c, _) -> f c
+  | For (_, lo, hi, _) -> f lo; f hi
+  | Call { args; _ } -> List.iter f args
+  | Return (Some e) -> f e
+  | Return None | Barrier -> ()
+  | Lock lv | Unlock lv ->
+    List.iter (function Idx e -> f e | Fld _ -> ()) lv.path
+
+let iter_blocks_stmt f = function
+  | If (_, b1, b2) -> f b1; f b2
+  | While (_, b) | For (_, _, _, b) -> f b
+  | Store _ | Set _ | Decl _ | Call _ | Return _ | Barrier | Lock _ | Unlock _
+    -> ()
+
+let rec iter_stmts f block =
+  List.iter
+    (fun s ->
+      f s;
+      iter_blocks_stmt (iter_stmts f) s)
+    block
+
+let rec iter_lvalues_expr f = function
+  | Int_lit _ | Float_lit _ | Pdv | Nprocs | Priv _ -> ()
+  | Load lv ->
+    f lv;
+    List.iter
+      (function Idx e -> iter_lvalues_expr f e | Fld _ -> ())
+      lv.path
+  | Unop (_, e) -> iter_lvalues_expr f e
+  | Binop (_, e1, e2) -> iter_lvalues_expr f e1; iter_lvalues_expr f e2

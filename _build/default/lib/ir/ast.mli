@@ -1,0 +1,120 @@
+(** Abstract syntax of ParC, the explicitly parallel C-like mini-language.
+
+    ParC models the programming paradigm of Section 2 of the paper: SPMD
+    processes created by an implicit fork of [main], differentiated by a
+    process differentiating variable (the [Pdv] expression), synchronizing
+    with global barriers and mutual-exclusion locks, and sharing statically
+    declared global data.
+
+    All scalars (ints, floats, pointers, lock words) occupy {!word_size}
+    bytes of simulated memory.  Shared globals live in simulated memory and
+    produce trace events when accessed; private variables are per-process
+    interpreter bindings and are not traced (they model registers and
+    per-process stack data, which do not participate in false sharing). *)
+
+val word_size : int
+(** Size in bytes of every ParC scalar cell (4). *)
+
+(** Scalar types. *)
+type scalar =
+  | Tint
+  | Tfloat
+  | Tlock  (** a lock word; only valid as the target of lock/unlock *)
+
+type ty =
+  | Scalar of scalar
+  | Array of ty * int  (** [Array (t, n)]: [n] elements of type [t] *)
+  | Struct of string   (** reference to a named struct *)
+
+type struct_def = {
+  sname : string;
+  fields : (string * ty) list;
+}
+
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+  | Min | Max
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Pdv                     (** this process's id, in [\[0, nprocs)] *)
+  | Nprocs                  (** the number of processes *)
+  | Priv of string          (** read of a private variable or parameter *)
+  | Load of lvalue          (** read of shared memory *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+
+(** An lvalue designates a scalar cell of a shared global: the global's name
+    followed by a path of array indexings and struct field selections. *)
+and lvalue = {
+  base : string;
+  path : access list;
+}
+
+and access =
+  | Idx of expr
+  | Fld of string
+
+type stmt =
+  | Store of lvalue * expr          (** write to shared memory *)
+  | Set of string * expr            (** assignment to a private variable *)
+  | Decl of string * expr           (** declare + initialize a private int/float *)
+  | If of expr * block * block
+  | While of expr * block
+  | For of string * expr * expr * block
+      (** [For (v, lo, hi, body)]: private [v] ranges over [lo .. hi-1] *)
+  | Call of { ret : string option; callee : string; args : expr list }
+  | Return of expr option
+  | Barrier                         (** global barrier over all processes *)
+  | Lock of lvalue                  (** acquire; target must be a [Tlock] cell *)
+  | Unlock of lvalue
+
+and block = stmt list
+
+type func = {
+  fname : string;
+  params : string list;   (** private, by value *)
+  body : block;
+}
+
+type program = {
+  pname : string;
+  structs : struct_def list;
+  globals : (string * ty) list;  (** shared, zero-initialized, decl order = memory order *)
+  funcs : func list;
+  entry : string;                (** executed by every process (SPMD) *)
+}
+
+val find_struct : program -> string -> struct_def
+(** @raise Not_found if no struct has that name. *)
+
+val find_func : program -> string -> func
+(** @raise Not_found if no function has that name. *)
+
+val find_global : program -> string -> ty
+(** @raise Not_found if no global has that name. *)
+
+val scalar_of_ty : program -> ty -> path:access list -> scalar option
+(** [scalar_of_ty p t ~path] is the scalar type reached from [t] by
+    following the {e shape} of [path] (indices are not evaluated), or
+    [None] if the path does not lead to a scalar. *)
+
+val iter_exprs_stmt : (expr -> unit) -> stmt -> unit
+(** Apply [f] to every expression directly contained in the statement
+    (not recursing into nested blocks). *)
+
+val iter_blocks_stmt : (block -> unit) -> stmt -> unit
+(** Apply [f] to every block directly nested in the statement. *)
+
+val iter_stmts : (stmt -> unit) -> block -> unit
+(** Pre-order traversal of every statement in a block, recursing into
+    nested blocks. *)
+
+val iter_lvalues_expr : (lvalue -> unit) -> expr -> unit
+(** Apply [f] to every lvalue read inside an expression, including lvalues
+    nested in index expressions. *)

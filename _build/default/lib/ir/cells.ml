@@ -1,0 +1,109 @@
+type eaccess = Eidx of int | Efld of string
+
+let rec count p (t : Ast.ty) =
+  match t with
+  | Scalar _ -> 1
+  | Array (elt, n) -> n * count p elt
+  | Struct name -> (
+    match List.find_opt (fun (s : Ast.struct_def) -> s.sname = name) p.Ast.structs with
+    | None -> invalid_arg ("Cells.count: unknown struct " ^ name)
+    | Some s -> List.fold_left (fun acc (_, ft) -> acc + count p ft) 0 s.fields)
+
+let field_offset p (s : Ast.struct_def) fname =
+  let rec go acc = function
+    | [] -> raise Not_found
+    | (f, ft) :: rest -> if f = fname then acc else go (acc + count p ft) rest
+  in
+  go 0 s.fields
+
+exception Bounds of string
+
+let rec resolve p (t : Ast.ty) path =
+  match (t, path) with
+  | _, [] -> (0, t)
+  | Ast.Array (elt, n), Eidx i :: rest ->
+    if i < 0 || i >= n then
+      raise (Bounds (Printf.sprintf "index %d out of bounds [0,%d)" i n));
+    let off, final = resolve p elt rest in
+    ((i * count p elt) + off, final)
+  | Ast.Struct name, Efld f :: rest ->
+    let s = Ast.find_struct p name in
+    (match List.assoc_opt f s.fields with
+     | None -> raise (Bounds (Printf.sprintf "struct %s has no field %s" name f))
+     | Some ft ->
+       let off, final = resolve p ft rest in
+       (field_offset p s f + off, final))
+  | Ast.Scalar _, _ :: _ -> raise (Bounds "path descends into a scalar")
+  | Ast.Array _, Efld _ :: _ -> raise (Bounds "field selection on an array")
+  | Ast.Struct _, Eidx _ :: _ -> raise (Bounds "indexing a struct")
+
+let rec scalar_at p (t : Ast.ty) id =
+  match t with
+  | Scalar s ->
+    if id <> 0 then invalid_arg "Cells.scalar_at: id out of range";
+    s
+  | Array (elt, n) ->
+    let ec = count p elt in
+    if id < 0 || id >= n * ec then invalid_arg "Cells.scalar_at: id out of range";
+    scalar_at p elt (id mod ec)
+  | Struct name ->
+    let s = Ast.find_struct p name in
+    let rec go id = function
+      | [] -> invalid_arg "Cells.scalar_at: id out of range"
+      | (_, ft) :: rest ->
+        let c = count p ft in
+        if id < c then scalar_at p ft id else go (id - c) rest
+    in
+    go id s.fields
+
+let iter_scalars p t f =
+  let rec go base (t : Ast.ty) =
+    match t with
+    | Scalar s -> f base s
+    | Array (elt, n) ->
+      let ec = count p elt in
+      for i = 0 to n - 1 do
+        go (base + (i * ec)) elt
+      done
+    | Struct name ->
+      let s = Ast.find_struct p name in
+      ignore
+        (List.fold_left
+           (fun off (_, ft) ->
+             go (base + off) ft;
+             off + count p ft)
+           0 s.fields)
+  in
+  go 0 t
+
+let array_dims p t =
+  let rec go acc = function
+    | Ast.Array (elt, n) -> go (n :: acc) elt
+    | (Ast.Scalar _ | Ast.Struct _) as elt ->
+      if acc = [] then None else Some (List.rev acc, elt)
+  in
+  ignore p;
+  go [] t
+
+let coords_of_cell ~dims ~elt_cells id =
+  let inner = id mod elt_cells in
+  let rec go id = function
+    | [] -> []
+    | [ _d ] -> [ id ]
+    | _d :: rest ->
+      (* [rest_size] counts elements, not cells, in the remaining dims *)
+      let rest_size = List.fold_left ( * ) 1 rest in
+      (id / rest_size) :: go (id mod rest_size) rest
+  in
+  (go (id / elt_cells) dims, inner)
+
+let cell_of_coords ~dims ~elt_cells coords inner =
+  let rec go coords dims =
+    match (coords, dims) with
+    | [], [] -> 0
+    | c :: cs, _ :: ds ->
+      let rest_size = List.fold_left ( * ) 1 ds in
+      (c * rest_size) + go cs ds
+    | _ -> invalid_arg "Cells.cell_of_coords: rank mismatch"
+  in
+  (go coords dims * elt_cells) + inner

@@ -1,0 +1,48 @@
+(** The cell model: every shared global is a dense vector of scalar cells.
+
+    Cell ids are assigned in C layout order — array elements row-major,
+    struct fields in declaration order — so in the {e default} (untransformed)
+    memory layout, cell [i] of a variable lives at byte offset
+    [i * Ast.word_size] from the variable's base.  Layout transformations
+    re-map cell ids to different physical addresses; the cell id itself is
+    the layout-independent name of a scalar datum. *)
+
+type eaccess = Eidx of int | Efld of string
+(** An access path whose indices have been evaluated. *)
+
+val count : Ast.program -> Ast.ty -> int
+(** Number of scalar cells occupied by a value of this type.
+    @raise Invalid_argument on an unknown struct name. *)
+
+val field_offset : Ast.program -> Ast.struct_def -> string -> int
+(** Cell offset of a field within its struct.
+    @raise Not_found if the struct has no such field. *)
+
+exception Bounds of string
+(** Raised by {!resolve} on an out-of-bounds index or ill-shaped path. *)
+
+val resolve : Ast.program -> Ast.ty -> eaccess list -> int * Ast.ty
+(** [resolve p t path] walks the evaluated path from a value of type [t]
+    and returns the cell offset it designates together with the type at
+    that point (a scalar type when the path is complete).
+    @raise Bounds on out-of-range indices or shape errors. *)
+
+val scalar_at : Ast.program -> Ast.ty -> int -> Ast.scalar
+(** [scalar_at p t id] is the scalar type of cell [id] within type [t].
+    @raise Invalid_argument if [id] is out of range. *)
+
+val iter_scalars : Ast.program -> Ast.ty -> (int -> Ast.scalar -> unit) -> unit
+(** Apply [f id scalar] to every scalar cell of the type in cell order. *)
+
+val array_dims : Ast.program -> Ast.ty -> (int list * Ast.ty) option
+(** [array_dims p t] is [Some (dims, elt)] when [t] is a (possibly nested)
+    array nest [elt dims.(0) dims.(1) ...] whose element [elt] is not an
+    array; [None] for non-array types. *)
+
+val coords_of_cell : dims:int list -> elt_cells:int -> int -> int list * int
+(** Inverse of row-major flattening: [coords_of_cell ~dims ~elt_cells id]
+    returns the per-dimension coordinates and the residual cell offset
+    within the element. *)
+
+val cell_of_coords : dims:int list -> elt_cells:int -> int list -> int -> int
+(** Row-major flattening, inverse of {!coords_of_cell}. *)

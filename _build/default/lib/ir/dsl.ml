@@ -1,0 +1,59 @@
+open Ast
+
+let int_t = Scalar Tint
+let float_t = Scalar Tfloat
+let lock_t = Scalar Tlock
+let arr t n = Array (t, n)
+let arr2 t n m = Array (Array (t, m), n)
+let struct_t name = Struct name
+
+let i n = Int_lit n
+let f x = Float_lit x
+let pdv = Pdv
+let nprocs = Nprocs
+let p name = Priv name
+
+let ( +% ) a b = Binop (Add, a, b)
+let ( -% ) a b = Binop (Sub, a, b)
+let ( *% ) a b = Binop (Mul, a, b)
+let ( /% ) a b = Binop (Div, a, b)
+let ( %% ) a b = Binop (Mod, a, b)
+let ( ==% ) a b = Binop (Eq, a, b)
+let ( <>% ) a b = Binop (Ne, a, b)
+let ( <% ) a b = Binop (Lt, a, b)
+let ( <=% ) a b = Binop (Le, a, b)
+let ( >% ) a b = Binop (Gt, a, b)
+let ( >=% ) a b = Binop (Ge, a, b)
+let ( &&% ) a b = Binop (And, a, b)
+let ( ||% ) a b = Binop (Or, a, b)
+let neg e = Unop (Neg, e)
+let not_ e = Unop (Not, e)
+let min_ a b = Binop (Min, a, b)
+let max_ a b = Binop (Max, a, b)
+
+let v base = { base; path = [] }
+let ( .%() ) lv e = { lv with path = lv.path @ [ Idx e ] }
+let ( .%{} ) lv fld = { lv with path = lv.path @ [ Fld fld ] }
+let ld lv = Load lv
+
+let ( <-- ) lv e = Store (lv, e)
+let set name e = Set (name, e)
+let decl name e = Decl (name, e)
+let sif c t e = If (c, t, e)
+let when_ c b = If (c, b, [])
+let swhile c b = While (c, b)
+let sfor var lo hi body = For (var, lo, hi, body)
+let call callee args = Call { ret = None; callee; args }
+let call_ret ret callee args = Call { ret = Some ret; callee; args }
+let ret e = Return (Some e)
+let ret_void = Return None
+let barrier = Barrier
+let lock lv = Lock lv
+let unlock lv = Unlock lv
+let incr_ lv = Store (lv, Binop (Add, Load lv, Int_lit 1))
+let bump lv e = Store (lv, Binop (Add, Load lv, e))
+
+let fn fname params body = { fname; params; body }
+
+let program ~name ?(structs = []) ~globals ?(entry = "main") funcs =
+  { pname = name; structs; globals; funcs; entry }

@@ -1,0 +1,101 @@
+(** Builder combinators for constructing ParC programs in OCaml.
+
+    The workload programs (lib/workloads) are written with these.  Open the
+    module locally: [let open Fs_ir.Dsl in ...]. *)
+
+(** {1 Types} *)
+
+val int_t : Ast.ty
+val float_t : Ast.ty
+val lock_t : Ast.ty
+val arr : Ast.ty -> int -> Ast.ty
+(** [arr t n] is [t\[n\]]. *)
+
+val arr2 : Ast.ty -> int -> int -> Ast.ty
+(** [arr2 t n m] is [t\[n\]\[m\]] ([n] rows of [m] elements). *)
+
+val struct_t : string -> Ast.ty
+
+(** {1 Expressions} *)
+
+val i : int -> Ast.expr
+val f : float -> Ast.expr
+val pdv : Ast.expr
+val nprocs : Ast.expr
+val p : string -> Ast.expr
+(** Read of a private variable. *)
+
+val ( +% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( -% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( *% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( /% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( %% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( ==% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <>% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <=% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( >% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( >=% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( &&% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( ||% ) : Ast.expr -> Ast.expr -> Ast.expr
+val neg : Ast.expr -> Ast.expr
+val not_ : Ast.expr -> Ast.expr
+val min_ : Ast.expr -> Ast.expr -> Ast.expr
+val max_ : Ast.expr -> Ast.expr -> Ast.expr
+
+(** {1 Lvalues} *)
+
+val v : string -> Ast.lvalue
+(** A bare shared global. *)
+
+val ( .%() ) : Ast.lvalue -> Ast.expr -> Ast.lvalue
+(** Indexing: [(v "a").%(e)] is [a\[e\]]. *)
+
+val ( .%{} ) : Ast.lvalue -> string -> Ast.lvalue
+(** Field selection: [(v "n").%{"next"}] is [n.next]. *)
+
+val ld : Ast.lvalue -> Ast.expr
+(** Read of shared memory. *)
+
+(** {1 Statements} *)
+
+val ( <-- ) : Ast.lvalue -> Ast.expr -> Ast.stmt
+(** Store to shared memory. *)
+
+val set : string -> Ast.expr -> Ast.stmt
+val decl : string -> Ast.expr -> Ast.stmt
+val sif : Ast.expr -> Ast.block -> Ast.block -> Ast.stmt
+val when_ : Ast.expr -> Ast.block -> Ast.stmt
+(** [when_ c b] is [sif c b \[\]]. *)
+
+val swhile : Ast.expr -> Ast.block -> Ast.stmt
+val sfor : string -> Ast.expr -> Ast.expr -> Ast.block -> Ast.stmt
+(** [sfor v lo hi body]: [v] ranges over [lo..hi-1]. *)
+
+val call : string -> Ast.expr list -> Ast.stmt
+val call_ret : string -> string -> Ast.expr list -> Ast.stmt
+(** [call_ret x f args] is [x = f (args)] where [x] is private. *)
+
+val ret : Ast.expr -> Ast.stmt
+val ret_void : Ast.stmt
+val barrier : Ast.stmt
+val lock : Ast.lvalue -> Ast.stmt
+val unlock : Ast.lvalue -> Ast.stmt
+val incr_ : Ast.lvalue -> Ast.stmt
+(** Read-modify-write increment of a shared cell. *)
+
+val bump : Ast.lvalue -> Ast.expr -> Ast.stmt
+(** [bump lv e] is [lv <-- ld lv +% e]. *)
+
+(** {1 Program assembly} *)
+
+val fn : string -> string list -> Ast.block -> Ast.func
+
+val program :
+  name:string ->
+  ?structs:Ast.struct_def list ->
+  globals:(string * Ast.ty) list ->
+  ?entry:string ->
+  Ast.func list ->
+  Ast.program
+(** [entry] defaults to ["main"]. *)

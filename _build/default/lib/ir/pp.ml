@@ -1,0 +1,131 @@
+open Ast
+
+(* Split a type into its base (non-array) type and C-style dimension list. *)
+let rec split_dims = function
+  | Array (elt, n) ->
+    let base, dims = split_dims elt in
+    (base, n :: dims)
+  | t -> (t, [])
+
+let ty fmt t =
+  match t with
+  | Scalar Tint -> Format.pp_print_string fmt "int"
+  | Scalar Tfloat -> Format.pp_print_string fmt "float"
+  | Scalar Tlock -> Format.pp_print_string fmt "lock"
+  | Struct name -> Format.fprintf fmt "struct %s" name
+  | Array _ -> invalid_arg "Pp.ty: array type must be printed via a declaration"
+
+let decl_with_dims fmt t name =
+  let base, dims = split_dims t in
+  ty fmt base;
+  Format.fprintf fmt " %s" name;
+  List.iter (fun d -> Format.fprintf fmt "[%d]" d) dims
+
+let unop_str = function Neg -> "-" | Not -> "!"
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||"
+  | Min -> "`min`" | Max -> "`max`"
+
+(* Higher binds tighter; mirrors the parser's precedence table. *)
+let prec_of = function
+  | Mul | Div | Mod -> 7
+  | Add | Sub -> 6
+  | Min | Max -> 5
+  | Lt | Le | Gt | Ge -> 4
+  | Eq | Ne -> 3
+  | And -> 2
+  | Or -> 1
+
+let rec expr_prec fmt ctx e =
+  match e with
+  | Int_lit n ->
+    if n < 0 then Format.fprintf fmt "(%d)" n else Format.fprintf fmt "%d" n
+  | Float_lit x -> Format.fprintf fmt "%h" x
+  | Pdv -> Format.pp_print_string fmt "pid"
+  | Nprocs -> Format.pp_print_string fmt "nprocs"
+  | Priv name -> Format.pp_print_string fmt name
+  | Load lv -> lvalue fmt lv
+  | Unop (op, e) ->
+    Format.fprintf fmt "%s" (unop_str op);
+    expr_prec fmt 8 e
+  | Binop (op, e1, e2) ->
+    let prec = prec_of op in
+    if prec < ctx then Format.pp_print_string fmt "(";
+    expr_prec fmt prec e1;
+    Format.fprintf fmt " %s " (binop_str op);
+    expr_prec fmt (prec + 1) e2;
+    if prec < ctx then Format.pp_print_string fmt ")"
+
+and lvalue fmt lv =
+  Format.pp_print_string fmt lv.base;
+  List.iter
+    (function
+      | Idx e ->
+        Format.pp_print_string fmt "[";
+        expr_prec fmt 0 e;
+        Format.pp_print_string fmt "]"
+      | Fld f -> Format.fprintf fmt ".%s" f)
+    lv.path
+
+let expr fmt e = expr_prec fmt 0 e
+
+let rec stmt fmt s =
+  match s with
+  | Store (lv, e) -> Format.fprintf fmt "@[<h>%a = %a;@]" lvalue lv expr e
+  | Set (n, e) -> Format.fprintf fmt "@[<h>%s = %a;@]" n expr e
+  | Decl (n, e) -> Format.fprintf fmt "@[<h>let %s = %a;@]" n expr e
+  | If (c, b1, []) ->
+    Format.fprintf fmt "@[<v 2>if (%a) {%a@]@,}" expr c block b1
+  | If (c, b1, b2) ->
+    Format.fprintf fmt "@[<v 2>if (%a) {%a@]@,@[<v 2>} else {%a@]@,}" expr c
+      block b1 block b2
+  | While (c, b) ->
+    Format.fprintf fmt "@[<v 2>while (%a) {%a@]@,}" expr c block b
+  | For (n, lo, hi, b) ->
+    Format.fprintf fmt "@[<v 2>for (%s = %a; %s < %a; %s++) {%a@]@,}" n expr lo
+      n expr hi n block b
+  | Call { ret = None; callee; args } ->
+    Format.fprintf fmt "@[<h>%s(%a);@]" callee args_pp args
+  | Call { ret = Some r; callee; args } ->
+    Format.fprintf fmt "@[<h>%s = %s(%a);@]" r callee args_pp args
+  | Return None -> Format.pp_print_string fmt "return;"
+  | Return (Some e) -> Format.fprintf fmt "@[<h>return %a;@]" expr e
+  | Barrier -> Format.pp_print_string fmt "barrier;"
+  | Lock lv -> Format.fprintf fmt "@[<h>lock(%a);@]" lvalue lv
+  | Unlock lv -> Format.fprintf fmt "@[<h>unlock(%a);@]" lvalue lv
+
+and block fmt b = List.iter (fun s -> Format.fprintf fmt "@,%a" stmt s) b
+
+and args_pp fmt args =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+    expr fmt args
+
+let func fmt f =
+  Format.fprintf fmt "@[<v 2>void %s(%s) {%a@]@,}" f.fname
+    (String.concat ", " f.params)
+    block f.body
+
+let struct_def fmt s =
+  Format.fprintf fmt "@[<v 2>struct %s {" s.sname;
+  List.iter
+    (fun (name, t) -> Format.fprintf fmt "@,%a;" (fun fmt () -> decl_with_dims fmt t name) ())
+    s.fields;
+  Format.fprintf fmt "@]@,}"
+
+let program fmt p =
+  Format.fprintf fmt "@[<v>program %s;@,@," p.pname;
+  List.iter (fun s -> Format.fprintf fmt "%a@,@," struct_def s) p.structs;
+  List.iter
+    (fun (name, t) ->
+      Format.fprintf fmt "shared %a;@," (fun fmt () -> decl_with_dims fmt t name) ())
+    p.globals;
+  if p.globals <> [] then Format.fprintf fmt "@,";
+  List.iter (fun f -> Format.fprintf fmt "%a@,@," func f) p.funcs;
+  if p.entry <> "main" then Format.fprintf fmt "entry %s;@," p.entry;
+  Format.fprintf fmt "@]"
+
+let program_to_string p = Format.asprintf "%a" program p

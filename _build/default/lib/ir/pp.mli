@@ -1,0 +1,16 @@
+(** Pretty-printer for ParC's concrete syntax.
+
+    Produces the textual form accepted by the {!Fs_parc} parser; the
+    round-trip [parse (print p) = p] is property-tested. *)
+
+val ty : Format.formatter -> Ast.ty -> unit
+(** Prints the base type only; array dimensions are printed by the
+    declaration printers ([int x[4][2]], C style). *)
+
+val expr : Format.formatter -> Ast.expr -> unit
+val lvalue : Format.formatter -> Ast.lvalue -> unit
+val stmt : Format.formatter -> Ast.stmt -> unit
+val func : Format.formatter -> Ast.func -> unit
+val program : Format.formatter -> Ast.program -> unit
+
+val program_to_string : Ast.program -> string

@@ -1,0 +1,18 @@
+(** Static well-formedness checking of ParC programs.
+
+    Catches malformed programs at construction time: duplicate or dangling
+    names, recursive struct types, non-positive array dimensions, shape
+    errors in access paths (indexing a struct, selecting a field of an
+    array, paths that stop short of a scalar), lock operations on non-lock
+    cells, stores to lock cells, arity mismatches at call sites, and reads
+    of undeclared private variables. *)
+
+val check : Ast.program -> (unit, string list) result
+(** All problems found, in source order; [Ok ()] for a well-formed
+    program. *)
+
+exception Invalid_program of string list
+
+val validate_exn : Ast.program -> Ast.program
+(** Identity on well-formed programs.
+    @raise Invalid_program otherwise. *)

@@ -1,0 +1,1 @@
+lib/layout/layout.ml: Array Format Fs_ir Fs_util Hashtbl List Plan Printf

@@ -1,0 +1,1 @@
+lib/layout/layout.mli: Fs_ir Plan

@@ -1,0 +1,1 @@
+lib/layout/plan.ml: Format Fs_ir Hashtbl List String

@@ -1,0 +1,1 @@
+lib/layout/plan.mli: Format Fs_ir

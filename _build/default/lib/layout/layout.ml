@@ -1,0 +1,254 @@
+module Ast = Fs_ir.Ast
+module Cells = Fs_ir.Cells
+module Align = Fs_util.Align
+
+type vlayout = { addr : int array; extra : int array }
+
+type t = {
+  block : int;
+  table : (string, vlayout) Hashtbl.t;
+  size : int;
+}
+
+let block t = t.block
+let size t = t.size
+let lookup t name = Hashtbl.find t.table name
+let addr t name cell = (lookup t name).addr.(cell)
+
+(* Allocation cursor over the simulated address space. *)
+type cursor = { mutable pos : int }
+
+let alloc_word cur =
+  let a = cur.pos in
+  cur.pos <- cur.pos + Ast.word_size;
+  a
+
+let align_to cur n = cur.pos <- Align.round_up cur.pos n
+
+let err fmt = Format.kasprintf (fun s -> raise (Plan.Plan_error s)) fmt
+
+let realize p plan ~block =
+  if not (Align.is_power_of_two block) || block < Ast.word_size then
+    invalid_arg "Layout.realize: block size must be a power of two >= word size";
+  Plan.validate p plan;
+  let pad_locks = List.mem Plan.Pad_locks plan in
+  let cur = { pos = 0 } in
+  let table = Hashtbl.create 16 in
+  let vl_of name =
+    match Hashtbl.find_opt table name with
+    | Some vl -> vl
+    | None ->
+      let n = Cells.count p (Ast.find_global p name) in
+      let vl = { addr = Array.make n (-1); extra = [||] } in
+      Hashtbl.add table name vl;
+      vl
+  in
+  (* Lock cells pulled out of their variables when the plan pads locks. *)
+  let deferred_locks = ref [] in
+  let place vl ty cell =
+    if pad_locks && Cells.scalar_at p ty cell = Ast.Tlock then
+      deferred_locks := (vl, cell) :: !deferred_locks
+    else vl.addr.(cell) <- alloc_word cur
+  in
+  let claimed = Plan.transformed_vars plan in
+  (* 1. Untransformed globals: packed, declaration order. *)
+  List.iter
+    (fun (name, ty) ->
+      if not (List.mem name claimed) then begin
+        let vl = vl_of name in
+        for cell = 0 to Array.length vl.addr - 1 do
+          place vl ty cell
+        done
+      end)
+    p.Ast.globals;
+  (* 2. Planned transformations, in plan order. *)
+  let group_transpose vars pdv_axis =
+    let metas =
+      List.map
+        (fun v ->
+          let ty = Ast.find_global p v in
+          match Cells.array_dims p ty with
+          | Some (dims, elt) -> (vl_of v, ty, dims, Cells.count p elt)
+          | None -> assert false (* validate checked *))
+        vars
+    in
+    let extent =
+      match metas with
+      | (_, _, dims, _) :: _ -> List.nth dims pdv_axis
+      | [] -> assert false
+    in
+    align_to cur block;
+    for proc = 0 to extent - 1 do
+      List.iter
+        (fun (vl, ty, dims, elt_cells) ->
+          for cell = 0 to Array.length vl.addr - 1 do
+            let coords, _inner = Cells.coords_of_cell ~dims ~elt_cells cell in
+            if List.nth coords pdv_axis = proc then place vl ty cell
+          done)
+        metas;
+      align_to cur block
+    done
+  in
+  let indirect var fields =
+    let ty = Ast.find_global p var in
+    let sname, nrecords =
+      match ty with
+      | Ast.Array (Ast.Struct s, n) -> (s, n)
+      | _ -> assert false (* validate checked *)
+    in
+    let sdef = Ast.find_struct p sname in
+    (* per field: cell offset in the record, total cells, per-process cells *)
+    let metas =
+      List.map
+        (fun f ->
+          let fty = List.assoc f sdef.fields in
+          let per_proc_cells =
+            match fty with
+            | Ast.Array (elt, _) -> Cells.count p elt
+            | _ -> assert false
+          in
+          (Cells.field_offset p sdef f, Cells.count p fty, per_proc_cells))
+        fields
+    in
+    let pdv_extent =
+      match List.assoc (List.hd fields) sdef.fields with
+      | Ast.Array (_, n) -> n
+      | _ -> assert false
+    in
+    let rec_cells = Cells.count p (Ast.Struct sname) in
+    let vl = vl_of var in
+    let vl = { vl with extra = Array.make (Array.length vl.addr) (-1) } in
+    Hashtbl.replace table var vl;
+    (* Record region: each listed field collapses to one pointer cell. *)
+    let nfields = List.length fields in
+    let ptr_addrs = Array.make_matrix nrecords nfields (-1) in
+    let field_at c =
+      let rec go i = function
+        | [] -> None
+        | (off, cells, _) :: rest ->
+          if c >= off && c < off + cells then Some (i, c = off) else go (i + 1) rest
+      in
+      go 0 metas
+    in
+    for r = 0 to nrecords - 1 do
+      let base = r * rec_cells in
+      for c = 0 to rec_cells - 1 do
+        match field_at c with
+        | Some (fi, true) -> ptr_addrs.(r).(fi) <- alloc_word cur
+        | Some (_, false) -> ()
+        | None -> place vl ty (base + c)
+      done
+    done;
+    (* Per-process data areas: process p's slice of every listed field of
+       every record, grouped record-major for processor locality. *)
+    for proc = 0 to pdv_extent - 1 do
+      align_to cur block;
+      for r = 0 to nrecords - 1 do
+        List.iteri
+          (fun fi (off, _, ppc) ->
+            for inner = 0 to ppc - 1 do
+              let cell = (r * rec_cells) + off + (proc * ppc) + inner in
+              place vl ty cell;
+              vl.extra.(cell) <- ptr_addrs.(r).(fi)
+            done)
+          metas
+      done
+    done;
+    align_to cur block
+  in
+  let regroup var ways chunked =
+    let ty = Ast.find_global p var in
+    let extent, elt_cells =
+      match ty with
+      | Ast.Array (elt, n) -> (n, Cells.count p elt)
+      | _ -> assert false (* validate checked *)
+    in
+    let vl = vl_of var in
+    let chunk = (extent + ways - 1) / ways in
+    let group_of i = if chunked then i / chunk else i mod ways in
+    for g = 0 to ways - 1 do
+      align_to cur block;
+      for i = 0 to extent - 1 do
+        if group_of i = g then
+          for c = 0 to elt_cells - 1 do
+            place vl ty ((i * elt_cells) + c)
+          done
+      done
+    done;
+    align_to cur block
+  in
+  let pad_align var element =
+    let ty = Ast.find_global p var in
+    let vl = vl_of var in
+    align_to cur block;
+    (match (element, ty) with
+     | true, Ast.Array (elt, n) ->
+       let elt_cells = Cells.count p elt in
+       for i = 0 to n - 1 do
+         for c = 0 to elt_cells - 1 do
+           place vl ty ((i * elt_cells) + c)
+         done;
+         align_to cur block
+       done
+     | _, _ ->
+       for cell = 0 to Array.length vl.addr - 1 do
+         place vl ty cell
+       done);
+    align_to cur block
+  in
+  List.iter
+    (function
+      | Plan.Group_transpose { vars; pdv_axis } -> group_transpose vars pdv_axis
+      | Plan.Indirect { var; fields } -> indirect var fields
+      | Plan.Pad_align { var; element } -> pad_align var element
+      | Plan.Regroup { var; ways; chunked } -> regroup var ways chunked
+      | Plan.Pad_locks -> ())
+    plan;
+  (* 3. Deferred lock cells: one block each. *)
+  List.iter
+    (fun (vl, cell) ->
+      align_to cur block;
+      vl.addr.(cell) <- alloc_word cur)
+    (List.rev !deferred_locks);
+  align_to cur block;
+  (* Every cell must have an address. *)
+  Hashtbl.iter
+    (fun name vl ->
+      Array.iteri
+        (fun i a -> if a < 0 then err "internal: cell %d of %s unplaced" i name)
+        vl.addr)
+    table;
+  { block; table; size = cur.pos }
+
+let default p ~block = realize p Plan.empty ~block
+
+let check_disjoint t =
+  let seen = Hashtbl.create 4096 in
+  let result = ref (Ok ()) in
+  let note what a =
+    match Hashtbl.find_opt seen a with
+    | Some prev when prev <> what ->
+      (* The same pointer cell is shared across the cells of one record, so
+         duplicates of an identical owner label are fine for extras. *)
+      if !result = Ok () then
+        result := Error (Printf.sprintf "address 0x%x used by %s and %s" a prev what)
+    | Some _ -> ()
+    | None -> Hashtbl.add seen a what
+  in
+  Hashtbl.iter
+    (fun name vl ->
+      Array.iteri (fun i a -> note (Printf.sprintf "%s[%d]" name i) a) vl.addr)
+    t.table;
+  Hashtbl.iter
+    (fun name vl ->
+      Array.iter
+        (fun a -> if a >= 0 then note (Printf.sprintf "%s.ptr[%d]" name a) a)
+        vl.extra)
+    t.table;
+  !result
+
+let touched_blocks t name =
+  let vl = lookup t name in
+  let set = Hashtbl.create 64 in
+  Array.iter (fun a -> Hashtbl.replace set (Align.block_of ~block:t.block a) ()) vl.addr;
+  List.sort compare (Hashtbl.fold (fun b () acc -> b :: acc) set [])

@@ -1,0 +1,49 @@
+(** Realizing a transformation plan as a memory layout.
+
+    A layout maps every scalar cell of every shared global to a physical
+    byte address — the {e address oracle}.  The interpreter consults it on
+    every access, so applying a plan here is observationally equivalent to
+    the source-to-source restructuring of the paper: the simulated machines
+    only ever see the resulting address stream.
+
+    The default (empty-plan) layout packs all globals contiguously in
+    declaration order, cells in C order, with no padding — the natural
+    allocation that gives rise to false sharing.
+
+    Padding binds to the cache-block size given at realization time, which
+    mirrors the paper's compiler padding data to the target architecture's
+    coherence-unit size. *)
+
+type vlayout = {
+  addr : int array;
+      (** cell id -> byte address *)
+  extra : int array;
+      (** cell id -> address of an injected pointer load preceding the
+          access, or -1; [\[||\]] when the variable has no indirection *)
+}
+
+type t
+
+val realize : Fs_ir.Ast.program -> Plan.t -> block:int -> t
+(** @raise Plan.Plan_error when the plan does not fit the program. *)
+
+val default : Fs_ir.Ast.program -> block:int -> t
+(** [realize p Plan.empty ~block]. *)
+
+val block : t -> int
+val size : t -> int
+(** Total bytes spanned, rounded up to a whole block. *)
+
+val lookup : t -> string -> vlayout
+(** @raise Not_found for names that are not globals of the program. *)
+
+val addr : t -> string -> int -> int
+(** [addr t var cell] — convenience for tests. *)
+
+val check_disjoint : t -> (unit, string) result
+(** Verifies that no two cells (or injected pointer cells) share a byte
+    address — a layout invariant that property tests exercise. *)
+
+val touched_blocks : t -> string -> int list
+(** Sorted list of distinct block numbers occupied by the variable's cells
+    (not counting injected pointer cells). *)

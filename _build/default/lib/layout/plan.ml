@@ -1,0 +1,121 @@
+module Ast = Fs_ir.Ast
+module Cells = Fs_ir.Cells
+
+type action =
+  | Group_transpose of { vars : string list; pdv_axis : int }
+  | Indirect of { var : string; fields : string list }
+  | Pad_align of { var : string; element : bool }
+  | Regroup of { var : string; ways : int; chunked : bool }
+  | Pad_locks
+
+type t = action list
+
+let empty = []
+
+let pp_action fmt = function
+  | Group_transpose { vars; pdv_axis } ->
+    Format.fprintf fmt "group&transpose [%s] on axis %d"
+      (String.concat ", " vars) pdv_axis
+  | Indirect { var; fields } ->
+    Format.fprintf fmt "indirection %s.{%s}" var (String.concat ", " fields)
+  | Pad_align { var; element } ->
+    Format.fprintf fmt "pad&align %s%s" var (if element then " (per element)" else "")
+  | Regroup { var; ways; chunked } ->
+    Format.fprintf fmt "regroup %s %d-way (%s)" var ways
+      (if chunked then "chunked" else "strided")
+  | Pad_locks -> Format.pp_print_string fmt "pad locks"
+
+let pp fmt t =
+  if t = [] then Format.pp_print_string fmt "(no transformations)"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+      pp_action fmt t
+
+let transformed_vars t =
+  let seen = Hashtbl.create 8 in
+  let keep v = if Hashtbl.mem seen v then false else (Hashtbl.add seen v (); true) in
+  List.concat_map
+    (function
+      | Group_transpose { vars; _ } -> List.filter keep vars
+      | Indirect { var; _ } | Pad_align { var; _ } | Regroup { var; _ } ->
+        List.filter keep [ var ]
+      | Pad_locks -> [])
+    t
+
+exception Plan_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Plan_error s)) fmt
+
+let validate p t =
+  let claimed = Hashtbl.create 8 in
+  let claim v =
+    if Hashtbl.mem claimed v then err "variable %s claimed by two actions" v;
+    Hashtbl.add claimed v ()
+  in
+  let global v =
+    match List.assoc_opt v p.Ast.globals with
+    | Some ty -> ty
+    | None -> err "plan names unknown global %s" v
+  in
+  let check = function
+    | Group_transpose { vars; pdv_axis } ->
+      if vars = [] then err "empty group&transpose";
+      let extent v =
+        claim v;
+        match Cells.array_dims p (global v) with
+        | Some (dims, Ast.Scalar _) ->
+          if pdv_axis < 0 || pdv_axis >= List.length dims then
+            err "group&transpose of %s: axis %d out of rank %d" v pdv_axis
+              (List.length dims);
+          List.nth dims pdv_axis
+        | Some (_, _) | None ->
+          err "group&transpose target %s is not a scalar array nest" v
+      in
+      (match List.map extent vars with
+       | [] -> assert false
+       | e :: rest ->
+         if List.exists (fun e' -> e' <> e) rest then
+           err "group&transpose targets disagree on PDV extent")
+    | Indirect { var; fields } -> (
+      claim var;
+      if fields = [] then err "indirection on %s names no fields" var;
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun f ->
+          if Hashtbl.mem seen f then err "indirection on %s repeats field %s" var f;
+          Hashtbl.add seen f ())
+        fields;
+      match global var with
+      | Ast.Array (Ast.Struct sname, _) ->
+        let s = Ast.find_struct p sname in
+        let extents =
+          List.map
+            (fun f ->
+              match List.assoc_opt f s.fields with
+              | None -> err "indirection: struct %s has no field %s" sname f
+              | Some (Ast.Array (_, n)) -> n
+              | Some _ ->
+                err "indirection: field %s.%s is not a per-process array" var f)
+            fields
+        in
+        (match extents with
+         | e :: rest when List.exists (fun e' -> e' <> e) rest ->
+           err "indirection fields of %s disagree on PDV extent" var
+         | _ -> ())
+      | _ -> err "indirection target %s is not an array of structs" var)
+    | Pad_align { var; _ } -> claim var; ignore (global var)
+    | Regroup { var; ways; _ } -> (
+      claim var;
+      match global var with
+      | Ast.Array (_, n) ->
+        if ways < 2 || ways > n then
+          err "regroup of %s: %d ways does not fit extent %d" var ways n
+      | _ -> err "regroup target %s is not an array" var)
+    | Pad_locks -> ()
+  in
+  List.iter check t;
+  let n_padlocks =
+    List.length (List.filter (function Pad_locks -> true | _ -> false) t)
+  in
+  if n_padlocks > 1 then err "duplicate pad-locks action"

@@ -1,0 +1,57 @@
+(** Shared-data transformation plans.
+
+    A plan is what the compiler front end (lib/transform) emits and what the
+    layout engine (lib/layout) realizes: a set of data transformations drawn
+    from the paper's suite of four (Section 3.2).  Plans are also written by
+    hand for the "programmer-optimized" benchmark versions. *)
+
+type action =
+  | Group_transpose of { vars : string list; pdv_axis : int }
+      (** Gather the per-process chunks of the listed arrays (all rectangular
+          scalar array nests whose dimension [pdv_axis], counted from the
+          outermost, is indexed by the PDV and has the same extent in every
+          listed array), transpose so that the PDV dimension is outermost,
+          and pad each processor's group to a cache-block multiple. *)
+  | Indirect of { var : string; fields : string list }
+      (** [var] is an array of structs; [fields] are its per-process
+          fields (arrays indexed by the PDV, all with the same extent).
+          Replace each field by a pointer into per-processor data areas —
+          one area per process, holding that process's slice of every
+          listed field of every record, grouped — and charge every access
+          to a listed field one extra (read-shared) pointer load. *)
+  | Pad_align of { var : string; element : bool }
+      (** Give [var] cache blocks of its own.  With [element = true], each
+          top-level array element of [var] is padded to a block multiple
+          individually. *)
+  | Regroup of { var : string; ways : int; chunked : bool }
+      (** Group & transpose for flat arrays whose per-process structure
+          lives in the outermost dimension's index arithmetic rather than
+          in a dedicated dimension: with [chunked = false], element [i]
+          belongs to process [i mod ways] (the [k*P+pid] idiom) and the
+          per-process subsequences are gathered into contiguous,
+          block-padded areas; with [chunked = true], element [i] belongs to
+          process [i / ceil(extent/ways)] (the [pid*chunk+k] idiom) and
+          each chunk is padded to a block boundary. *)
+  | Pad_locks
+      (** Relocate every lock cell of the program into a region where each
+          lock has a cache block of its own. *)
+
+type t = action list
+
+val empty : t
+
+val pp_action : Format.formatter -> action -> unit
+val pp : Format.formatter -> t -> unit
+
+val transformed_vars : t -> string list
+(** Variables named by [Group_transpose], [Indirect] or [Pad_align] actions,
+    without duplicates, in plan order. *)
+
+exception Plan_error of string
+
+val validate : Fs_ir.Ast.program -> t -> unit
+(** Checks the plan against the program: named variables exist,
+    [Group_transpose] targets are rectangular scalar array nests with a
+    common extent along the PDV axis, [Indirect] targets are arrays of
+    structs with the named field, and no variable is claimed by two actions.
+    @raise Plan_error on violations. *)

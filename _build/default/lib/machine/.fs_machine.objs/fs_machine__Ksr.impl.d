@@ -1,0 +1,1 @@
+lib/machine/ksr.ml: Array Fs_cache Fs_trace Hashtbl Option

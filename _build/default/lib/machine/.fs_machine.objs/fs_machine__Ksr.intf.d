@@ -1,0 +1,1 @@
+lib/machine/ksr.mli: Fs_cache Fs_trace

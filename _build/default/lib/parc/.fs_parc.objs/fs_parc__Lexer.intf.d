@@ -1,0 +1,1 @@
+lib/parc/lexer.mli:

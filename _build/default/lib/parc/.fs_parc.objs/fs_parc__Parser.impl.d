@@ -1,0 +1,1 @@
+lib/parc/parser.ml: Fs_ir Lexer List Printf Result

@@ -1,0 +1,1 @@
+lib/parc/parser.mli: Fs_ir

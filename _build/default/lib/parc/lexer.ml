@@ -1,0 +1,112 @@
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | BQ_IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+let keywords =
+  [ "program"; "shared"; "struct"; "int"; "float"; "lock"; "void"; "let";
+    "if"; "else"; "while"; "for"; "return"; "barrier"; "unlock"; "entry";
+    "pid"; "nprocs" ]
+
+(* multi-character operators first: longest match wins *)
+let puncts =
+  [ "=="; "!="; "<="; ">="; "&&"; "||"; "++";
+    "{"; "}"; "("; ")"; "["; "]"; ";"; ","; "."; "=";
+    "<"; ">"; "+"; "-"; "*"; "/"; "%"; "!" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push t = toks := (t, !line) :: !toks in
+  let starts_with p =
+    let lp = String.length p in
+    !i + lp <= n && String.sub src !i lp = p
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if starts_with "//" then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if starts_with "/*" then begin
+      i := !i + 2;
+      while !i + 1 < n && not (starts_with "*/") do
+        if src.[!i] = '\n' then incr line;
+        incr i
+      done;
+      i := !i + 2
+    end
+    else if c = '`' then begin
+      let j = ref (!i + 1) in
+      while !j < n && src.[!j] <> '`' do incr j done;
+      if !j >= n then failwith (Printf.sprintf "line %d: unterminated backtick" !line);
+      push (BQ_IDENT (String.sub src (!i + 1) (!j - !i - 1)));
+      i := !j + 1
+    end
+    else if is_digit c then begin
+      (* integers are decimal; floats are the %h hexadecimal form or use
+         '.'/'e' — scan the longest numeric-looking run and decide *)
+      let j = ref !i in
+      let is_num_char ch =
+        is_digit ch || ch = 'x' || ch = 'X' || ch = '.' || ch = 'p' || ch = 'P'
+        || (ch >= 'a' && ch <= 'f') || (ch >= 'A' && ch <= 'F')
+        || ((ch = '+' || ch = '-') && !j > !i
+            && (src.[!j - 1] = 'p' || src.[!j - 1] = 'P'))
+      in
+      (* hex floats contain letters; plain ints must not swallow a trailing
+         identifier, so only extend past digits when an 'x' or '.' occurs *)
+      let hexish = !i + 1 < n && (src.[!i + 1] = 'x' || src.[!i + 1] = 'X') in
+      if hexish then begin
+        j := !i + 2;
+        while !j < n && is_num_char src.[!j] do incr j done
+      end
+      else begin
+        while !j < n && is_digit src.[!j] do incr j done;
+        if !j < n && src.[!j] = '.' then begin
+          incr j;
+          while !j < n && (is_digit src.[!j] || src.[!j] = 'e' || src.[!j] = '-') do incr j done
+        end
+      end;
+      let text = String.sub src !i (!j - !i) in
+      (if hexish || String.contains text '.' then
+         push (FLOAT (float_of_string text))
+       else push (INT (int_of_string text)));
+      i := !j
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do incr j done;
+      let text = String.sub src !i (!j - !i) in
+      (if List.mem text keywords then push (KW text) else push (IDENT text));
+      i := !j
+    end
+    else begin
+      match List.find_opt starts_with puncts with
+      | Some p ->
+        push (PUNCT p);
+        i := !i + String.length p
+      | None ->
+        failwith (Printf.sprintf "line %d: unexpected character %C" !line c)
+    end
+  done;
+  List.rev ((EOF, !line) :: !toks)
+
+let to_string = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | IDENT s -> s
+  | BQ_IDENT s -> "`" ^ s ^ "`"
+  | KW s -> s
+  | PUNCT s -> s
+  | EOF -> "<eof>"

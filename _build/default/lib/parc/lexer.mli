@@ -1,0 +1,18 @@
+(** Tokenizer for ParC's concrete syntax. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | BQ_IDENT of string  (** backtick-quoted infix, e.g. [`min`] *)
+  | KW of string        (** reserved word *)
+  | PUNCT of string     (** operator or punctuation, longest match *)
+  | EOF
+
+val keywords : string list
+
+val tokenize : string -> (token * int) list
+(** Token stream with line numbers, ending in [EOF].
+    @raise Failure on an unexpected character, with a line number. *)
+
+val to_string : token -> string

@@ -1,0 +1,375 @@
+module Ast = Fs_ir.Ast
+open Lexer
+
+exception Parse_error of string
+
+type state = {
+  mutable toks : (token * int) list;
+  mutable globals : string list;   (* known shared names *)
+  mutable funcs : string list;     (* known function names *)
+}
+
+let err st what =
+  let tok, line = match st.toks with t :: _ -> t | [] -> (EOF, 0) in
+  raise
+    (Parse_error
+       (Printf.sprintf "line %d: expected %s, found %s" line what (to_string tok)))
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> EOF
+let peek2 st = match st.toks with _ :: (t, _) :: _ -> t | _ -> EOF
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let eat st t what =
+  if peek st = t then advance st else err st what
+
+let eat_punct st p = eat st (PUNCT p) (Printf.sprintf "%S" p)
+let eat_kw st k = eat st (KW k) (Printf.sprintf "%S" k)
+
+let ident st =
+  match peek st with
+  | IDENT s -> advance st; s
+  | _ -> err st "an identifier"
+
+let int_lit st =
+  match peek st with
+  | INT n -> advance st; n
+  | _ -> err st "an integer"
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+
+let base_type st =
+  match peek st with
+  | KW "int" -> advance st; Ast.Scalar Ast.Tint
+  | KW "float" -> advance st; Ast.Scalar Ast.Tfloat
+  | KW "lock" -> advance st; Ast.Scalar Ast.Tlock
+  | KW "struct" ->
+    advance st;
+    Ast.Struct (ident st)
+  | _ -> err st "a type"
+
+(* C-style declarator: base name [d0][d1]... *)
+let dims st =
+  let rec go acc =
+    if peek st = PUNCT "[" then begin
+      advance st;
+      let d = int_lit st in
+      eat_punct st "]";
+      go (d :: acc)
+    end
+    else acc
+  in
+  (* collected innermost-last; rebuild outermost-first *)
+  List.rev (go [])
+
+let apply_dims base ds = List.fold_right (fun d t -> Ast.Array (t, d)) ds base
+
+(* ------------------------------------------------------------------ *)
+(* Expressions (precedence climbing; mirrors Pp.prec_of)               *)
+
+let binop_of_punct = function
+  | "*" -> Some Ast.Mul | "/" -> Some Ast.Div | "%" -> Some Ast.Mod
+  | "+" -> Some Ast.Add | "-" -> Some Ast.Sub
+  | "<" -> Some Ast.Lt | "<=" -> Some Ast.Le
+  | ">" -> Some Ast.Gt | ">=" -> Some Ast.Ge
+  | "==" -> Some Ast.Eq | "!=" -> Some Ast.Ne
+  | "&&" -> Some Ast.And | "||" -> Some Ast.Or
+  | _ -> None
+
+let prec_of = function
+  | Ast.Mul | Ast.Div | Ast.Mod -> 7
+  | Ast.Add | Ast.Sub -> 6
+  | Ast.Min | Ast.Max -> 5
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 4
+  | Ast.Eq | Ast.Ne -> 3
+  | Ast.And -> 2
+  | Ast.Or -> 1
+
+let rec expr st = binary st 0
+
+and binary st min_prec =
+  let lhs = ref (unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    let op =
+      match peek st with
+      | PUNCT p -> binop_of_punct p
+      | BQ_IDENT "min" -> Some Ast.Min
+      | BQ_IDENT "max" -> Some Ast.Max
+      | _ -> None
+    in
+    match op with
+    | Some op when prec_of op >= min_prec ->
+      advance st;
+      let rhs = binary st (prec_of op + 1) in
+      lhs := Ast.Binop (op, !lhs, rhs)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and unary st =
+  match peek st with
+  | PUNCT "-" ->
+    advance st;
+    (* fold a negated literal so the printer's "(-5)" round-trips *)
+    (match unary st with
+     | Ast.Int_lit n -> Ast.Int_lit (-n)
+     | e -> Ast.Unop (Ast.Neg, e))
+  | PUNCT "!" ->
+    advance st;
+    Ast.Unop (Ast.Not, unary st)
+  | _ -> atom st
+
+and atom st =
+  match peek st with
+  | INT n -> advance st; Ast.Int_lit n
+  | FLOAT f -> advance st; Ast.Float_lit f
+  | KW "pid" -> advance st; Ast.Pdv
+  | KW "nprocs" -> advance st; Ast.Nprocs
+  | PUNCT "(" ->
+    advance st;
+    let e = expr st in
+    eat_punct st ")";
+    e
+  | IDENT name ->
+    advance st;
+    let path = access_path st in
+    if path <> [] || List.mem name st.globals then
+      Ast.Load { base = name; path }
+    else Ast.Priv name
+  | _ -> err st "an expression"
+
+and access_path st =
+  let rec go acc =
+    match peek st with
+    | PUNCT "[" ->
+      advance st;
+      let e = expr st in
+      eat_punct st "]";
+      go (Ast.Idx e :: acc)
+    | PUNCT "." ->
+      advance st;
+      go (Ast.Fld (ident st) :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let lvalue st =
+  let base = ident st in
+  { Ast.base; path = access_path st }
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+let rec block st =
+  eat_punct st "{";
+  let rec go acc =
+    if peek st = PUNCT "}" then begin
+      advance st;
+      List.rev acc
+    end
+    else go (stmt st :: acc)
+  in
+  go []
+
+and stmt st =
+  match peek st with
+  | KW "let" ->
+    advance st;
+    let name = ident st in
+    eat_punct st "=";
+    let e = expr st in
+    eat_punct st ";";
+    Ast.Decl (name, e)
+  | KW "if" ->
+    advance st;
+    eat_punct st "(";
+    let c = expr st in
+    eat_punct st ")";
+    let b1 = block st in
+    let b2 = if peek st = KW "else" then (advance st; block st) else [] in
+    Ast.If (c, b1, b2)
+  | KW "while" ->
+    advance st;
+    eat_punct st "(";
+    let c = expr st in
+    eat_punct st ")";
+    Ast.While (c, block st)
+  | KW "for" ->
+    advance st;
+    eat_punct st "(";
+    let v = ident st in
+    eat_punct st "=";
+    let lo = expr st in
+    eat_punct st ";";
+    let v2 = ident st in
+    if v2 <> v then err st ("the loop variable " ^ v);
+    eat_punct st "<";
+    let hi = expr st in
+    eat_punct st ";";
+    let v3 = ident st in
+    if v3 <> v then err st ("the loop variable " ^ v);
+    eat_punct st "++";
+    eat_punct st ")";
+    Ast.For (v, lo, hi, block st)
+  | KW "return" ->
+    advance st;
+    if peek st = PUNCT ";" then (advance st; Ast.Return None)
+    else begin
+      let e = expr st in
+      eat_punct st ";";
+      Ast.Return (Some e)
+    end
+  | KW "barrier" ->
+    advance st;
+    eat_punct st ";";
+    Ast.Barrier
+  | KW "lock" ->
+    advance st;
+    eat_punct st "(";
+    let lv = lvalue st in
+    eat_punct st ")";
+    eat_punct st ";";
+    Ast.Lock lv
+  | KW "unlock" ->
+    advance st;
+    eat_punct st "(";
+    let lv = lvalue st in
+    eat_punct st ")";
+    eat_punct st ";";
+    Ast.Unlock lv
+  | IDENT name when peek2 st = PUNCT "(" && List.mem name st.funcs ->
+    advance st;
+    let args = call_args st in
+    eat_punct st ";";
+    Ast.Call { ret = None; callee = name; args }
+  | IDENT _ -> (
+    let lv = lvalue st in
+    eat_punct st "=";
+    match peek st with
+    | IDENT callee
+      when lv.Ast.path = [] && peek2 st = PUNCT "(" && List.mem callee st.funcs ->
+      advance st;
+      let args = call_args st in
+      eat_punct st ";";
+      Ast.Call { ret = Some lv.Ast.base; callee; args }
+    | _ ->
+      let e = expr st in
+      eat_punct st ";";
+      if lv.Ast.path <> [] || List.mem lv.Ast.base st.globals then
+        Ast.Store (lv, e)
+      else Ast.Set (lv.Ast.base, e))
+  | _ -> err st "a statement"
+
+and call_args st =
+  eat_punct st "(";
+  if peek st = PUNCT ")" then (advance st; [])
+  else begin
+    let rec go acc =
+      let e = expr st in
+      if peek st = PUNCT "," then (advance st; go (e :: acc))
+      else (eat_punct st ")"; List.rev (e :: acc))
+    in
+    go []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+
+let struct_def st =
+  eat_kw st "struct";
+  let sname = ident st in
+  eat_punct st "{";
+  let rec fields acc =
+    if peek st = PUNCT "}" then (advance st; List.rev acc)
+    else begin
+      let base = base_type st in
+      let fname = ident st in
+      let ds = dims st in
+      eat_punct st ";";
+      fields ((fname, apply_dims base ds) :: acc)
+    end
+  in
+  { Ast.sname; fields = fields [] }
+
+let func st =
+  eat_kw st "void";
+  let fname = ident st in
+  eat_punct st "(";
+  let params =
+    if peek st = PUNCT ")" then (advance st; [])
+    else begin
+      let rec go acc =
+        let p = ident st in
+        if peek st = PUNCT "," then (advance st; go (p :: acc))
+        else (eat_punct st ")"; List.rev (p :: acc))
+      in
+      go []
+    end
+  in
+  { Ast.fname; params; body = block st }
+
+(* The statement grammar tells calls and assignments apart by the callee
+   name, so function and global names are collected in a pre-scan. *)
+let prescan toks =
+  let rec go globals funcs = function
+    | (KW "void", _) :: (IDENT f, _) :: rest -> go globals (f :: funcs) rest
+    | (KW "shared", _) :: (KW "struct", _) :: (IDENT _, _) :: (IDENT g, _) :: rest
+    | (KW "shared", _) :: (KW _, _) :: (IDENT g, _) :: rest
+      -> go (g :: globals) funcs rest
+    | _ :: rest -> go globals funcs rest
+    | [] -> (globals, funcs)
+  in
+  go [] [] toks
+
+let parse src =
+  let toks = try tokenize src with Failure m -> raise (Parse_error m) in
+  let globals0, funcs0 = prescan toks in
+  let st = { toks; globals = globals0; funcs = funcs0 } in
+  eat_kw st "program";
+  let pname = ident st in
+  eat_punct st ";";
+  let structs = ref [] and globals = ref [] and funcs = ref [] in
+  let entry = ref "main" in
+  let rec items () =
+    match peek st with
+    | KW "struct" ->
+      structs := struct_def st :: !structs;
+      items ()
+    | KW "shared" ->
+      advance st;
+      let base = base_type st in
+      let name = ident st in
+      let ds = dims st in
+      eat_punct st ";";
+      globals := (name, apply_dims base ds) :: !globals;
+      items ()
+    | KW "void" ->
+      funcs := func st :: !funcs;
+      items ()
+    | KW "entry" ->
+      advance st;
+      entry := ident st;
+      eat_punct st ";";
+      items ()
+    | EOF -> ()
+    | _ -> err st "a struct, shared declaration, function, or entry"
+  in
+  items ();
+  {
+    Ast.pname;
+    structs = List.rev !structs;
+    globals = List.rev !globals;
+    funcs = List.rev !funcs;
+    entry = !entry;
+  }
+
+let parse_result src =
+  match parse src with
+  | p -> Ok p
+  | exception Parse_error m -> Error m
+
+let parse_and_validate src =
+  match parse src with
+  | p -> Fs_ir.Validate.check p |> Result.map (fun () -> p)
+  | exception Parse_error m -> Error [ m ]

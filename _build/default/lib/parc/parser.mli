@@ -1,0 +1,14 @@
+(** Recursive-descent parser for ParC's concrete syntax — the inverse of
+    {!Fs_ir.Pp}.  [parse (Pp.program_to_string p)] re-prints to exactly the
+    same text (property-tested). *)
+
+exception Parse_error of string
+(** Carries a line number and what was expected. *)
+
+val parse : string -> Fs_ir.Ast.program
+(** @raise Parse_error on syntax errors. *)
+
+val parse_result : string -> (Fs_ir.Ast.program, string) result
+
+val parse_and_validate : string -> (Fs_ir.Ast.program, string list) result
+(** Parse, then run {!Fs_ir.Validate.check}. *)

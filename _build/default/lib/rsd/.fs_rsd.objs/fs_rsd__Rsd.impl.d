@@ -1,0 +1,1 @@
+lib/rsd/rsd.ml: Array Format List Sym

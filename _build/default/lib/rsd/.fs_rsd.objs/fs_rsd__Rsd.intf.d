@@ -1,0 +1,1 @@
+lib/rsd/rsd.mli: Format Sym

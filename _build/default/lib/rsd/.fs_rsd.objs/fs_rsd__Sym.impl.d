@@ -1,0 +1,1 @@
+lib/rsd/sym.ml: Format Fun List

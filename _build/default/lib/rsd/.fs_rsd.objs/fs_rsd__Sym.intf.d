@@ -1,0 +1,1 @@
+lib/rsd/sym.mli: Format

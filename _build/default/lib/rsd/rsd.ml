@@ -1,0 +1,97 @@
+type t = { dims : Sym.t array; weight : float }
+
+let create dims ~weight = { dims; weight }
+
+let pp fmt t =
+  Format.fprintf fmt "(";
+  Array.iteri
+    (fun i d ->
+      if i > 0 then Format.pp_print_string fmt ", ";
+      Sym.pp fmt d)
+    t.dims;
+  Format.fprintf fmt ")*%.1f" t.weight
+
+let overlaps a b =
+  Array.length a.dims = Array.length b.dims
+  && Array.for_all2 (fun x y -> Sym.overlaps x y) a.dims b.dims
+
+let merge a b =
+  if Array.length a.dims <> Array.length b.dims then
+    invalid_arg "Rsd.merge: rank mismatch";
+  {
+    dims = Array.map2 Sym.union a.dims b.dims;
+    weight = a.weight +. b.weight;
+  }
+
+(* Number of dimensions on which the two descriptors agree exactly. *)
+let agreement a b =
+  let n = Array.length a.dims in
+  let rec go i acc =
+    if i >= n then acc
+    else go (i + 1) (if Sym.equal a.dims.(i) b.dims.(i) then acc + 1 else acc)
+  in
+  go 0 0
+
+module Set = struct
+  type rsd = t
+
+  type t = { limit : int; items : rsd list }
+
+  let default_limit = 10
+  let empty ?(limit = default_limit) () = { limit; items = [] }
+  let is_empty t = t.items = []
+  let to_list t = t.items
+  let cardinal t = List.length t.items
+  let total_weight t = List.fold_left (fun acc r -> acc +. r.weight) 0.0 t.items
+
+  (* Merge the two most similar descriptors to get back under the limit. *)
+  let compact items =
+    let arr = Array.of_list items in
+    let n = Array.length arr in
+    let best = ref (0, 1, -1) in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let a = agreement arr.(i) arr.(j) in
+        let _, _, ba = !best in
+        if a > ba then best := (i, j, a)
+      done
+    done;
+    let i, j, _ = !best in
+    let merged = merge arr.(i) arr.(j) in
+    merged
+    :: List.filteri (fun k _ -> k <> i && k <> j) items
+
+  let add t r =
+    if Array.length r.dims > 0 || t.items = [] then begin
+      (* merge into an existing descriptor differing in at most one dim *)
+      let n = Array.length r.dims in
+      let rec place acc = function
+        | [] -> None
+        | x :: rest ->
+          if Array.length x.dims = n && agreement x r >= n - 1 then
+            Some (List.rev_append acc (merge x r :: rest))
+          else place (x :: acc) rest
+      in
+      match place [] t.items with
+      | Some items -> { t with items }
+      | None ->
+        let items = r :: t.items in
+        if List.length items > t.limit then { t with items = compact items }
+        else { t with items }
+    end
+    else
+      (* scalar descriptors always coincide *)
+      match t.items with
+      | x :: rest -> { t with items = merge x r :: rest }
+      | [] -> assert false
+
+  let union a b = List.fold_left add a b.items
+
+  let overlaps a b =
+    List.exists (fun x -> List.exists (fun y -> overlaps x y) b.items) a.items
+
+  let pp fmt t =
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " | ")
+      pp fmt t.items
+end

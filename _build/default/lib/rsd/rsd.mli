@@ -1,0 +1,44 @@
+(** Bounded regular section descriptors with static-profile weights.
+
+    A descriptor summarizes the array section touched by one or more
+    textual references: one {!Sym.t} per array dimension, plus the
+    estimated dynamic frequency of the references it summarizes.
+
+    Descriptor lists are {e bounded} as in the paper (Section 3.1): a new
+    descriptor is merged into an existing one when they differ in at most
+    one dimension (little or no information lost), and when a list would
+    exceed its limit the two most similar descriptors are merged.  The
+    paper reports no array needing more than 10 descriptors; 10 is the
+    default limit. *)
+
+type t = { dims : Sym.t array; weight : float }
+
+val create : Sym.t array -> weight:float -> t
+val pp : Format.formatter -> t -> unit
+
+val overlaps : t -> t -> bool
+(** Do the described sections possibly intersect?  True for scalars
+    (zero-dimensional sections are the whole variable). *)
+
+val merge : t -> t -> t
+(** Dimension-wise union; weights add. *)
+
+(** Bounded descriptor lists. *)
+module Set : sig
+  type rsd := t
+  type t
+
+  val default_limit : int
+  val empty : ?limit:int -> unit -> t
+  val is_empty : t -> bool
+  val add : t -> rsd -> t
+  val union : t -> t -> t
+  val to_list : t -> rsd list
+  val total_weight : t -> float
+  val cardinal : t -> int
+
+  val overlaps : t -> t -> bool
+  (** May any descriptor of one set intersect any of the other? *)
+
+  val pp : Format.formatter -> t -> unit
+end

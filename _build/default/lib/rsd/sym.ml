@@ -1,0 +1,231 @@
+type t =
+  | Const of int
+  | Interval of { lo : int; hi : int; stride : int }
+  | Strided of int
+  | Congruent of { m : int; r : int }
+  | Unknown
+
+let const n = Const n
+
+let interval ~lo ~hi ~stride =
+  if lo > hi then invalid_arg "Sym.interval: lo > hi";
+  let stride = if stride <= 0 then 1 else stride in
+  (* normalize the upper bound to the last reachable member, so that both
+     endpoints are members and negation maps the stride class correctly *)
+  let hi = lo + ((hi - lo) / stride * stride) in
+  if lo = hi then Const lo else Interval { lo; hi; stride }
+
+let congruent ~m ~r =
+  if m < 2 then Unknown
+  else
+    let r = ((r mod m) + m) mod m in
+    Congruent { m; r }
+
+let equal a b =
+  match (a, b) with
+  | Const x, Const y -> x = y
+  | Interval a, Interval b -> a.lo = b.lo && a.hi = b.hi && a.stride = b.stride
+  | Strided x, Strided y -> x = y
+  | Congruent a, Congruent b -> a.m = b.m && a.r = b.r
+  | Unknown, Unknown -> true
+  | _ -> false
+
+let pp fmt = function
+  | Const n -> Format.fprintf fmt "%d" n
+  | Interval { lo; hi; stride } ->
+    if stride = 1 then Format.fprintf fmt "[%d:%d]" lo hi
+    else Format.fprintf fmt "[%d:%d:%d]" lo hi stride
+  | Strided s -> Format.fprintf fmt "?:%d" s
+  | Congruent { m; r } -> Format.fprintf fmt "%d mod %d" r m
+  | Unknown -> Format.pp_print_string fmt "?"
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let stride_of = function
+  | Const _ -> Some 1
+  | Interval { stride; _ } -> Some stride
+  | Strided s -> Some s
+  | Congruent { m; _ } -> Some m
+  | Unknown -> None
+
+let add a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x + y)
+  | Const x, Interval i | Interval i, Const x ->
+    interval ~lo:(i.lo + x) ~hi:(i.hi + x) ~stride:i.stride
+  | Interval i, Interval j ->
+    interval ~lo:(i.lo + j.lo) ~hi:(i.hi + j.hi) ~stride:(gcd i.stride j.stride)
+  | Strided s, Const _ | Const _, Strided s -> Strided s
+  | Strided s, Interval i | Interval i, Strided s -> Strided (max 1 (gcd s i.stride))
+  | Strided s, Strided s' -> Strided (max 1 (gcd s s'))
+  | Congruent { m; r }, Const c | Const c, Congruent { m; r } ->
+    congruent ~m ~r:(r + c)
+  | Congruent { m; r }, Interval i | Interval i, Congruent { m; r } ->
+    if i.stride mod m = 0 then congruent ~m ~r:(r + i.lo)
+    else Strided (max 1 (gcd m i.stride))
+  | Congruent a, Congruent b ->
+    let g = gcd a.m b.m in
+    if g >= 2 then congruent ~m:g ~r:(a.r + b.r) else Unknown
+  | Congruent { m; _ }, Strided s | Strided s, Congruent { m; _ } ->
+    Strided (max 1 (gcd m s))
+  (* an unknown point shifted by a strided range keeps the stride *)
+  | Unknown, Interval i | Interval i, Unknown -> Strided i.stride
+  | Unknown, Strided s | Strided s, Unknown -> Strided s
+  | Unknown, (Const _ | Congruent _ | Unknown) | (Const _ | Congruent _), Unknown
+    -> Unknown
+
+let neg = function
+  | Const n -> Const (-n)
+  | Interval { lo; hi; stride } -> interval ~lo:(-hi) ~hi:(-lo) ~stride
+  | Strided s -> Strided s
+  | Congruent { m; r } -> congruent ~m ~r:(-r)
+  | Unknown -> Unknown
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x * y)
+  | Const k, Interval i | Interval i, Const k ->
+    if k = 0 then Const 0
+    else if k > 0 then interval ~lo:(i.lo * k) ~hi:(i.hi * k) ~stride:(i.stride * k)
+    else interval ~lo:(i.hi * k) ~hi:(i.lo * k) ~stride:(i.stride * -k)
+  | Const k, Strided s | Strided s, Const k ->
+    if k = 0 then Const 0 else Strided (abs (s * k))
+  | Const k, Congruent { m; r } | Congruent { m; r }, Const k ->
+    if k = 0 then Const 0 else congruent ~m:(m * abs k) ~r:(r * k)
+  (* the product of an unknown point and a constant is a known multiple *)
+  | Const k, Unknown | Unknown, Const k ->
+    if k = 0 then Const 0 else if abs k >= 2 then congruent ~m:(abs k) ~r:0
+    else Unknown
+  | _ -> Unknown
+
+let div a b =
+  match (a, b) with
+  | _, Const 0 -> Unknown
+  | Const x, Const y -> Const (x / y)
+  | Interval i, Const k when k > 0 && i.lo >= 0 ->
+    let stride = if i.stride mod k = 0 then i.stride / k else 1 in
+    interval ~lo:(i.lo / k) ~hi:(i.hi / k) ~stride:(max 1 stride)
+  | _ -> Unknown
+
+let mod_ a b =
+  match (a, b) with
+  | _, Const 0 -> Unknown
+  | Const x, Const y -> Const (x mod y)
+  | Interval i, Const k when k > 0 && i.lo >= 0 ->
+    if i.hi < k then interval ~lo:i.lo ~hi:i.hi ~stride:i.stride
+    else interval ~lo:0 ~hi:(k - 1) ~stride:1
+  | Congruent { m; r }, Const k when k > 0 && m mod k = 0 ->
+    (* every element is congruent to r mod k as well; the mod collapses it *)
+    Const (r mod k)
+  | _ -> Unknown
+
+let bounds = function
+  | Const n -> Some (n, n)
+  | Interval { lo; hi; _ } -> Some (lo, hi)
+  | Strided _ | Congruent _ | Unknown -> None
+
+let min_ a b =
+  match (bounds a, bounds b) with
+  | Some (_, ha), Some (lb, _) when ha <= lb -> a
+  | Some (la, _), Some (_, hb) when hb <= la -> b
+  | Some (la, ha), Some (lb, hb) -> interval ~lo:(min la lb) ~hi:(min ha hb) ~stride:1
+  | _ -> Unknown
+
+let max_ a b =
+  match (bounds a, bounds b) with
+  | Some (la, _), Some (_, hb) when hb <= la -> a
+  | Some (_, ha), Some (lb, _) when ha <= lb -> b
+  | Some (la, ha), Some (lb, hb) -> interval ~lo:(max la lb) ~hi:(max ha hb) ~stride:1
+  | _ -> Unknown
+
+let lt a b =
+  match (bounds a, bounds b) with
+  | Some (_, ha), Some (lb, _) when ha < lb -> Some true
+  | Some (la, _), Some (_, hb) when la >= hb -> Some false
+  | _ -> None
+
+let le a b =
+  match (bounds a, bounds b) with
+  | Some (_, ha), Some (lb, _) when ha <= lb -> Some true
+  | Some (la, _), Some (_, hb) when la > hb -> Some false
+  | _ -> None
+
+let eq a b =
+  match (a, b) with
+  | Const x, Const y -> Some (x = y)
+  | Congruent { m; r }, Const c | Const c, Congruent { m; r }
+    when ((c mod m) + m) mod m <> r -> Some false
+  | Congruent a, Congruent b
+    when (let g = gcd a.m b.m in g >= 2 && a.r mod g <> b.r mod g) -> Some false
+  | _ -> (
+    match (bounds a, bounds b) with
+    | Some (la, ha), Some (lb, hb) when ha < lb || hb < la -> Some false
+    | _ -> None)
+
+let member x ~lo ~hi ~stride = x >= lo && x <= hi && (x - lo) mod stride = 0
+
+let overlaps a b =
+  match (a, b) with
+  | Unknown, _ | _, Unknown -> true
+  | Strided _, _ | _, Strided _ -> true (* unknown placement *)
+  | Const x, Const y -> x = y
+  | Const x, Interval { lo; hi; stride } | Interval { lo; hi; stride }, Const x ->
+    member x ~lo ~hi ~stride
+  | Const x, Congruent { m; r } | Congruent { m; r }, Const x ->
+    ((x mod m) + m) mod m = r
+  | Congruent a, Congruent b ->
+    let g = gcd a.m b.m in
+    a.r mod g = b.r mod g
+  | Congruent { m; r }, Interval i | Interval i, Congruent { m; r } ->
+    if i.stride mod m = 0 then ((i.lo mod m) + m) mod m = r
+    else true (* the interval walks through residue classes *)
+  | Interval i, Interval j ->
+    if i.hi < j.lo || j.hi < i.lo then false
+    else if i.stride = j.stride && (i.lo - j.lo) mod i.stride <> 0 then false
+    else true
+
+let union a b =
+  match (a, b) with
+  | Unknown, _ | _, Unknown -> Unknown
+  | Congruent x, Congruent y ->
+    let g = gcd x.m y.m in
+    if g >= 2 && x.r mod g = y.r mod g then congruent ~m:g ~r:(x.r mod g)
+    else Unknown
+  | Congruent { m; r }, Const c | Const c, Congruent { m; r } ->
+    let g = gcd m (abs (c - r)) in
+    if g >= 2 then congruent ~m:g ~r else Unknown
+  | Congruent { m; _ }, o | o, Congruent { m; _ } -> (
+    match stride_of o with
+    | Some s ->
+      let g = gcd m s in
+      if g >= 2 then Strided g else Strided 1
+    | None -> Unknown)
+  | Strided s, o | o, Strided s -> (
+    match stride_of o with
+    | Some s' -> Strided (max 1 (gcd s s'))
+    | None -> Unknown)
+  | Const x, Const y ->
+    if x = y then Const x
+    else interval ~lo:(min x y) ~hi:(max x y) ~stride:(abs (x - y))
+  | Const x, Interval i | Interval i, Const x ->
+    let stride = gcd i.stride (abs (x - i.lo)) in
+    interval ~lo:(min x i.lo) ~hi:(max x i.hi) ~stride:(max 1 stride)
+  | Interval i, Interval j ->
+    let stride = gcd (gcd i.stride j.stride) (abs (i.lo - j.lo)) in
+    interval ~lo:(min i.lo j.lo) ~hi:(max i.hi j.hi) ~stride:(max 1 stride)
+
+let points t ~extent =
+  match t with
+  | Const n -> if n >= 0 && n < extent then [ n ] else []
+  | Interval { lo; hi; stride } ->
+    let rec go x acc =
+      if x > min hi (extent - 1) then List.rev acc
+      else go (x + stride) (if x >= 0 then x :: acc else acc)
+    in
+    go lo []
+  | Congruent { m; r } ->
+    let rec go x acc = if x >= extent then List.rev acc else go (x + m) (x :: acc) in
+    go r []
+  | Strided _ | Unknown -> List.init extent Fun.id

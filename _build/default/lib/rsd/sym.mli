@@ -1,0 +1,73 @@
+(** Abstract index values for the summary side-effect analysis.
+
+    The per-process analysis walks a process's code with its PDV bound to a
+    concrete process id, so index expressions evaluate to one of: a known
+    constant, a strided interval (the footprint of a loop induction
+    variable), or Unknown.  These are the per-dimension entries of a
+    bounded regular section descriptor [HK91]: simple invariant expression,
+    range with bounds and stride, or unknown. *)
+
+type t =
+  | Const of int
+  | Interval of { lo : int; hi : int; stride : int }
+      (** inclusive bounds; [stride >= 1]; represents
+          [{lo, lo+stride, ...} ∩ [lo, hi]] *)
+  | Strided of int
+      (** a section with unknown placement but known stride: the result of
+          adding a dense loop range to an unknown base.  Records the
+          "stride known" factor of the paper's heuristics even when the
+          bounds are not derivable. *)
+  | Congruent of { m : int; r : int }
+      (** values congruent to [r] modulo [m] ([m >= 2]), bounds unknown:
+          the footprint of [task*P + pid] when [task] comes from a dynamic
+          work queue.  Two sections congruent to different residues are
+          disjoint — how per-process structure survives dynamic work
+          distribution, as it does under the paper's PDV-symbolic
+          descriptors. *)
+  | Unknown
+
+val const : int -> t
+val interval : lo:int -> hi:int -> stride:int -> t
+(** Normalizes: an empty range is Unknown-free bottom-ish [Const lo] when
+    [lo = hi]; [lo > hi] raises [Invalid_argument]. *)
+
+val stride_of : t -> int option
+(** The access stride when known ([Const] counts as stride 1;
+    [Congruent] sections have stride [m]). *)
+
+val congruent : m:int -> r:int -> t
+(** Normalizes: [m < 2] gives [Unknown]; [r] is reduced into [\[0, m)]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** {1 Arithmetic} (conservative: Unknown wherever precision is lost) *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val mod_ : t -> t -> t
+val neg : t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+
+(** {1 Queries} *)
+
+val bounds : t -> (int * int) option
+(** [Some (lo, hi)] when both bounds are known. *)
+
+val lt : t -> t -> bool option
+val le : t -> t -> bool option
+val eq : t -> t -> bool option
+(** Decide a comparison when the abstract values permit; [None] otherwise. *)
+
+val overlaps : t -> t -> bool
+(** May the two sections share an element?  Conservative (never a false
+    "disjoint").  [Unknown] overlaps everything. *)
+
+val union : t -> t -> t
+(** Smallest representable section containing both (over-approximate). *)
+
+val points : t -> extent:int -> int list
+(** Concrete elements within [\[0, extent)]: all of them for [Unknown]. *)

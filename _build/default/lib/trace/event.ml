@@ -1,0 +1,4 @@
+type t = { proc : int; write : bool; addr : int }
+
+let pp fmt t =
+  Format.fprintf fmt "P%d %s 0x%x" t.proc (if t.write then "W" else "R") t.addr

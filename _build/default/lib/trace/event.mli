@@ -1,0 +1,14 @@
+(** Memory reference trace events.
+
+    An event is one shared-memory reference by one simulated processor.
+    References injected by a transformation (the pointer load of
+    indirection) are ordinary reads and are not distinguished here; they
+    simply appear in the stream, as they would on real hardware. *)
+
+type t = {
+  proc : int;      (** issuing processor, [0 .. nprocs-1] *)
+  write : bool;    (** true for writes *)
+  addr : int;      (** byte address *)
+}
+
+val pp : Format.formatter -> t -> unit

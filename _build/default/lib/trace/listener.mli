@@ -1,0 +1,31 @@
+(** Execution listeners: the full event interface between the interpreter
+    and its consumers.
+
+    A {!Sink.t} sees only memory references, which is all a cache simulator
+    needs.  The KSR2 timing model additionally needs synchronization events
+    (to align processor clocks at barriers and serialize at locks) and the
+    amount of computation between references (to charge CPU cycles), so the
+    interpreter reports through this richer interface. *)
+
+type t = {
+  access : proc:int -> write:bool -> addr:int -> unit;
+  work : proc:int -> amount:int -> unit;
+      (** [amount] interpreter work units (≈ statements) executed by [proc]
+          since its previous event. *)
+  barrier_arrive : proc:int -> unit;
+  barrier_release : unit -> unit;
+      (** all live processes have arrived; everyone proceeds *)
+  lock_wait : proc:int -> addr:int -> unit;
+      (** [proc] found the lock at [addr] held and blocked *)
+  lock_grant : proc:int -> addr:int -> from:int -> unit;
+      (** [proc] now owns the lock; [from] is the releasing processor, or
+          [-1] when the lock was free on arrival *)
+}
+
+val null : t
+
+val of_sink : Sink.t -> t
+(** Forward accesses to the sink; ignore everything else. *)
+
+val combine : t -> t -> t
+(** Deliver every event to both listeners, left first. *)

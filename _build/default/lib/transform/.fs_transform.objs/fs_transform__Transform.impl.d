@@ -1,0 +1,1 @@
+lib/transform/transform.ml: Array Format Fs_analysis Fs_ir Fs_layout Fs_rsd Fun Hashtbl List Option Printf

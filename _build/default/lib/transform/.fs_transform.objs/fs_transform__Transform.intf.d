@@ -1,0 +1,1 @@
+lib/transform/transform.mli: Format Fs_analysis Fs_ir Fs_layout

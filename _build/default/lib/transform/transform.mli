@@ -1,0 +1,66 @@
+(** The transformation heuristics of Section 3.3.
+
+    Classifies every summarized shared datum from the per-process
+    side-effect analysis and chooses a transformation:
+
+    - {b group & transpose} when the writes are per-process (disjoint
+      regular sections across process ids) and the variable is a plain
+      array with an identifiable PDV axis;
+    - {b indirection} when the per-process data is a field embedded in an
+      array of records, so the layout of the record array itself cannot be
+      transposed;
+    - {b pad & align} when both reads and writes are shared across
+      processes without processor or spatial locality (busy scalars,
+      scattered record updates);
+    - {b lock padding} always, when the program has locks.
+
+    Group & transpose / indirection additionally require the reads to be
+    per-process or shared {e without} locality; reads shared {e with}
+    locality are tolerated only when writes outweigh reads by at least
+    {!default_options.write_read_ratio} (an order of magnitude in the
+    paper).  Data whose estimated access weight falls below
+    [hot_threshold] (as a share of the total) is left untouched — the
+    static-profiling misestimates the paper reports for busy scalars in
+    Maxflow and Raytrace enter exactly here. *)
+
+type options = {
+  hot_threshold : float;    (** minimum share of total access weight *)
+  write_read_ratio : float; (** writes must dominate reads by this factor
+                                when reads are shared with locality *)
+  rsd_limit : int;
+  profile : bool;           (** static-profile weighting (ablation hook) *)
+  pad_locks : bool;         (** pad locks (ablation hook) *)
+}
+
+val default_options : options
+
+type decision =
+  | Keep
+  | Group of { axis : int }
+  | Regroup of { ways : int; chunked : bool }
+      (** group & transpose expressed on a flat array's outer index
+          arithmetic; realized by {!Fs_layout.Plan.Regroup} *)
+  | Indirection of { field : string }
+  | Pad of { element : bool }
+
+type entry = {
+  key : Fs_analysis.Summary.key;
+  read_weight : float;
+  write_weight : float;
+  dominant_phase : int;
+  per_process_writes : bool;
+  decision : decision;
+  reason : string;  (** human-readable justification *)
+}
+
+type report = {
+  entries : entry list;
+  plan : Fs_layout.Plan.t;
+  summary : Fs_analysis.Summary.t;
+}
+
+val plan : ?options:options -> Fs_ir.Ast.program -> nprocs:int -> report
+(** Run the full analysis and heuristics.  The returned plan validates
+    against the program. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,9 @@
+let round_up n align =
+  if align <= 0 then invalid_arg "Align.round_up: align must be positive";
+  if n < 0 then invalid_arg "Align.round_up: n must be non-negative";
+  (n + align - 1) / align * align
+
+let is_aligned n align = n mod align = 0
+let block_of ~block addr = addr / block
+let word_of ~word addr = addr / word
+let is_power_of_two n = n > 0 && n land (n - 1) = 0

@@ -1,0 +1,16 @@
+(** Alignment arithmetic on byte addresses and sizes. *)
+
+val round_up : int -> int -> int
+(** [round_up n align] is the smallest multiple of [align] that is [>= n].
+    @raise Invalid_argument if [align <= 0] or [n < 0]. *)
+
+val is_aligned : int -> int -> bool
+(** [is_aligned n align] holds when [n] is a multiple of [align]. *)
+
+val block_of : block:int -> int -> int
+(** [block_of ~block addr] is the block number containing byte [addr]. *)
+
+val word_of : word:int -> int -> int
+(** [word_of ~word addr] is the word number containing byte [addr]. *)
+
+val is_power_of_two : int -> bool

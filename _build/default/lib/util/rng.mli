@@ -1,0 +1,28 @@
+(** Deterministic splittable pseudo-random number generator.
+
+    Every stochastic choice in the workload generators draws from one of
+    these, seeded from the experiment parameters, so that every experiment
+    is exactly reproducible.  The implementation is SplitMix64. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] is advanced. *)
+
+val int : t -> int -> int
+(** [int t bound] returns a uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] returns a uniform float in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bits64 : t -> int64
+(** The raw 64-bit output of the generator. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,29 @@
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let geomean = function
+  | [] -> 0.0
+  | l ->
+    let log_sum =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.geomean: non-positive entry";
+          acc +. log x)
+        0.0 l
+    in
+    exp (log_sum /. float_of_int (List.length l))
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let argmax f = function
+  | [] -> None
+  | x :: rest ->
+    let best, _ =
+      List.fold_left
+        (fun (bx, bv) y ->
+          let v = f y in
+          if v > bv then (y, v) else (bx, bv))
+        (x, f x) rest
+    in
+    Some best

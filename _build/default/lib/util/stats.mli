@@ -1,0 +1,14 @@
+(** Small numeric helpers used when aggregating experiment results. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0.0 for the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; 0.0 for the empty list.
+    @raise Invalid_argument on non-positive entries. *)
+
+val ratio : int -> int -> float
+(** [ratio num den] is [num /. den], or 0.0 when [den = 0]. *)
+
+val argmax : ('a -> float) -> 'a list -> 'a option
+(** Element maximizing [f]; [None] on the empty list.  Ties keep the first. *)

@@ -1,0 +1,45 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?header ?aligns rows =
+  let all = match header with None -> rows | Some h -> h :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  if ncols = 0 then ""
+  else begin
+    let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+    let width i =
+      List.fold_left (fun acc r -> max acc (String.length (cell r i))) 0 all
+    in
+    let widths = Array.init ncols width in
+    let align_of i =
+      match aligns with
+      | Some l -> (match List.nth_opt l i with Some a -> a | None -> Right)
+      | None -> if i = 0 then Left else Right
+    in
+    let line row =
+      String.concat "  "
+        (List.init ncols (fun i -> pad (align_of i) widths.(i) (cell row i)))
+    in
+    let body = List.map line rows in
+    let lines =
+      match header with
+      | None -> body
+      | Some h ->
+        let rule =
+          String.concat "  "
+            (List.init ncols (fun i -> String.make widths.(i) '-'))
+        in
+        line h :: rule :: body
+    in
+    String.concat "\n" lines ^ "\n"
+  end
+
+let pct f = Printf.sprintf "%.1f%%" (100.0 *. f)
+let f1 f = Printf.sprintf "%.1f" f
+let f2 f = Printf.sprintf "%.2f" f

@@ -1,0 +1,23 @@
+(** Plain-text table rendering for experiment output. *)
+
+type align = Left | Right
+
+val render :
+  ?header:string list ->
+  ?aligns:align list ->
+  string list list ->
+  string
+(** [render ?header ?aligns rows] lays the rows out in fixed-width columns
+    separated by two spaces, with an underline below the header when one is
+    given.  [aligns] defaults to left for the first column and right for the
+    rest.  Ragged rows are padded with empty cells. *)
+
+val pct : float -> string
+(** [pct f] formats a fraction as a percentage with one decimal, e.g.
+    [pct 0.565 = "56.5%"]. *)
+
+val f1 : float -> string
+(** One-decimal float. *)
+
+val f2 : float -> string
+(** Two-decimal float. *)

@@ -1,0 +1,1 @@
+lib/workloads/maxflow.ml: Fs_ir Wl_common Workload

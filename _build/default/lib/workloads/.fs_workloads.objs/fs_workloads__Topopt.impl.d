@@ -1,0 +1,1 @@
+lib/workloads/topopt.ml: Fs_ir Fs_layout Wl_common Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Fs_ir Fs_layout List

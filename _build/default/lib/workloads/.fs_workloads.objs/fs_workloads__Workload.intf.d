@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Fs_ir Fs_layout

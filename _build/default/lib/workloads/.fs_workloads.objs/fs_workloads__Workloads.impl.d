@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Fmm Locusroute Maxflow Mp3d Pthor Pverify Radiosity Raytrace Topopt Water Workload

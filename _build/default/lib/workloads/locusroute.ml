@@ -1,0 +1,97 @@
+(** LocusRoute — VLSI standard cell router (SPLASH; Rose).
+
+    Wires are routed in parallel: each wire's route writes a unit-stride
+    run of cost-grid cells, and per-region occupancy counters are updated
+    under per-region locks.
+
+    Expected behaviour (Table 3: compiler 12.3 at 20 processors,
+    programmer 12.0 at 20 — nearly equal):
+    - [grid] — the cost array — is write-shared, but routes are unit-stride
+      runs: apparent spatial locality keeps it untouched (both versions);
+    - [wirestat] — hot per-process routing statistics — group & transpose;
+    - [region] records co-allocate an occupancy counter with its lock: the
+      compiler's lock padding separates them; the SPLASH programmer left
+      the locks co-allocated with the data they protect (Section 5 names
+      LocusRoute among the programs that suffered from unpadded and
+      co-allocated locks). *)
+
+open Fs_ir.Dsl
+open Wl_common
+
+let rounds = 3
+
+let build ~nprocs ~scale =
+  let g = 2048 * scale in    (* cost grid cells *)
+  let nwires = 48 * scale in
+  let nregions = 16 in
+  let runlen = 12 in
+  let region =
+    { Fs_ir.Ast.sname = "region";
+      fields = [ ("occ", int_t); ("rlock", lock_t) ] }
+  in
+  Fs_ir.Validate.validate_exn
+    (program ~name:"locusroute" ~structs:[ region ]
+       ~globals:
+         [ ("grid", arr int_t g);
+           ("wsrc", arr int_t nwires);
+           ("regions", arr (struct_t "region") nregions);
+           ("wirestat", arr int_t nprocs);
+           ("bends", arr int_t nprocs);
+           ("checksum", int_t);
+         ]
+       [ fn "main" []
+           ([ master
+                [ decl "s" (i 60221);
+                  sfor "w" (i 0) (i nwires)
+                    [ lcg_next "s";
+                      (v "wsrc").%(p "w") <-- lcg_mod "s" (g - runlen) ] ];
+              barrier;
+              sfor "round" (i 0) (i rounds)
+                (interleaved ~idx:"w" ~nprocs ~n:nwires (fun w ->
+                     [ decl "base" (ld (v "wsrc").%(w));
+                       (* rip up and re-route: a unit-stride run of grid
+                          cells has its cost bumped *)
+                       decl "cost" (i 0);
+                       sfor "j" (i 0) (i runlen)
+                         (spin 80
+                          @ [ set "cost" (p "cost" +% ld (v "grid").%(p "base" +% p "j"));
+                              bump ((v "grid").%(p "base" +% p "j")) (i 1) ]);
+                       (* per-region occupancy under the region's lock *)
+                       decl "rg" (p "base" %% i nregions);
+                       lock ((v "regions").%(p "rg").%{"rlock"});
+                       bump ((v "regions").%(p "rg").%{"occ"}) (i 1);
+                       unlock ((v "regions").%(p "rg").%{"rlock"});
+                       (* hot per-process statistics, once per grid cell *)
+                       sfor "j" (i 0) (i runlen)
+                         [ bump ((v "wirestat").%(pdv)) (i 1) ];
+                       bump ((v "bends").%(pdv)) (p "cost" %% i 5) ])
+                 @ [ barrier ]) ]
+            @ [ master
+                  [ decl "sum" (i 0);
+                    sfor "c" (i 0) (i g)
+                      [ set "sum" ((p "sum" +% ld (v "grid").%(p "c")) %% i 1000003) ];
+                    (v "checksum") <-- p "sum" ] ])
+       ])
+
+let spec =
+  {
+    Workload.name = "locusroute";
+    description = "VLSI standard cell router";
+    lines_of_c = 6709;
+    versions = [ Workload.C; Workload.P ];  (* Table 1: no unoptimized run *)
+    fig3_procs = 12;
+    default_scale = 2;
+    build;
+    programmer_plan =
+      Some
+        (fun ~nprocs:_ ~scale:_ ->
+          (* the SPLASH programmer organized the statistics by processor but
+             kept the locks co-allocated with the region counters *)
+          [ Fs_layout.Plan.Group_transpose
+              { vars = [ "bends"; "wirestat" ]; pdv_axis = 0 } ]);
+    notes =
+      "Unit-stride cost-grid writes (kept: spatial locality), hot \
+       per-process statistics (group & transpose), per-region locks \
+       co-allocated with occupancy counters (lock padding vs programmer's \
+       co-allocation).";
+  }

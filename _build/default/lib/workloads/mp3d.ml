@@ -1,0 +1,115 @@
+(** Mp3d — rarefied hypersonic fluid flow (SPLASH; McDonald).
+
+    Particles are moved in parallel and scored into space cells; collision
+    statistics are kept globally.  Mp3d is the SPLASH program most
+    notorious for false sharing: particles are assigned round-robin, so
+    consecutive particle records belong to different processors, and the
+    space cells are updated through particle positions.
+
+    Expected behaviour (Table 3: compiler 2.9 at 28 processors,
+    programmer 1.3 at 4 — the programmer version barely scales):
+    - [part] — particle records assigned [k*P+pid] — group & transpose
+      (regrouped strided): the dominant fix;
+    - [space] — cell records written through particle positions, scattered
+      without locality — pad & align per element;
+    - [colstat] — global collision counters written by everyone — padded;
+    - the reservoir lock sits next to the collision counters — lock
+      padding.
+
+    The programmer version only separates the space cells; the particle
+    interleaving and the lock placement stay, which is why it stops
+    scaling at 4 processors in Table 3. *)
+
+open Fs_ir.Dsl
+open Wl_common
+
+let rounds = 5
+
+let build ~nprocs ~scale =
+  let n = 96 * scale in  (* particles *)
+  let m = 48 in          (* space cells *)
+  let particle =
+    { Fs_ir.Ast.sname = "particle";
+      fields = [ ("px", int_t); ("pv", int_t); ("pe", int_t) ] }
+  in
+  let cellr =
+    { Fs_ir.Ast.sname = "cellr";
+      fields = [ ("density", int_t); ("momentum", int_t) ] }
+  in
+  let cst =
+    { Fs_ir.Ast.sname = "cst";
+      fields = [ ("collisions", int_t); ("escapes", int_t) ] }
+  in
+  let pt i_ fld = (v "part").%(i_).%{fld} in
+  Fs_ir.Validate.validate_exn
+    (program ~name:"mp3d" ~structs:[ particle; cellr; cst ]
+       ~globals:
+         [ ("part", arr (struct_t "particle") n);
+           ("space", arr (struct_t "cellr") m);
+           ("colstat", struct_t "cst");
+           ("reslock", lock_t);
+           ("reservoir", int_t);
+           ("checksum", int_t);
+         ]
+       [ fn "main" []
+           ([ master
+                [ decl "s" (i 98765);
+                  sfor "k" (i 0) (i n)
+                    [ lcg_next "s";
+                      pt (p "k") "px" <-- lcg_mod "s" 4096;
+                      lcg_next "s";
+                      pt (p "k") "pv" <-- (lcg_mod "s" 15 +% i 1);
+                      pt (p "k") "pe" <-- i 0 ];
+                  (v "reservoir") <-- i n ];
+              barrier;
+              sfor "round" (i 0) (i rounds)
+                (interleaved ~idx:"k" ~nprocs ~n (fun k ->
+                     spin 12
+                     @ [ (* move: advance own particle (round-robin records) *)
+                         decl "x" ((ld (pt k "px") +% ld (pt k "pv")) %% i 4096);
+                       pt k "px" <-- p "x";
+                       bump (pt k "pe") (ld (pt k "pv") /% i 4);
+                       (* score into the space cell under the position *)
+                       decl "c" (p "x" %% i m);
+                       bump ((v "space").%(p "c").%{"density"}) (i 1);
+                       bump ((v "space").%(p "c").%{"momentum"}) (ld (pt k "pv"));
+                       (* collide occasionally: global counters *)
+                       when_ ((p "x" %% i 7) ==% i 0)
+                         [ bump ((v "colstat").%{"collisions"}) (i 1);
+                           pt k "pv" <-- (i 1 +% (ld (pt k "pv") %% i 15)) ];
+                       when_ ((p "x" %% i 31) ==% i 0)
+                         [ lock (v "reslock");
+                           bump (v "reservoir") (i (-1));
+                           bump ((v "colstat").%{"escapes"}) (i 1);
+                           unlock (v "reslock") ] ])
+                 @ [ barrier ]) ]
+            @ [ master
+                  [ decl "sum" (i 0);
+                    sfor "c" (i 0) (i m)
+                      [ set "sum"
+                          ((p "sum" +% ld (v "space").%(p "c").%{"density"})
+                           %% i 1000003) ];
+                    (v "checksum") <-- (p "sum" +% ld (v "reservoir")) ] ])
+       ])
+
+let spec =
+  {
+    Workload.name = "mp3d";
+    description = "Rarefied fluid flow";
+    lines_of_c = 1653;
+    versions = [ Workload.C; Workload.P ];
+    fig3_procs = 12;
+    default_scale = 2;
+    build;
+    programmer_plan =
+      Some
+        (fun ~nprocs:_ ~scale:_ ->
+          (* the programmer separated the space cells but left the particle
+             interleaving, the global counters and the lock placement *)
+          [ Fs_layout.Plan.Pad_align { var = "space"; element = true } ]);
+    notes =
+      "Round-robin particle records (group & transpose, strided), space \
+       cells written through particle positions (pad & align), global \
+       collision counters (pad & align), reservoir lock packed with the \
+       counters (lock padding).";
+  }

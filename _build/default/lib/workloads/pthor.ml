@@ -1,0 +1,98 @@
+(** Pthor — parallel distributed-time logic simulator (SPLASH; Soulé).
+
+    Event-driven circuit simulation: each process owns an interleaved slice
+    of the event list, evaluates the element each event targets, and posts
+    follow-up events into its own slots.  Element state is read and written
+    across processes under per-element locks — Pthor has substantial
+    {e true} sharing, which is why neither version scales well in Table 3
+    (compiler 2.8 at 4 processors, programmer 2.2 at 4).
+
+    Expected behaviour:
+    - [evq] — per-process event slots interleaved [k*P+pid] — group &
+      transpose (the opportunity Section 5 says the Pthor programmer
+      missed);
+    - [elem] — element records written through event targets, scattered —
+      pad & align per element (also missed by the programmer);
+    - [elock] — per-element lock array — lock padding (the programmer did
+      pad the locks). *)
+
+open Fs_ir.Dsl
+open Wl_common
+
+let rounds = 6
+
+let build ~nprocs ~scale =
+  let nelem = 48 * scale in
+  let nev = 96 * scale in  (* event slots *)
+  let element =
+    { Fs_ir.Ast.sname = "element";
+      fields = [ ("state", int_t); ("delay", int_t); ("fanout", int_t) ] }
+  in
+  Fs_ir.Validate.validate_exn
+    (program ~name:"pthor" ~structs:[ element ]
+       ~globals:
+         [ ("elem", arr (struct_t "element") nelem);
+           ("evq", arr int_t nev);
+           ("elock", arr lock_t nelem);
+           ("now", int_t);
+           ("processed", int_t);
+           ("checksum", int_t);
+         ]
+       [ fn "main" []
+           ([ master
+                [ decl "s" (i 13579);
+                  sfor "e" (i 0) (i nelem)
+                    [ lcg_next "s";
+                      (v "elem").%(p "e").%{"state"} <-- lcg_mod "s" 2;
+                      lcg_next "s";
+                      (v "elem").%(p "e").%{"delay"} <-- (lcg_mod "s" 7 +% i 1);
+                      lcg_next "s";
+                      (v "elem").%(p "e").%{"fanout"} <-- lcg_mod "s" nelem ];
+                  sfor "q" (i 0) (i nev)
+                    [ (v "evq").%(p "q") <-- (p "q" %% i nelem) ] ];
+              barrier;
+              sfor "round" (i 0) (i rounds)
+                (interleaved ~idx:"k" ~nprocs ~n:nev (fun k ->
+                     spin 40
+                     @ [ (* pop own event slot *)
+                         decl "target" (ld (v "evq").%(k));
+                       (* evaluate the element under its lock *)
+                       lock ((v "elock").%(p "target"));
+                       decl "st" (ld (v "elem").%(p "target").%{"state"});
+                       decl "nx" (ld (v "elem").%(p "target").%{"fanout"});
+                       (v "elem").%(p "target").%{"state"}
+                       <-- ((p "st" +% ld (v "elem").%(p "target").%{"delay"}) %% i 16);
+                       unlock ((v "elock").%(p "target"));
+                       (* post the follow-up event into the same own slot *)
+                       (v "evq").%(k) <-- p "nx" ])
+                 @ [ barrier ]) ]
+            @ [ master
+                  [ decl "sum" (i 0);
+                    sfor "e" (i 0) (i nelem)
+                      [ set "sum"
+                          ((p "sum" +% ld (v "elem").%(p "e").%{"state"})
+                           %% i 1000003) ];
+                    (v "checksum") <-- p "sum" ] ])
+       ])
+
+let spec =
+  {
+    Workload.name = "pthor";
+    description = "Circuit simulator";
+    lines_of_c = 9420;
+    versions = [ Workload.C; Workload.P ];
+    fig3_procs = 12;
+    default_scale = 2;
+    build;
+    programmer_plan =
+      Some
+        (fun ~nprocs:_ ~scale:_ ->
+          (* the programmer padded the locks but missed the event-slot
+             group & transpose and the element padding (Section 5) *)
+          [ Fs_layout.Plan.Pad_locks ]);
+    notes =
+      "Interleaved per-process event slots (group & transpose), element \
+       records written through event targets under per-element locks \
+       (pad & align + lock padding), heavy cross-process element state \
+       traffic (true sharing that bounds both versions' scalability).";
+  }

@@ -1,0 +1,129 @@
+(** Pverify — parallel logic verification (Ma, Devadas, Wei,
+    Sangiovanni-Vincentelli, DAC'87).
+
+    Processes verify a combinational circuit against test vectors: vectors
+    are distributed round-robin; for each vector a process evaluates every
+    gate in topological order.  The per-process state of the evaluation —
+    a gate's value and visit count {e for this process} — is embedded in
+    the gate records as PDV-indexed field arrays, the data structure the
+    paper singles out for Pverify: laid out to match the natural way of
+    thinking about the algorithm, and disastrous for false sharing
+    (adjacent processes' values share every gate's cache lines).
+
+    Compiler behaviour reproduced (Table 2: indirection 81.6%, group &
+    transpose 6.4%, locks 3.1%):
+    - [gates.val]/[gates.visited] — per-process fields embedded in a record
+      array — indirection;
+    - [done_cnt]/[fail_cnt] — per-process counter vectors — grouped and
+      transposed;
+    - the result lock, packed next to the counters — lock padding.
+
+    The programmer version pads the gate records to block boundaries but
+    misses both indirection and group & transpose (Section 5: "the
+    programmer missed opportunities to apply group & transpose in ...
+    Pverify ...; indirection in Pverify ..."). *)
+
+open Fs_ir.Dsl
+open Wl_common
+
+let build ~nprocs ~scale =
+  let n = 48 * scale in      (* gates *)
+  let nvec = 24 * scale in   (* test vectors, fixed: strong scaling *)
+  let gate =
+    { Fs_ir.Ast.sname = "gate";
+      fields =
+        [ ("typ", int_t);
+          ("in0", int_t);
+          ("in1", int_t);
+          ("val", arr int_t nprocs);
+          ("visited", arr int_t nprocs);
+        ] }
+  in
+  let g_ fld = (v "gates").%(p "g").%{fld} in
+  Fs_ir.Validate.validate_exn
+    (program ~name:"pverify" ~structs:[ gate ]
+       ~globals:
+         [ ("gates", arr (struct_t "gate") n);
+           ("done_cnt", arr int_t nprocs);
+           ("fail_cnt", arr int_t nprocs);
+           ("mismatch", int_t);
+           ("golden", arr int_t 32);
+           ("rlock", lock_t);
+         ]
+       [ fn "main" []
+           ([ master
+                [ decl "s" (i 271828);
+                  sfor "g" (i 0) (i n)
+                    [ lcg_next "s";
+                      g_ "typ" <-- lcg_mod "s" 4;
+                      lcg_next "s";
+                      (* inputs come from earlier gates: topological order *)
+                      g_ "in0" <-- (p "s" %% max_ (p "g") (i 1));
+                      lcg_next "s";
+                      g_ "in1" <-- (p "s" %% max_ (p "g") (i 1)) ] ];
+              barrier ]
+            @ interleaved ~idx:"vec" ~nprocs ~n:nvec (fun vec ->
+                  [ sfor "g" (i 0) (i n)
+                      (spin 120
+                       @ [ decl "t" (ld (g_ "typ"));
+                        decl "a" (i 0);
+                        decl "b" (i 0);
+                        sif (p "g" <% i 2)
+                          [ (* primary inputs are bits of the vector id *)
+                            set "a" ((vec /% (p "g" +% i 1)) %% i 2);
+                            set "b" ((vec /% (p "g" +% i 2)) %% i 2) ]
+                          [ decl "i0" (ld (g_ "in0"));
+                            decl "i1" (ld (g_ "in1"));
+                            set "a" (ld (v "gates").%(p "i0").%{"val"}.%(pdv));
+                            set "b" (ld (v "gates").%(p "i1").%{"val"}.%(pdv)) ];
+                        decl "r" (i 0);
+                        sif (p "t" ==% i 0)
+                          [ set "r" (min_ (p "a") (p "b")) ]          (* and *)
+                          [ sif (p "t" ==% i 1)
+                              [ set "r" (max_ (p "a") (p "b")) ]      (* or *)
+                              [ sif (p "t" ==% i 2)
+                                  [ set "r" ((p "a" +% p "b") %% i 2) ]  (* xor *)
+                                  [ set "r" (i 1 -% min_ (p "a") (p "b")) ] ] ]; (* nand *)
+                        (g_ "val").%(pdv) <-- p "r";
+                        bump ((g_ "visited").%(pdv)) (i 1);
+                        bump ((v "done_cnt").%(pdv)) (i 1) ]);
+                    when_ (ld (v "gates").%(i (n - 1)).%{"val"}.%(pdv) ==% i 1)
+                      [ bump ((v "fail_cnt").%(pdv)) (i 1) ];
+                    (* serial verification against the golden table: the
+                       result log is checked one vector at a time *)
+                    lock (v "rlock");
+                    decl "gsum" (i 0);
+                    sfor "gg" (i 0) (i 32)
+                      (spin 50
+                       @ [ set "gsum" (p "gsum" +% ld (v "golden").%(p "gg")) ]);
+                    (v "golden").%(vec %% i 32)
+                    <-- ((p "gsum" +% vec) %% i 65537);
+                    unlock (v "rlock") ])
+            @ [ barrier;
+                lock (v "rlock");
+                bump (v "mismatch") (ld (v "fail_cnt").%(pdv));
+                unlock (v "rlock") ])
+       ])
+
+let spec =
+  {
+    Workload.name = "pverify";
+    description = "Logic verification";
+    lines_of_c = 2759;
+    versions = [ Workload.N; Workload.C; Workload.P ];
+    fig3_procs = 12;
+    default_scale = 2;
+    build;
+    programmer_plan =
+      Some
+        (fun ~nprocs:_ ~scale:_ ->
+          (* the programmer padded the gate records and the lock, but missed
+             the indirection on the embedded per-process fields and the
+             group & transpose on the counter vectors *)
+          [ Fs_layout.Plan.Pad_align { var = "gates"; element = true };
+            Fs_layout.Plan.Pad_locks ]);
+    notes =
+      "Per-process value/visit fields embedded in gate records \
+       (indirection), per-process counter vectors (group & transpose), \
+       result lock packed with the counters (lock padding).";
+  }

@@ -1,0 +1,133 @@
+(** Radiosity — equilibrium distribution of light (SPLASH2; Singh, Gupta,
+    Levoy, IEEE Computer 1994).
+
+    Iterative gathering: each round, patches are handed out through a
+    task queue; the owner of a patch gathers the form-factor-weighted
+    radiosity of every other patch into {e its own} contribution slot for
+    that patch ([contrib\[patch*P + pid\]]), and a combining pass then
+    folds the slots back into the patch radiosities.
+
+    Compiler behaviour reproduced (Table 2: group & transpose 85.6%,
+    pad & align 1.0%, locks 6.8%):
+    - [contrib] — per-process slots interleaved behind a {e dynamic} task
+      index: the descriptors are congruence sections ([≡ pid mod P]),
+      still provably disjoint — group & transpose (regrouped strided);
+    - [patch] — combined in contiguous per-process chunks — group &
+      transpose (chunked);
+    - [stats] — a small record of convergence data written by every
+      process every round — pad & align (the paper's 1.0%);
+    - [qlock] sits right next to the queue counters — lock padding.
+
+    The programmer (SPLASH2) version groups and transposes [contrib] but
+    leaves the lock co-allocated with the queue counters and the stats
+    record unpadded — "Radiosity, LocusRoute and MP3D suffered from both"
+    (Section 5). *)
+
+open Fs_ir.Dsl
+open Wl_common
+
+let rounds = 5
+let batch = 8
+
+let build ~nprocs ~scale =
+  let m = 48 * scale in  (* patches *)
+  let st =
+    { Fs_ir.Ast.sname = "st";
+      fields = [ ("iters", int_t); ("maxerr", int_t); ("conv", int_t) ] }
+  in
+  let slot t q = (t *% i nprocs) +% q in
+  Fs_ir.Validate.validate_exn
+    (program ~name:"radiosity" ~structs:[ st ]
+       ~globals:
+         [ ("rad", arr int_t m);
+           ("area", arr int_t m);
+           ("contrib", arr int_t (m * nprocs));
+           ("qhead", int_t);
+           ("qtail", int_t);
+           ("qlock", lock_t);
+           ("stats", struct_t "st");
+           ("checksum", int_t);
+         ]
+       [ fn "main" []
+           [ master
+               [ decl "s" (i 16180);
+                 sfor "j" (i 0) (i m)
+                   [ lcg_next "s";
+                     (v "rad").%(p "j") <-- (lcg_mod "s" 100 +% i 1);
+                     lcg_next "s";
+                     (v "area").%(p "j") <-- (lcg_mod "s" 20 +% i 1) ] ];
+             barrier;
+             sfor "round" (i 0) (i rounds)
+               ([ master [ (v "qhead") <-- i 0; (v "qtail") <-- i m ];
+                  barrier;
+                  (* gather: grab patches from the queue in batches *)
+                  decl "more" (i 1);
+                  swhile (p "more")
+                    [ lock (v "qlock");
+                      decl "t0" (ld (v "qhead"));
+                      decl "lim" (min_ (p "t0" +% i batch) (ld (v "qtail")));
+                      sif (p "t0" <% p "lim")
+                        [ (v "qhead") <-- p "lim" ]
+                        [ set "more" (i 0) ];
+                      unlock (v "qlock");
+                      when_ (p "more")
+                        [ sfor "t" (p "t0") (p "lim")
+                            [ decl "acc" (i 0);
+                              (* only the patches visible from t matter *)
+                              sfor "k" (i 0) (i (m / 8))
+                                (spin 30
+                                 @ [ decl "u" ((p "t" +% p "k" +% p "round") %% i m);
+                                     set "acc"
+                                       (p "acc"
+                                        +% (ld (v "rad").%(p "u")
+                                            *% ld (v "area").%(p "u")
+                                            /% (p "t" +% p "u" +% i 1))) ]);
+                              (* own contribution slot for this patch *)
+                              bump ((v "contrib").%(slot (p "t") pdv)) (p "acc") ] ] ];
+                  barrier ]
+                (* combine: fold every process's slots into the patches *)
+                @ chunked ~idx:"j" ~nprocs ~n:m (fun j ->
+                      [ decl "s" (i 0);
+                        sfor "q" (i 0) (i nprocs)
+                          [ set "s" (p "s" +% ld (v "contrib").%(slot j (p "q"))) ];
+                        decl "old" (ld (v "rad").%(j));
+                        (v "rad").%(j) <-- ((p "old" +% (p "s" /% i 16)) %% i 100003);
+                        (* convergence statistics: written by everyone *)
+                        decl "d" (max_ (p "old" -% ld (v "rad").%(j))
+                                    (ld (v "rad").%(j) -% p "old"));
+                        (v "stats").%{"maxerr"}
+                        <-- max_ (ld (v "stats").%{"maxerr"}) (p "d");
+                        bump ((v "stats").%{"iters"}) (i 1) ])
+                @ [ barrier;
+                    (* each process clears its own slots for the next round *)
+                    sfor "t" (i 0) (i m) [ (v "contrib").%(slot (p "t") pdv) <-- i 0 ];
+                    barrier ]);
+             master
+               [ decl "sum" (i 0);
+                 sfor "j" (i 0) (i m)
+                   [ set "sum" ((p "sum" +% ld (v "rad").%(p "j")) %% i 1000003) ];
+                 (v "checksum") <-- (p "sum" +% ld (v "stats").%{"iters"}) ] ]
+       ])
+
+let spec =
+  {
+    Workload.name = "radiosity";
+    description = "Equilibrium distribution of light";
+    lines_of_c = 10908;
+    versions = [ Workload.N; Workload.C; Workload.P ];
+    fig3_procs = 12;
+    default_scale = 2;
+    build;
+    programmer_plan =
+      Some
+        (fun ~nprocs ~scale:_ ->
+          (* the SPLASH2 source groups the contribution slots by processor,
+             but the queue lock stays co-allocated with the counters and the
+             statistics record is unpadded *)
+          [ Fs_layout.Plan.Regroup { var = "contrib"; ways = nprocs; chunked = false } ]);
+    notes =
+      "Per-process contribution slots behind a dynamic task queue \
+       (congruence sections; group & transpose), chunked combining pass \
+       (group & transpose), convergence stats written by all (pad & \
+       align), queue lock packed with the queue counters (lock padding).";
+  }

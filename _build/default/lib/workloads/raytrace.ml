@@ -1,0 +1,128 @@
+(** Raytrace — rendering of a 3-dimensional scene (SPLASH2; Singh, Gupta,
+    Levoy, IEEE Computer 1994).
+
+    Image rows are handed out dynamically through a row counter; for each
+    pixel the owning process intersects a ray against every scene object
+    (unit-stride, read-shared — good spatial locality) and bumps its own
+    ray/hit statistics vectors on every pixel.
+
+    Compiler behaviour reproduced (Table 2: group & transpose 70.4%,
+    pad & align 3.3%, locks 4.6%, and a residual):
+    - [rays]/[hits]/[depth] — hot per-process statistics vectors — grouped
+      and transposed together;
+    - [img] — per-row results written behind the dynamic row index —
+      scattered write-shared ints without locality — pad & align;
+    - [rowlock] — lock padding;
+    - [rowcnt]/[raysdone] — busy scalars updated once per row grab inside
+      the statically unbounded while loop: static profiling underestimates
+      them, they stay packed together, and their block keeps ping-ponging —
+      the residual false sharing the paper attributes to "a few busy,
+      write-shared scalars" in Raytrace.
+
+    The programmer (SPLASH2-derived) version grouped the statistics
+    vectors, but {e also} padded and aligned the scene object array — data
+    the analysis concludes is not predominantly accessed per-process; the
+    padding costs read spatial locality, which is why the programmer
+    version trails the compiler version slightly in Table 3 (9.2 vs 9.6). *)
+
+open Fs_ir.Dsl
+open Wl_common
+
+let width = 48
+
+let build ~nprocs ~scale =
+  let rows = 24 * scale in
+  let nobj = 24 * scale in
+  let obj =
+    { Fs_ir.Ast.sname = "obj";
+      fields = [ ("ox", int_t); ("oy", int_t); ("orad", int_t) ] }
+  in
+  Fs_ir.Validate.validate_exn
+    (program ~name:"raytrace" ~structs:[ obj ]
+       ~globals:
+         [ ("scene", arr (struct_t "obj") nobj);
+           ("img", arr int_t rows);
+           ("rays", arr int_t nprocs);
+           ("hits", arr int_t nprocs);
+           ("depth", arr int_t nprocs);
+           ("rowcnt", int_t);
+           ("raysdone", int_t);
+           ("checksum", int_t);
+           ("rowlock", lock_t);
+         ]
+       [ fn "main" []
+           [ master
+               [ decl "s" (i 42424);
+                 sfor "o" (i 0) (i nobj)
+                   [ lcg_next "s";
+                     (v "scene").%(p "o").%{"ox"} <-- lcg_mod "s" 4096;
+                     lcg_next "s";
+                     (v "scene").%(p "o").%{"oy"} <-- lcg_mod "s" 4096;
+                     lcg_next "s";
+                     (v "scene").%(p "o").%{"orad"} <-- (lcg_mod "s" 64 +% i 4) ] ];
+             barrier;
+             decl "more" (i 1);
+             swhile (p "more")
+               [ lock (v "rowlock");
+                 decl "r" (ld (v "rowcnt"));
+                 sif (p "r" <% i rows)
+                   [ (v "rowcnt") <-- (p "r" +% i 1) ]
+                   [ set "more" (i 0) ];
+                 unlock (v "rowlock");
+                 when_ (p "more")
+                   [ sfor "x" (i 0) (i width)
+                       [ decl "best" (i 16384);
+                         sfor "o" (i 0) (i nobj)
+                           (spin 4
+                            @ [ decl "dx"
+                               ((ld (v "scene").%(p "o").%{"ox"})
+                                -% ((p "x" *% i 64) +% p "r"));
+                             decl "dy"
+                               ((ld (v "scene").%(p "o").%{"oy"}) -% (p "r" *% i 96));
+                             decl "d"
+                               (max_ (p "dx") (neg (p "dx"))
+                                +% max_ (p "dy") (neg (p "dy"))
+                                -% ld (v "scene").%(p "o").%{"orad"});
+                              when_ (p "d" <% p "best") [ set "best" (p "d") ] ]);
+                         bump ((v "rays").%(pdv)) (i 1);
+                         when_ (p "best" <% i 0) [ bump ((v "hits").%(pdv)) (i 1) ];
+                         bump ((v "depth").%(pdv)) (max_ (p "best") (i 0) /% i 256);
+                         (* shade straight into the row accumulator *)
+                         (v "img").%(p "r")
+                         <-- ((ld (v "img").%(p "r") +% p "best") %% i 65536) ];
+                     (* progress counter: busy, and statically invisible *)
+                     bump (v "raysdone") (i width) ] ];
+             barrier;
+             master
+               [ decl "sum" (i 0);
+                 sfor "r" (i 0) (i rows)
+                   [ set "sum" ((p "sum" +% ld (v "img").%(p "r")) %% i 1000003) ];
+                 (v "checksum") <-- p "sum" ] ]
+       ])
+
+let spec =
+  {
+    Workload.name = "raytrace";
+    description = "Rendering of a 3-dimensional scene";
+    lines_of_c = 12391;
+    versions = [ Workload.N; Workload.C; Workload.P ];
+    fig3_procs = 12;
+    default_scale = 2;
+    build;
+    programmer_plan =
+      Some
+        (fun ~nprocs:_ ~scale:_ ->
+          [ (* the statistics vectors were organized by processor... *)
+            Fs_layout.Plan.Group_transpose
+              { vars = [ "depth"; "hits"; "rays" ]; pdv_axis = 0 };
+            (* ...but the scene array was padded even though it is not
+               accessed predominantly per-process: spatial locality of the
+               shared reads is lost (the paper's Raytrace anecdote) *)
+            Fs_layout.Plan.Pad_align { var = "scene"; element = true };
+            Fs_layout.Plan.Pad_locks ]);
+    notes =
+      "Hot per-process statistics vectors (group & transpose), per-row \
+       image results behind a dynamic row counter (pad & align), row lock \
+       (lock padding), busy row/progress counters underestimated by static \
+       profiling (residual false sharing).";
+  }

@@ -1,0 +1,104 @@
+(** Water — N-body molecular dynamics (SPLASH; Singh).
+
+    Each timestep the processes compute pairwise intermolecular forces for
+    their contiguous slice of molecules (updating the {e other} molecule of
+    each pair under its lock), accumulate potential and virial terms into
+    per-process sums, and then integrate their own molecules.
+
+    Expected behaviour (Table 3: compiler 9.9 at 40 processors,
+    programmer 4.6 at 12):
+    - [esum]/[vsum] — per-process energy/virial accumulators bumped on
+      every pair — group & transpose (the opportunity the SPLASH
+      programmer missed: the original accumulates into a shared array);
+    - [mol] — molecule records in contiguous per-process chunks — group &
+      transpose (chunked; pads the chunk seams) — this one the programmer
+      {e did} get right;
+    - [mlock] — per-molecule locks in a packed array — lock padding (the
+      programmer left them packed, and cross-molecule force updates make
+      them hot). *)
+
+open Fs_ir.Dsl
+open Wl_common
+
+let rounds = 4
+let neighbors = 4
+
+let build ~nprocs ~scale =
+  let n = 96 * scale in  (* molecules *)
+  let mol =
+    { Fs_ir.Ast.sname = "mol";
+      fields = [ ("mx", int_t); ("mv", int_t); ("mf", int_t) ] }
+  in
+  let ml i_ fld = (v "mol").%(i_).%{fld} in
+  Fs_ir.Validate.validate_exn
+    (program ~name:"water" ~structs:[ mol ]
+       ~globals:
+         [ ("mol", arr (struct_t "mol") n);
+           ("mlock", arr lock_t n);
+           ("esum", arr int_t nprocs);
+           ("vsum", arr int_t nprocs);
+           ("checksum", int_t);
+         ]
+       [ fn "main" []
+           ([ master
+                [ decl "s" (i 11213);
+                  sfor "k" (i 0) (i n)
+                    [ lcg_next "s";
+                      ml (p "k") "mx" <-- lcg_mod "s" 8192;
+                      lcg_next "s";
+                      ml (p "k") "mv" <-- (lcg_mod "s" 31 +% i 1);
+                      ml (p "k") "mf" <-- i 0 ] ];
+              barrier;
+              sfor "round" (i 0) (i rounds)
+                ((* force computation over a neighbor window *)
+                 chunked ~idx:"k" ~nprocs ~n (fun k ->
+                     [ sfor "d" (i 1) (i (neighbors + 1))
+                         (spin 40
+                          @ [ decl "j" ((k +% p "d") %% i n);
+                           decl "f"
+                             ((ld (ml k "mx") -% ld (ml (p "j") "mx")) %% i 97);
+                           (* own molecule needs no lock; the partner does *)
+                           bump (ml k "mf") (p "f");
+                           lock ((v "mlock").%(p "j"));
+                           bump (ml (p "j") "mf") (neg (p "f"));
+                           unlock ((v "mlock").%(p "j"));
+                           (* per-process energy/virial accumulation *)
+                             bump ((v "esum").%(pdv)) (max_ (p "f") (neg (p "f")));
+                             bump ((v "vsum").%(pdv)) (p "f" *% p "f" %% i 101) ]) ])
+                 @ [ barrier ]
+                 (* integrate own molecules *)
+                 @ chunked ~idx:"k" ~nprocs ~n (fun k ->
+                       [ bump (ml k "mv") (ld (ml k "mf") /% i 8);
+                         ml k "mx"
+                         <-- ((ld (ml k "mx") +% ld (ml k "mv")) %% i 8192);
+                         ml k "mf" <-- i 0 ])
+                 @ [ barrier ]) ]
+            @ [ master
+                  [ decl "sum" (i 0);
+                    sfor "q" (i 0) (i nprocs)
+                      [ set "sum"
+                          ((p "sum" +% ld (v "esum").%(p "q")) %% i 1000003) ];
+                    (v "checksum") <-- p "sum" ] ])
+       ])
+
+let spec =
+  {
+    Workload.name = "water";
+    description = "N-body molecular dynamics";
+    lines_of_c = 1451;
+    versions = [ Workload.C; Workload.P ];
+    fig3_procs = 12;
+    default_scale = 2;
+    build;
+    programmer_plan =
+      Some
+        (fun ~nprocs ~scale:_ ->
+          (* the programmer partitioned the molecules well but left the
+             locks packed and the accumulators interleaved *)
+          [ Fs_layout.Plan.Regroup { var = "mol"; ways = nprocs; chunked = true } ]);
+    notes =
+      "Per-process energy/virial accumulators on every pair (group & \
+       transpose), contiguous molecule chunks (group & transpose, \
+       chunked), packed per-molecule lock array with cross-chunk force \
+       updates (lock padding).";
+  }

@@ -1,0 +1,27 @@
+open Fs_ir.Dsl
+
+let interleaved ~idx ~nprocs ~n body =
+  let per = (n + nprocs - 1) / nprocs in
+  let k = idx ^ "_k" in
+  [ sfor k (i 0) (i per)
+      (decl idx ((p k *% i nprocs) +% pdv)
+       :: (if per * nprocs = n then body (p idx)
+           else [ when_ (p idx <% i n) (body (p idx)) ])) ]
+
+let chunked ~idx ~nprocs ~n body =
+  let per = (n + nprocs - 1) / nprocs in
+  [ decl (idx ^ "_lo") (pdv *% i per);
+    decl (idx ^ "_hi") (min_ ((pdv +% i 1) *% i per) (i n));
+    sfor idx (p (idx ^ "_lo")) (p (idx ^ "_hi")) (body (p idx)) ]
+
+let lcg_next s = set s (((p s *% i 1103515245) +% i 12345) %% i 1073741824)
+
+let lcg_mod s m = p s %% i m
+
+let master body = when_ (pdv ==% i 0) body
+
+let spin k =
+  if k <= 0 then []
+  else
+    decl "spin_" (i 1)
+    :: List.init k (fun j -> set "spin_" ((p "spin_" *% i (j + 3)) %% i 65537))

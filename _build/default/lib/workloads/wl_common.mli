@@ -1,0 +1,31 @@
+(** Shared building blocks for the benchmark programs. *)
+
+val interleaved :
+  idx:string -> nprocs:int -> n:int -> (Fs_ir.Ast.expr -> Fs_ir.Ast.block) ->
+  Fs_ir.Ast.stmt list
+(** Round-robin work partition: iterates [idx = k*nprocs + pid] over
+    [\[0, n)], guarding the tail when [nprocs] does not divide [n].  The
+    body receives the private index expression. *)
+
+val chunked :
+  idx:string -> nprocs:int -> n:int -> (Fs_ir.Ast.expr -> Fs_ir.Ast.block) ->
+  Fs_ir.Ast.stmt list
+(** Contiguous work partition: process [p] iterates over
+    [\[p*ceil(n/nprocs), min ((p+1)*ceil(n/nprocs), n))]. *)
+
+val lcg_next : string -> Fs_ir.Ast.stmt
+(** [lcg_next s]: advance the private pseudo-random seed [s] (a
+    deterministic linear congruential step, entirely in ParC, so programs
+    self-initialize reproducibly). *)
+
+val lcg_mod : string -> int -> Fs_ir.Ast.expr
+(** [lcg_mod s m]: the current seed reduced to [\[0, m)]. *)
+
+val master : Fs_ir.Ast.block -> Fs_ir.Ast.stmt
+(** Code executed only by process 0 (the classic initialization idiom the
+    per-process control-flow analysis must see through). *)
+
+val spin : int -> Fs_ir.Ast.stmt list
+(** [spin k]: [k] statements of private computation (no shared accesses).
+    Calibrates the compute-to-shared-access ratio of an inner loop to a
+    realistic level; the interpreter charges work for each statement. *)

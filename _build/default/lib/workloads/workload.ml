@@ -1,0 +1,19 @@
+type version = N | C | P
+
+let version_to_string = function N -> "original" | C -> "compiler" | P -> "programmer"
+
+type t = {
+  name : string;
+  description : string;
+  lines_of_c : int;
+  versions : version list;
+  fig3_procs : int;
+  default_scale : int;
+  build : nprocs:int -> scale:int -> Fs_ir.Ast.program;
+  programmer_plan : (nprocs:int -> scale:int -> Fs_layout.Plan.t) option;
+  notes : string;
+}
+
+let simulated ts = List.filter (fun t -> List.mem N t.versions) ts
+
+let find ts name = List.find (fun t -> t.name = name) ts

@@ -1,0 +1,41 @@
+(** The benchmark suite of Table 1, reproduced as ParC programs.
+
+    Each benchmark is a simplified but genuine parallel kernel that
+    preserves the {e sharing pattern} of the original program — the thing
+    false sharing, the analysis, and the transformations all depend on:
+    which data is written per-process, how per-process data is laid out
+    (interleaved vectors, fields embedded in records, busy scalars packed
+    together), where locks live, and how work is distributed.
+
+    Versions, as in Table 1:
+    - {b N} (not optimized): the program with its natural packed layout —
+      the empty plan.
+    - {b C} (compiler optimized): the plan produced by
+      [Fs_transform.Transform.plan] on the program; never hand-written.
+    - {b P} (programmer optimized): a hand-written plan reproducing what
+      the paper reports the programmers did — including their documented
+      omissions and mistakes. *)
+
+type version = N | C | P
+
+val version_to_string : version -> string
+
+type t = {
+  name : string;
+  description : string;
+  lines_of_c : int;
+      (** size of the original C program (Table 1), for documentation *)
+  versions : version list;  (** which versions the paper evaluates *)
+  fig3_procs : int;         (** processor count used in Figure 3 *)
+  default_scale : int;
+  build : nprocs:int -> scale:int -> Fs_ir.Ast.program;
+      (** the unoptimized program; validated *)
+  programmer_plan : (nprocs:int -> scale:int -> Fs_layout.Plan.t) option;
+  notes : string;  (** sharing patterns modelled, and why *)
+}
+
+val simulated : t list -> t list
+(** Benchmarks with an N version — the six of Figure 3 / Table 2. *)
+
+val find : t list -> string -> t
+(** @raise Not_found on unknown names. *)

@@ -1,0 +1,14 @@
+let all =
+  [ Maxflow.spec;
+    Pverify.spec;
+    Topopt.spec;
+    Fmm.spec;
+    Radiosity.spec;
+    Raytrace.spec;
+    Locusroute.spec;
+    Mp3d.spec;
+    Pthor.spec;
+    Water.spec ]
+
+let find name = Workload.find all name
+let simulated () = Workload.simulated all

@@ -1,0 +1,11 @@
+(** Registry of the full benchmark suite (Table 1). *)
+
+val all : Workload.t list
+(** The ten benchmarks in Table 1 order: Maxflow, Pverify, Topopt, Fmm,
+    Radiosity, Raytrace, LocusRoute, Mp3d, Pthor, Water. *)
+
+val find : string -> Workload.t
+(** @raise Not_found on unknown names. *)
+
+val simulated : unit -> Workload.t list
+(** The six benchmarks with an unoptimized version — Figure 3 / Table 2. *)

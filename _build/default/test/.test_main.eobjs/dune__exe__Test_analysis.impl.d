@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Ast Dsl Fs_analysis Fs_ir Fs_rsd List Printf Validate

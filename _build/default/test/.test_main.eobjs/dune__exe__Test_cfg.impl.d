@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Ast Dsl Fs_cfg Fs_ir List

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Falseshare Fs_cache Fs_layout Fs_parc Fs_workloads List String Sys Tutil

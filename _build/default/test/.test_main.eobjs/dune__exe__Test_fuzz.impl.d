@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Ast Dsl Fs_interp Fs_ir Fs_layout Fs_parc Fs_trace Fs_transform Hashtbl List Pp Printf QCheck QCheck_alcotest String Validate

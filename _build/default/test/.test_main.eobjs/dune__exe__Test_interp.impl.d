@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Ast Dsl Fs_interp Fs_ir Fs_layout Fs_trace List Printf QCheck QCheck_alcotest Validate

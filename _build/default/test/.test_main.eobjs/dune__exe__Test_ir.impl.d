@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Ast Cells Dsl Fs_ir Fun List Pp Printf QCheck QCheck_alcotest String Tutil Validate

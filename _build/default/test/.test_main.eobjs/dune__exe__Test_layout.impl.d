@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Ast Dsl Fs_ir Fs_layout Hashtbl List Printf QCheck QCheck_alcotest String Validate

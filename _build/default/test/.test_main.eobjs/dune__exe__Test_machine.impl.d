@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Dsl Fs_cache Fs_interp Fs_ir Fs_layout Fs_machine Printf Validate

@@ -1,0 +1,1 @@
+test/test_parc.ml: Alcotest Fs_interp Fs_ir Fs_layout Fs_parc Fs_trace Fs_workloads List String Tutil

@@ -1,0 +1,1 @@
+test/test_rsd.ml: Alcotest Array Format Fs_rsd Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Format Fs_trace List Tutil

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Ast Dsl Format Fs_analysis Fs_ir Fs_layout Fs_transform Fs_workloads List Tutil Validate

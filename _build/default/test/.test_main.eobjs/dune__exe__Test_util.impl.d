@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fs_util Fun List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Fs_cache Fs_interp Fs_layout Fs_trace Fs_transform Fs_workloads List Option Printf

@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Printf String

@@ -1,0 +1,249 @@
+(* Tests for the three analysis stages: per-process summaries with RSDs,
+   PDV detection, and the barrier phase structure. *)
+
+open Fs_ir
+module Summary = Fs_analysis.Summary
+module Pdv = Fs_analysis.Pdv
+module NC = Fs_analysis.Nonconcurrency
+module Sym = Fs_rsd.Sym
+module Rsd = Fs_rsd.Rsd
+
+let key ?(fieldsig = []) var = { Summary.var; fieldsig }
+
+let writes_of summary ~phase ~pid k =
+  match Summary.get summary ~phase ~pid k with
+  | Some a -> Rsd.Set.to_list a.Summary.writes
+  | None -> []
+
+let dsl_prog globals body =
+  let open Dsl in
+  Validate.validate_exn (program ~name:"t" ~globals [ fn "main" [] body ])
+
+let test_per_pid_sections () =
+  let open Dsl in
+  let p = dsl_prog [ ("a", arr int_t 8) ] [ (v "a").%(pdv) <-- i 1 ] in
+  let s = Summary.analyze p ~nprocs:4 in
+  List.iteri
+    (fun pid () ->
+      match writes_of s ~phase:0 ~pid (key "a") with
+      | [ r ] ->
+        Alcotest.(check bool)
+          (Printf.sprintf "P%d writes a[%d]" pid pid)
+          true
+          (Sym.equal r.Rsd.dims.(0) (Sym.Const pid))
+      | _ -> Alcotest.fail "expected one descriptor")
+    [ (); (); (); () ]
+
+let test_pdv_derived_sections () =
+  let open Dsl in
+  (* lo = pid*4 propagates interprocedurally through a call *)
+  let p =
+    Validate.validate_exn
+      (program ~name:"t"
+         ~globals:[ ("a", arr int_t 16) ]
+         [ Dsl.fn "work" [ "lo" ]
+             [ sfor "j" (i 0) (i 4) [ (v "a").%(p "lo" +% p "j") <-- i 1 ] ];
+           Dsl.fn "main" [] [ call "work" [ pdv *% i 4 ] ] ])
+  in
+  let s = Summary.analyze p ~nprocs:4 in
+  match writes_of s ~phase:0 ~pid:2 (key "a") with
+  | [ r ] ->
+    Alcotest.(check bool) "P2 writes [8..11]" true
+      (Sym.equal r.Rsd.dims.(0) (Sym.interval ~lo:8 ~hi:11 ~stride:1))
+  | _ -> Alcotest.fail "expected one descriptor"
+
+let test_interleaved_sections () =
+  let open Dsl in
+  let p =
+    dsl_prog [ ("a", arr int_t 16) ]
+      [ sfor "k" (i 0) (i 4) [ (v "a").%((p "k" *% i 4) +% pdv) <-- i 1 ] ]
+  in
+  let s = Summary.analyze p ~nprocs:4 in
+  match writes_of s ~phase:0 ~pid:1 (key "a") with
+  | [ r ] ->
+    Alcotest.(check bool) "stride 4 offset 1" true
+      (Sym.equal r.Rsd.dims.(0) (Sym.interval ~lo:1 ~hi:13 ~stride:4))
+  | _ -> Alcotest.fail "expected one descriptor"
+
+let test_dynamic_congruence () =
+  let open Dsl in
+  (* an index loaded from shared memory is an unknown point; times P plus
+     pid it is still a provably per-process congruence class *)
+  let p =
+    dsl_prog [ ("a", arr int_t 32); ("q", int_t) ]
+      [ decl "t" (ld (v "q"));
+        (v "a").%((p "t" *% i 4) +% pdv) <-- i 1 ]
+  in
+  let s = Summary.analyze p ~nprocs:4 in
+  match writes_of s ~phase:0 ~pid:3 (key "a") with
+  | [ r ] ->
+    Alcotest.(check bool) "congruent 3 mod 4" true
+      (Sym.equal r.Rsd.dims.(0) (Sym.congruent ~m:4 ~r:3))
+  | _ -> Alcotest.fail "expected one descriptor"
+
+let test_master_only_control_flow () =
+  let open Dsl in
+  let p =
+    dsl_prog [ ("a", arr int_t 4) ]
+      [ when_ (pdv ==% i 0) [ (v "a").%(i 0) <-- i 1 ] ]
+  in
+  let s = Summary.analyze p ~nprocs:4 in
+  Alcotest.(check int) "P0 writes" 1
+    (List.length (writes_of s ~phase:0 ~pid:0 (key "a")));
+  Alcotest.(check int) "P1 does not" 0
+    (List.length (writes_of s ~phase:0 ~pid:1 (key "a")))
+
+let test_phases () =
+  let open Dsl in
+  let p =
+    dsl_prog [ ("a", int_t); ("b", int_t) ]
+      [ (v "a") <-- i 1; barrier; (v "b") <-- i 2 ]
+  in
+  let s = Summary.analyze p ~nprocs:2 in
+  Alcotest.(check int) "two phases" 2 (Summary.phases s);
+  Alcotest.(check int) "a in phase 0" 1
+    (List.length (writes_of s ~phase:0 ~pid:0 (key "a")));
+  Alcotest.(check int) "b not in phase 0" 0
+    (List.length (writes_of s ~phase:0 ~pid:0 (key "b")));
+  Alcotest.(check int) "b in phase 1" 1
+    (List.length (writes_of s ~phase:1 ~pid:0 (key "b")))
+
+let test_phase_alignment_under_pdv_branch () =
+  let open Dsl in
+  (* a barrier-free master branch must not desynchronize phase numbering *)
+  let p =
+    dsl_prog [ ("a", int_t) ]
+      [ when_ (pdv ==% i 0) [ (v "a") <-- i 1 ];
+        barrier;
+        (v "a") <-- i 2 ]
+  in
+  let s = Summary.analyze p ~nprocs:3 in
+  Alcotest.(check int) "phase 1 write seen by all" 3
+    (List.length
+       (List.concat_map
+          (fun pid -> writes_of s ~phase:1 ~pid (key "a"))
+          [ 0; 1; 2 ]))
+
+let test_profile_weights () =
+  let open Dsl in
+  let p =
+    dsl_prog [ ("a", arr int_t 8) ]
+      [ sfor "j" (i 0) (i 8) [ (v "a").%(p "j") <-- i 1 ] ]
+  in
+  let s = Summary.analyze p ~nprocs:1 in
+  Alcotest.(check (float 1e-6)) "constant trip weight" 8.0
+    (Summary.write_weight s (key "a"));
+  let s' = Summary.analyze ~profile:false p ~nprocs:1 in
+  Alcotest.(check (float 1e-6)) "profiling off" 1.0
+    (Summary.write_weight s' (key "a"))
+
+let test_while_weight () =
+  let open Dsl in
+  let p =
+    dsl_prog [ ("a", int_t) ]
+      [ decl "go" (i 1);
+        swhile (p "go") [ (v "a") <-- i 1; set "go" (i 0) ] ]
+  in
+  let s = Summary.analyze p ~nprocs:1 in
+  Alcotest.(check (float 1e-6)) "unknown loop weight"
+    Summary.unknown_loop_weight
+    (Summary.write_weight s (key "a"))
+
+let test_loop_widening () =
+  let open Dsl in
+  (* a variable assigned in a loop body is unknown after the loop *)
+  let p =
+    dsl_prog [ ("a", arr int_t 8) ]
+      [ decl "x" (i 2);
+        sfor "j" (i 0) (i 3) [ set "x" (p "x" +% i 1) ];
+        (v "a").%(p "x") <-- i 1 ]
+  in
+  let s = Summary.analyze p ~nprocs:1 in
+  match writes_of s ~phase:0 ~pid:0 (key "a") with
+  | [ r ] ->
+    Alcotest.(check bool) "widened to unknown" true
+      (Sym.equal r.Rsd.dims.(0) Sym.Unknown)
+  | _ -> Alcotest.fail "expected one descriptor"
+
+let test_empty_loop_skipped () =
+  let open Dsl in
+  let p =
+    dsl_prog [ ("a", arr int_t 8) ]
+      [ sfor "j" (i 5) (i 5) [ (v "a").%(p "j") <-- i 1 ] ]
+  in
+  let s = Summary.analyze p ~nprocs:1 in
+  Alcotest.(check (float 1e-6)) "no writes recorded" 0.0
+    (Summary.write_weight s (key "a"))
+
+let test_fieldsig_keys () =
+  let open Dsl in
+  let p =
+    Validate.validate_exn
+      (program ~name:"t"
+         ~structs:[ { Ast.sname = "s"; fields = [ ("f", arr int_t 4); ("g", int_t) ] } ]
+         ~globals:[ ("n", arr (struct_t "s") 3) ]
+         [ Dsl.fn "main" []
+             [ (v "n").%(i 1).%{"f"}.%(pdv) <-- i 1;
+               (v "n").%(i 1).%{"g"} <-- i 2 ] ])
+  in
+  let s = Summary.analyze p ~nprocs:2 in
+  let keys = List.map Summary.key_to_string (Summary.keys s) in
+  Alcotest.(check (list string)) "field-split keys" [ "n.f"; "n.g" ] keys;
+  match writes_of s ~phase:0 ~pid:1 (key ~fieldsig:[ "f" ] "n") with
+  | [ r ] ->
+    Alcotest.(check int) "two index dims" 2 (Array.length r.Rsd.dims);
+    Alcotest.(check bool) "inner dim is pid" true
+      (Sym.equal r.Rsd.dims.(1) (Sym.Const 1))
+  | _ -> Alcotest.fail "expected one descriptor"
+
+(* --- PDV detection --- *)
+
+let test_pdv_detection () =
+  let open Dsl in
+  let p =
+    Validate.validate_exn
+      (program ~name:"t" ~globals:[ ("a", arr int_t 8) ]
+         [ Dsl.fn "work" [ "base"; "cnt" ] [ (v "a").%(p "base") <-- p "cnt" ];
+           Dsl.fn "main" []
+             [ decl "mine" (pdv *% i 2);
+               decl "c" (i 7);
+               call "work" [ p "mine"; p "c" ] ] ])
+  in
+  let d = Pdv.analyze p in
+  Alcotest.(check bool) "mine is PDV" true (Pdv.is_pdv d ~func:"main" "mine");
+  Alcotest.(check bool) "c is not" false (Pdv.is_pdv d ~func:"main" "c");
+  Alcotest.(check bool) "param base inherits" true (Pdv.is_pdv d ~func:"work" "base");
+  Alcotest.(check bool) "param cnt does not" false (Pdv.is_pdv d ~func:"work" "cnt")
+
+(* --- non-concurrency --- *)
+
+let test_nonconcurrency () =
+  let open Dsl in
+  let p =
+    dsl_prog [ ("a", int_t) ]
+      [ barrier;
+        sfor "r" (i 0) (i 3) [ (v "a") <-- i 1; barrier ];
+        (v "a") <-- i 2 ]
+  in
+  let nc = NC.analyze p in
+  Alcotest.(check int) "phase count" 3 (NC.phase_count nc);
+  Alcotest.(check (list int)) "depths" [ 0; 1 ] (NC.barrier_depths nc);
+  Alcotest.(check bool) "phase 0 does not repeat" false (NC.can_repeat nc 0);
+  Alcotest.(check bool) "phase 1 repeats" true (NC.can_repeat nc 1);
+  Alcotest.(check bool) "phase 2 repeats" true (NC.can_repeat nc 2)
+
+let suite =
+  [ Alcotest.test_case "per-pid sections" `Quick test_per_pid_sections;
+    Alcotest.test_case "pdv-derived sections" `Quick test_pdv_derived_sections;
+    Alcotest.test_case "interleaved sections" `Quick test_interleaved_sections;
+    Alcotest.test_case "dynamic congruence" `Quick test_dynamic_congruence;
+    Alcotest.test_case "master-only control flow" `Quick test_master_only_control_flow;
+    Alcotest.test_case "phases" `Quick test_phases;
+    Alcotest.test_case "phase alignment" `Quick test_phase_alignment_under_pdv_branch;
+    Alcotest.test_case "profile weights" `Quick test_profile_weights;
+    Alcotest.test_case "while weight" `Quick test_while_weight;
+    Alcotest.test_case "loop widening" `Quick test_loop_widening;
+    Alcotest.test_case "empty loop skipped" `Quick test_empty_loop_skipped;
+    Alcotest.test_case "fieldsig keys" `Quick test_fieldsig_keys;
+    Alcotest.test_case "pdv detection" `Quick test_pdv_detection;
+    Alcotest.test_case "nonconcurrency" `Quick test_nonconcurrency ]

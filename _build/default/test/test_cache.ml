@@ -1,0 +1,179 @@
+(* Tests for the multiprocessor cache simulator: MSI protocol invariants
+   and the false/true sharing miss classification. *)
+
+module C = Fs_cache.Mpcache
+
+let mk ?(nprocs = 4) ?(block = 16) ?(cache_bytes = 1024) ?(assoc = 2)
+    ?(track_blocks = false) () =
+  C.create ~track_blocks { C.nprocs; block; cache_bytes; assoc }
+
+let rd t p a = C.access t ~proc:p ~write:false ~addr:a
+let wr t p a = C.access t ~proc:p ~write:true ~addr:a
+
+let kind = function
+  | C.Miss { info = { kind; _ }; _ } -> Some kind
+  | C.Hit | C.Upgrade _ -> None
+
+let test_cold_then_hit () =
+  let t = mk () in
+  Alcotest.(check bool) "first ref cold" true (kind (rd t 0 0) = Some C.Cold);
+  Alcotest.(check bool) "second ref hits" true (rd t 0 4 = C.Hit);
+  Alcotest.(check bool) "other block cold" true (kind (rd t 0 16) = Some C.Cold);
+  Alcotest.(check bool) "other proc cold" true (kind (rd t 1 0) = Some C.Cold)
+
+let test_msi_states () =
+  let t = mk () in
+  ignore (wr t 0 0);
+  Alcotest.(check bool) "writer modified" true (C.state_of t ~proc:0 ~addr:0 = `Modified);
+  ignore (rd t 1 0);
+  Alcotest.(check bool) "writer downgraded" true (C.state_of t ~proc:0 ~addr:0 = `Shared);
+  Alcotest.(check bool) "reader shared" true (C.state_of t ~proc:1 ~addr:0 = `Shared);
+  ignore (wr t 2 0);
+  Alcotest.(check bool) "new writer modified" true (C.state_of t ~proc:2 ~addr:0 = `Modified);
+  Alcotest.(check bool) "old copies invalid" true
+    (C.state_of t ~proc:0 ~addr:0 = `Invalid && C.state_of t ~proc:1 ~addr:0 = `Invalid)
+
+let test_upgrade () =
+  let t = mk () in
+  ignore (rd t 0 0);
+  ignore (rd t 1 0);
+  (match wr t 0 0 with
+   | C.Upgrade { invalidated } -> Alcotest.(check int) "one copy invalidated" 1 invalidated
+   | _ -> Alcotest.fail "expected upgrade");
+  Alcotest.(check int) "upgrade counted" 1 (C.counts t).C.upgrades
+
+let test_true_sharing () =
+  let t = mk () in
+  (* P1 reads word 0; P0 writes word 0; P1 rereads word 0: essential *)
+  ignore (rd t 1 0);
+  ignore (wr t 0 0);
+  Alcotest.(check bool) "true sharing" true (kind (rd t 1 0) = Some C.True_sharing)
+
+let test_false_sharing () =
+  let t = mk () in
+  (* P1 reads word 1; P0 writes word 0 (same block); P1 rereads word 1 *)
+  ignore (rd t 1 4);
+  ignore (wr t 0 0);
+  Alcotest.(check bool) "false sharing" true (kind (rd t 1 4) = Some C.False_sharing)
+
+let test_false_sharing_own_word () =
+  let t = mk () in
+  (* the word P1 rereads was last written by P1 itself: false sharing *)
+  ignore (wr t 1 4);
+  ignore (wr t 0 0);  (* invalidates P1's copy via word 0 *)
+  Alcotest.(check bool) "own word false sharing" true
+    (kind (rd t 1 4) = Some C.False_sharing)
+
+let test_write_write_false_sharing () =
+  let t = mk () in
+  ignore (wr t 0 0);
+  ignore (wr t 1 4);
+  (* P0's next write to its own word misses only because of P1: false *)
+  Alcotest.(check bool) "write/write false sharing" true
+    (kind (wr t 0 0) = Some C.False_sharing)
+
+let test_one_word_blocks_no_false_sharing () =
+  (* with one-word blocks false sharing is impossible by definition *)
+  let t = mk ~block:4 () in
+  for k = 0 to 200 do
+    let p = k mod 4 in
+    ignore (wr t p (4 * p));
+    ignore (rd t p (4 * ((p + 1) mod 4)))
+  done;
+  Alcotest.(check int) "no false sharing" 0 (C.counts t).C.false_sh
+
+let test_replacement () =
+  (* direct-mapped single-set cache: two conflicting blocks evict each other *)
+  let t = mk ~nprocs:1 ~cache_bytes:32 ~block:16 ~assoc:2 () in
+  ignore (rd t 0 0);
+  ignore (rd t 0 16);
+  ignore (rd t 0 32);  (* evicts block 0 (LRU) *)
+  Alcotest.(check bool) "replacement classified" true
+    (kind (rd t 0 0) = Some C.Replacement);
+  Alcotest.(check int) "repl counted" 1 (C.counts t).C.repl
+
+let test_lru () =
+  let t = mk ~nprocs:1 ~cache_bytes:32 ~block:16 ~assoc:2 () in
+  ignore (rd t 0 0);
+  ignore (rd t 0 16);
+  ignore (rd t 0 0);   (* touch block 0: block 16 is now LRU *)
+  ignore (rd t 0 32);  (* evicts 16 *)
+  Alcotest.(check bool) "block 0 still resident" true (rd t 0 0 = C.Hit);
+  Alcotest.(check bool) "block 16 evicted" true (kind (rd t 0 16) = Some C.Replacement)
+
+let test_provider () =
+  let t = mk () in
+  ignore (wr t 2 0);
+  (match rd t 0 0 with
+   | C.Miss { info = { provider; _ }; _ } ->
+     Alcotest.(check int) "modified owner provides" 2 provider
+   | _ -> Alcotest.fail "expected miss");
+  (* now 2 and 0 share; a write miss by 3 invalidates both *)
+  (match wr t 3 0 with
+   | C.Miss { invalidated; _ } -> Alcotest.(check int) "two invalidated" 2 invalidated
+   | _ -> Alcotest.fail "expected miss")
+
+let test_counts_consistency =
+  QCheck.Test.make ~name:"cache counts are consistent" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 400)
+              (triple (int_range 0 3) bool (int_range 0 63)))
+    (fun ops ->
+      let t = mk () in
+      List.iter (fun (p, w, word) -> ignore (C.access t ~proc:p ~write:w ~addr:(4 * word))) ops;
+      let c = C.counts t in
+      C.accesses c = List.length ops
+      && C.misses c <= C.accesses c
+      && c.C.cold >= 0 && c.C.repl >= 0 && c.C.true_sh >= 0 && c.C.false_sh >= 0)
+
+let test_single_writer_no_sharing_misses =
+  QCheck.Test.make ~name:"single processor never has sharing misses" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 300) (pair bool (int_range 0 255)))
+    (fun ops ->
+      let t = mk ~nprocs:1 () in
+      List.iter (fun (w, word) -> ignore (C.access t ~proc:0 ~write:w ~addr:(4 * word))) ops;
+      let c = C.counts t in
+      c.C.true_sh = 0 && c.C.false_sh = 0 && c.C.invalidations = 0)
+
+let test_per_block_tracking () =
+  let t = mk ~track_blocks:true () in
+  ignore (wr t 0 0);
+  ignore (wr t 1 4);
+  ignore (wr t 0 160);
+  let blocks = C.per_block t in
+  Alcotest.(check int) "two blocks tracked" 2 (List.length blocks);
+  let b0 = List.assoc 0 blocks in
+  Alcotest.(check int) "block 0 writes" 2 b0.C.writes
+
+let test_miss_rates () =
+  let t = mk () in
+  ignore (rd t 0 0);
+  ignore (rd t 0 0);
+  ignore (rd t 0 0);
+  ignore (rd t 0 0);
+  let c = C.counts t in
+  Alcotest.(check (float 1e-9)) "miss rate" 0.25 (C.miss_rate c);
+  Alcotest.(check (float 1e-9)) "fs rate" 0.0 (C.false_sharing_rate c)
+
+let test_bad_config () =
+  Alcotest.(check bool) "non-power block rejected" true
+    (match mk ~block:24 () with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+let suite =
+  [ Alcotest.test_case "cold then hit" `Quick test_cold_then_hit;
+    Alcotest.test_case "msi states" `Quick test_msi_states;
+    Alcotest.test_case "upgrade" `Quick test_upgrade;
+    Alcotest.test_case "true sharing" `Quick test_true_sharing;
+    Alcotest.test_case "false sharing" `Quick test_false_sharing;
+    Alcotest.test_case "own-word false sharing" `Quick test_false_sharing_own_word;
+    Alcotest.test_case "write/write false sharing" `Quick test_write_write_false_sharing;
+    Alcotest.test_case "one-word blocks" `Quick test_one_word_blocks_no_false_sharing;
+    Alcotest.test_case "replacement" `Quick test_replacement;
+    Alcotest.test_case "lru" `Quick test_lru;
+    Alcotest.test_case "provider" `Quick test_provider;
+    QCheck_alcotest.to_alcotest test_counts_consistency;
+    QCheck_alcotest.to_alcotest test_single_writer_no_sharing_misses;
+    Alcotest.test_case "per-block tracking" `Quick test_per_block_tracking;
+    Alcotest.test_case "miss rates" `Quick test_miss_rates;
+    Alcotest.test_case "bad config" `Quick test_bad_config ]

@@ -1,0 +1,109 @@
+(* Tests for the call graph and the intraprocedural CFG. *)
+
+open Fs_ir
+module CG = Fs_cfg.Callgraph
+module Cfg = Fs_cfg.Cfg
+
+let prog =
+  let open Dsl in
+  program ~name:"cg"
+    ~globals:[ ("x", int_t) ]
+    [ fn "leaf" [ "a" ] [ (v "x") <-- p "a" ];
+      fn "mid" [] [ call "leaf" [ i 1 ]; barrier; call "leaf" [ i 2 ] ];
+      fn "rec1" [] [ call "rec2" [] ];
+      fn "rec2" [] [ barrier; when_ (ld (v "x") >% i 0) [ call "rec1" [] ] ];
+      fn "unused" [] [];
+      fn "main" [] [ call "mid" []; barrier; call "rec1" [] ] ]
+
+let cg = CG.build prog
+
+let test_callees () =
+  Alcotest.(check (list string)) "main" [ "mid"; "rec1" ] (CG.callees cg "main");
+  Alcotest.(check (list string)) "mid dedup" [ "leaf" ] (CG.callees cg "mid");
+  Alcotest.(check (list string)) "leaf" [] (CG.callees cg "leaf")
+
+let test_callers () =
+  Alcotest.(check (list string)) "leaf callers" [ "mid" ]
+    (List.sort compare (CG.callers cg "leaf"));
+  Alcotest.(check (list string)) "rec1 callers" [ "main"; "rec2" ]
+    (List.sort compare (CG.callers cg "rec1"))
+
+let test_reachable () =
+  let r = CG.reachable cg in
+  Alcotest.(check bool) "main first" true (List.hd r = "main");
+  Alcotest.(check bool) "unused excluded" false (List.mem "unused" r);
+  Alcotest.(check bool) "leaf included" true (List.mem "leaf" r)
+
+let test_recursive () =
+  Alcotest.(check bool) "rec1" true (CG.is_recursive cg "rec1");
+  Alcotest.(check bool) "rec2" true (CG.is_recursive cg "rec2");
+  Alcotest.(check bool) "mid not" false (CG.is_recursive cg "mid");
+  Alcotest.(check bool) "leaf not" false (CG.is_recursive cg "leaf")
+
+let test_barriers_in () =
+  Alcotest.(check int) "leaf" 0 (CG.barriers_in cg "leaf");
+  Alcotest.(check int) "mid" 1 (CG.barriers_in cg "mid");
+  (* main: mid(1) + own barrier + rec1 -> rec2 (1, cycle cut) *)
+  Alcotest.(check int) "main" 3 (CG.barriers_in cg "main")
+
+(* --- CFG --- *)
+
+let build_cfg body = Cfg.build { Ast.fname = "f"; params = []; body }
+
+let test_cfg_straight () =
+  let open Dsl in
+  let g = build_cfg [ (v "x") <-- i 1; (v "x") <-- i 2 ] in
+  (* entry -> straight -> exit *)
+  Alcotest.(check int) "three nodes" 3 (List.length (Cfg.nodes g));
+  Alcotest.(check (list int)) "entry succ" [ 1 ] (Cfg.succs g (Cfg.entry g));
+  (match Cfg.kind g 1 with
+   | Cfg.Straight ss -> Alcotest.(check int) "two stmts" 2 (List.length ss)
+   | _ -> Alcotest.fail "expected straight block")
+
+let test_cfg_if () =
+  let open Dsl in
+  let g = build_cfg [ sif (ld (v "x") >% i 0) [ (v "x") <-- i 1 ] [ (v "x") <-- i 2 ] ] in
+  let branch =
+    List.find (fun n -> match Cfg.kind g n with Cfg.Branch _ -> true | _ -> false)
+      (Cfg.nodes g)
+  in
+  Alcotest.(check int) "branch has two succs" 2 (List.length (Cfg.succs g branch));
+  (* both arms reach the exit *)
+  let exit_preds = Cfg.preds g (Cfg.exit_node g) in
+  Alcotest.(check bool) "exit reachable" true (exit_preds <> [])
+
+let test_cfg_loop_depth () =
+  let open Dsl in
+  let g =
+    build_cfg
+      [ sfor "i" (i 0) (i 3)
+          [ swhile (ld (v "x") >% i 0) [ (v "x") <-- i 0 ] ] ]
+  in
+  let max_depth =
+    List.fold_left (fun acc n -> max acc (Cfg.loop_depth g n)) 0 (Cfg.nodes g)
+  in
+  Alcotest.(check int) "nested depth" 2 max_depth
+
+let test_cfg_loop_back_edge () =
+  let open Dsl in
+  let g = build_cfg [ swhile (ld (v "x") >% i 0) [ (v "x") <-- i 0 ] ] in
+  let head =
+    List.find (fun n -> match Cfg.kind g n with Cfg.Loop_head _ -> true | _ -> false)
+      (Cfg.nodes g)
+  in
+  (* the loop head has a predecessor inside the loop: the back edge *)
+  let back =
+    List.exists (fun p -> Cfg.loop_depth g p > Cfg.loop_depth g head) (Cfg.preds g head)
+  in
+  Alcotest.(check bool) "back edge" true back
+
+let suite =
+  [ Alcotest.test_case "callees" `Quick test_callees;
+    Alcotest.test_case "callers" `Quick test_callers;
+    Alcotest.test_case "reachable" `Quick test_reachable;
+    Alcotest.test_case "recursive" `Quick test_recursive;
+    Alcotest.test_case "barriers_in" `Quick test_barriers_in;
+    Alcotest.test_case "cfg straight" `Quick test_cfg_straight;
+    Alcotest.test_case "cfg if" `Quick test_cfg_if;
+    Alcotest.test_case "cfg loop depth" `Quick test_cfg_loop_depth;
+    Alcotest.test_case "cfg back edge" `Quick test_cfg_loop_back_edge ]

@@ -1,0 +1,237 @@
+(* Tests for transformation plans and their realization as layouts. *)
+
+open Fs_ir
+module Plan = Fs_layout.Plan
+module Layout = Fs_layout.Layout
+
+let prog =
+  let open Dsl in
+  Validate.validate_exn
+    (program ~name:"t"
+       ~structs:
+         [ { Ast.sname = "rec_";
+             fields = [ ("hdr", int_t); ("per", arr int_t 4); ("l", lock_t) ] } ]
+       ~globals:
+         [ ("s1", int_t);
+           ("s2", int_t);
+           ("vec", arr int_t 8);
+           ("mat", arr2 int_t 6 4);
+           ("recs", arr (struct_t "rec_") 3);
+           ("locks", arr lock_t 4);
+           ("flat", arr int_t 16);
+         ]
+       [ fn "main" [] [ (v "s1") <-- i 1 ] ])
+
+let block = 64
+
+let test_default_packed () =
+  let l = Layout.default prog ~block in
+  (* declaration order, 4 bytes per cell, no padding *)
+  Alcotest.(check int) "s1" 0 (Layout.addr l "s1" 0);
+  Alcotest.(check int) "s2" 4 (Layout.addr l "s2" 0);
+  Alcotest.(check int) "vec[0]" 8 (Layout.addr l "vec" 0);
+  Alcotest.(check int) "vec[7]" 36 (Layout.addr l "vec" 7);
+  Alcotest.(check int) "mat starts after vec" 40 (Layout.addr l "mat" 0);
+  (match Layout.check_disjoint l with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "size covers all" true
+    (Layout.size l >= 4 * (2 + 8 + 24 + 18 + 4 + 16))
+
+let test_group_transpose () =
+  let plan = [ Plan.Group_transpose { vars = [ "mat" ]; pdv_axis = 1 } ] in
+  let l = Layout.realize prog plan ~block in
+  (* column p of mat is contiguous and block-aligned *)
+  let vl = Layout.lookup l "mat" in
+  let addr i j = vl.Layout.addr.((i * 4) + j) in
+  for p = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "column %d aligned" p)
+      true
+      (addr 0 p mod block = 0);
+    for i = 0 to 4 do
+      Alcotest.(check int) "contiguous within column" (addr 0 p + (4 * (i + 1)))
+        (addr (i + 1) p)
+    done
+  done;
+  (* no two columns share a block *)
+  let blocks p = List.init 6 (fun i -> addr i p / block) in
+  Alcotest.(check bool) "columns in distinct blocks" true
+    (List.for_all
+       (fun p ->
+         List.for_all
+           (fun q -> p = q || blocks p <> blocks q)
+           [ 0; 1; 2; 3 ])
+       [ 0; 1; 2; 3 ]);
+  match Layout.check_disjoint l with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_group_multiple_vars () =
+  let plan =
+    [ Plan.Group_transpose { vars = [ "vec"; "flat" ]; pdv_axis = 0 } ]
+  in
+  (* vec has extent 8 and flat 16: extents disagree *)
+  Alcotest.check_raises "extent mismatch"
+    (Plan.Plan_error "group&transpose targets disagree on PDV extent")
+    (fun () -> ignore (Layout.realize prog plan ~block))
+
+let test_indirection () =
+  let plan = [ Plan.Indirect { var = "recs"; fields = [ "per" ] } ] in
+  let l = Layout.realize prog plan ~block in
+  let vl = Layout.lookup l "recs" in
+  let rec_cells = 6 in
+  (* per-field cells carry a pointer-load address; others do not *)
+  for r = 0 to 2 do
+    for c = 0 to rec_cells - 1 do
+      let cell = (r * rec_cells) + c in
+      let has_extra = vl.Layout.extra.(cell) >= 0 in
+      let in_field = c >= 1 && c < 5 in
+      Alcotest.(check bool)
+        (Printf.sprintf "extra iff per-field (r=%d c=%d)" r c)
+        in_field has_extra
+    done
+  done;
+  (* all of one process's slices share that process's area, and areas of
+     different processes do not share blocks *)
+  let slice_block p r = vl.Layout.addr.((r * rec_cells) + 1 + p) / block in
+  Alcotest.(check bool) "proc areas disjoint" true
+    (slice_block 0 0 <> slice_block 1 0);
+  Alcotest.(check int) "same proc same area" (slice_block 2 0) (slice_block 2 1);
+  match Layout.check_disjoint l with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_pad_align_element () =
+  let plan = [ Plan.Pad_align { var = "recs"; element = true } ] in
+  let l = Layout.realize prog plan ~block in
+  let vl = Layout.lookup l "recs" in
+  for r = 0 to 2 do
+    Alcotest.(check bool) "record aligned" true (vl.Layout.addr.(r * 6) mod block = 0)
+  done;
+  let b r = vl.Layout.addr.(r * 6) / block in
+  Alcotest.(check bool) "records in own blocks" true (b 0 <> b 1 && b 1 <> b 2)
+
+let test_pad_locks () =
+  let plan = [ Plan.Pad_locks ] in
+  let l = Layout.realize prog plan ~block in
+  let locks = Layout.lookup l "locks" in
+  let recs = Layout.lookup l "recs" in
+  (* every lock cell gets a block of its own *)
+  let lock_blocks =
+    List.init 4 (fun k -> locks.Layout.addr.(k) / block)
+    @ List.init 3 (fun r -> recs.Layout.addr.((r * 6) + 5) / block)
+  in
+  Alcotest.(check int) "distinct lock blocks" 7
+    (List.length (List.sort_uniq compare lock_blocks));
+  (* and no data shares those blocks *)
+  let data_blocks = Layout.touched_blocks l "vec" @ Layout.touched_blocks l "s1" in
+  Alcotest.(check bool) "no data in lock blocks" true
+    (List.for_all (fun b -> not (List.mem b lock_blocks)) data_blocks)
+
+let test_regroup_strided () =
+  let plan = [ Plan.Regroup { var = "flat"; ways = 4; chunked = false } ] in
+  let l = Layout.realize prog plan ~block in
+  let vl = Layout.lookup l "flat" in
+  (* elements i and i+4 belong to the same process and land close together;
+     elements with different residues never share a block *)
+  let blk i = vl.Layout.addr.(i) / block in
+  Alcotest.(check bool) "residues separated" true
+    (blk 0 <> blk 1 && blk 1 <> blk 2);
+  Alcotest.(check int) "same residue same block" (blk 0) (blk 4);
+  match Layout.check_disjoint l with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_regroup_chunked () =
+  let plan = [ Plan.Regroup { var = "flat"; ways = 4; chunked = true } ] in
+  let l = Layout.realize prog plan ~block in
+  let vl = Layout.lookup l "flat" in
+  let blk i = vl.Layout.addr.(i) / block in
+  Alcotest.(check int) "chunk together" (blk 0) (blk 3);
+  Alcotest.(check bool) "chunks apart" true (blk 3 <> blk 4)
+
+let test_plan_validation () =
+  let bad name plan =
+    match Plan.validate prog plan with
+    | () -> Alcotest.fail ("expected Plan_error: " ^ name)
+    | exception Plan.Plan_error _ -> ()
+  in
+  bad "unknown var" [ Plan.Pad_align { var = "zzz"; element = false } ];
+  bad "double claim"
+    [ Plan.Pad_align { var = "vec"; element = false };
+      Plan.Regroup { var = "vec"; ways = 2; chunked = false } ];
+  bad "regroup scalar" [ Plan.Regroup { var = "s1"; ways = 2; chunked = false } ];
+  bad "regroup too many ways" [ Plan.Regroup { var = "vec"; ways = 9; chunked = false } ];
+  bad "indirect non-struct" [ Plan.Indirect { var = "vec"; fields = [ "f" ] } ];
+  bad "indirect scalar field" [ Plan.Indirect { var = "recs"; fields = [ "hdr" ] } ];
+  bad "indirect no fields" [ Plan.Indirect { var = "recs"; fields = [] } ];
+  bad "group non-array" [ Plan.Group_transpose { vars = [ "s1" ]; pdv_axis = 0 } ];
+  bad "group axis out of range"
+    [ Plan.Group_transpose { vars = [ "vec" ]; pdv_axis = 1 } ];
+  bad "duplicate pad-locks" [ Plan.Pad_locks; Plan.Pad_locks ]
+
+let test_transformed_vars () =
+  let plan =
+    [ Plan.Group_transpose { vars = [ "vec"; "flat" ]; pdv_axis = 0 };
+      Plan.Pad_align { var = "s1"; element = false };
+      Plan.Pad_locks ]
+  in
+  Alcotest.(check (list string)) "claimed vars" [ "vec"; "flat"; "s1" ]
+    (Plan.transformed_vars plan)
+
+(* Random plans never produce overlapping layouts. *)
+let plan_gen =
+  QCheck.Gen.(
+    let action =
+      oneof
+        [ return (Plan.Pad_align { var = "vec"; element = true });
+          return (Plan.Pad_align { var = "s1"; element = false });
+          return (Plan.Group_transpose { vars = [ "mat" ]; pdv_axis = 1 });
+          return (Plan.Indirect { var = "recs"; fields = [ "per" ] });
+          return (Plan.Regroup { var = "flat"; ways = 4; chunked = false });
+          return (Plan.Regroup { var = "flat"; ways = 2; chunked = true });
+          return Plan.Pad_locks ]
+    in
+    list_size (int_range 0 4) action)
+
+let test_disjoint_prop =
+  QCheck.Test.make ~name:"layouts never overlap" ~count:200
+    (QCheck.make plan_gen)
+    (fun actions ->
+      (* drop duplicate claims to keep the plan valid *)
+      let seen = Hashtbl.create 8 in
+      let plan =
+        List.filter
+          (fun a ->
+            let k =
+              match a with
+              | Plan.Group_transpose { vars; _ } -> String.concat "," vars
+              | Plan.Indirect { var; _ } | Plan.Pad_align { var; _ }
+              | Plan.Regroup { var; _ } -> var
+              | Plan.Pad_locks -> "@locks"
+            in
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              true
+            end)
+          actions
+      in
+      (* vec and flat might both be claimed; that is fine — distinct vars *)
+      match Plan.validate prog plan with
+      | exception Plan.Plan_error _ -> QCheck.assume_fail ()
+      | () ->
+        List.for_all
+          (fun block ->
+            match Layout.check_disjoint (Layout.realize prog plan ~block) with
+            | Ok () -> true
+            | Error _ -> false)
+          [ 16; 64; 256 ])
+
+let suite =
+  [ Alcotest.test_case "default packed" `Quick test_default_packed;
+    Alcotest.test_case "group & transpose" `Quick test_group_transpose;
+    Alcotest.test_case "group extent mismatch" `Quick test_group_multiple_vars;
+    Alcotest.test_case "indirection" `Quick test_indirection;
+    Alcotest.test_case "pad & align element" `Quick test_pad_align_element;
+    Alcotest.test_case "pad locks" `Quick test_pad_locks;
+    Alcotest.test_case "regroup strided" `Quick test_regroup_strided;
+    Alcotest.test_case "regroup chunked" `Quick test_regroup_chunked;
+    Alcotest.test_case "plan validation" `Quick test_plan_validation;
+    Alcotest.test_case "transformed vars" `Quick test_transformed_vars;
+    QCheck_alcotest.to_alcotest test_disjoint_prop ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "falseshare"
+    [ ("util", Test_util.suite);
+      ("ir", Test_ir.suite);
+      ("rsd", Test_rsd.suite);
+      ("cfg", Test_cfg.suite);
+      ("analysis", Test_analysis.suite);
+      ("layout", Test_layout.suite);
+      ("interp", Test_interp.suite);
+      ("cache", Test_cache.suite);
+      ("machine", Test_machine.suite);
+      ("transform", Test_transform.suite);
+      ("workloads", Test_workloads.suite);
+      ("experiments", Test_experiments.suite);
+      ("parc", Test_parc.suite);
+      ("trace", Test_trace.suite);
+      ("fuzz", Test_fuzz.suite) ]

@@ -1,0 +1,175 @@
+(* Tests for the abstract index domain (Sym) and bounded regular section
+   descriptors (Rsd): soundness of the interval/congruence arithmetic and
+   the bounded-merge behavior. *)
+
+module Sym = Fs_rsd.Sym
+module Rsd = Fs_rsd.Rsd
+
+(* A generator of abstract values paired with a sampler of concrete members,
+   so arithmetic soundness can be checked by membership: any sum of members
+   must be a member of the abstract sum. *)
+let sym_gen =
+  QCheck.Gen.(
+    oneof
+      [ map (fun n -> Sym.Const n) (int_range (-50) 50);
+        map3
+          (fun lo len stride -> Sym.interval ~lo ~hi:(lo + len) ~stride)
+          (int_range (-20) 20) (int_range 0 40) (int_range 1 5);
+        map2 (fun m r -> Sym.congruent ~m ~r) (int_range 2 8) (int_range 0 7) ])
+
+let arbitrary_sym = QCheck.make ~print:(Format.asprintf "%a" Sym.pp) sym_gen
+
+(* Concrete members of an abstract value (a finite sample). *)
+let members = function
+  | Sym.Const n -> [ n ]
+  | Sym.Interval { lo; hi; stride } ->
+    let rec go x acc = if x > hi then List.rev acc else go (x + stride) (x :: acc) in
+    go lo []
+  | Sym.Congruent { m; r } -> List.init 6 (fun k -> (k * m) + r)
+  | Sym.Strided _ | Sym.Unknown -> []
+
+let test_add_sound =
+  QCheck.Test.make ~name:"sym add is sound" ~count:300
+    QCheck.(pair arbitrary_sym arbitrary_sym)
+    (fun (a, b) ->
+      let s = Sym.add a b in
+      List.for_all
+        (fun x ->
+          List.for_all
+            (fun y -> Sym.overlaps s (Sym.Const (x + y)))
+            (members b))
+        (members a))
+
+let test_mul_const_sound =
+  QCheck.Test.make ~name:"sym mul by const is sound" ~count:300
+    QCheck.(pair arbitrary_sym (int_range (-6) 6))
+    (fun (a, k) ->
+      let s = Sym.mul a (Sym.Const k) in
+      List.for_all (fun x -> Sym.overlaps s (Sym.Const (x * k))) (members a))
+
+let test_union_superset =
+  QCheck.Test.make ~name:"sym union contains both sides" ~count:300
+    QCheck.(pair arbitrary_sym arbitrary_sym)
+    (fun (a, b) ->
+      let u = Sym.union a b in
+      List.for_all (fun x -> Sym.overlaps u (Sym.Const x)) (members a)
+      && List.for_all (fun x -> Sym.overlaps u (Sym.Const x)) (members b))
+
+let test_overlap_sound =
+  QCheck.Test.make ~name:"sym disjointness is sound" ~count:300
+    QCheck.(pair arbitrary_sym arbitrary_sym)
+    (fun (a, b) ->
+      (* if overlaps says no, the concrete samples must indeed be disjoint *)
+      Sym.overlaps a b
+      || List.for_all (fun x -> not (List.mem x (members b))) (members a))
+
+let test_congruence_cases () =
+  let c0 = Sym.congruent ~m:12 ~r:0 and c5 = Sym.congruent ~m:12 ~r:5 in
+  Alcotest.(check bool) "distinct residues disjoint" false (Sym.overlaps c0 c5);
+  Alcotest.(check bool) "same residue overlaps" true (Sym.overlaps c0 c0);
+  let c_even = Sym.congruent ~m:4 ~r:2 and c_odd = Sym.congruent ~m:6 ~r:1 in
+  (* gcd 2: residues 0 vs 1 mod 2 -> disjoint *)
+  Alcotest.(check bool) "gcd residues" false (Sym.overlaps c_even c_odd);
+  (* task*P + pid with unknown task: Unknown * 12 + 5 *)
+  let slot = Sym.add (Sym.mul Sym.Unknown (Sym.Const 12)) (Sym.Const 5) in
+  Alcotest.(check bool) "unknown*P+pid is congruent" true
+    (Sym.equal slot (Sym.congruent ~m:12 ~r:5));
+  (* mod collapses congruences: (12k+5) mod 4 = 1 *)
+  (match Sym.mod_ slot (Sym.Const 4) with
+   | Sym.Const 1 -> ()
+   | other -> Alcotest.failf "expected Const 1, got %a" Sym.pp other)
+
+let test_strided_cases () =
+  (* unknown base plus a dense loop range keeps the stride *)
+  let s = Sym.add Sym.Unknown (Sym.interval ~lo:0 ~hi:9 ~stride:1) in
+  Alcotest.(check bool) "strided 1" true (Sym.equal s (Sym.Strided 1));
+  Alcotest.(check (option int)) "stride_of" (Some 1) (Sym.stride_of s);
+  Alcotest.(check bool) "strided overlaps everything" true
+    (Sym.overlaps s (Sym.Const 3))
+
+let test_comparisons () =
+  let a = Sym.interval ~lo:0 ~hi:5 ~stride:1 in
+  let b = Sym.interval ~lo:10 ~hi:20 ~stride:1 in
+  Alcotest.(check (option bool)) "lt decidable" (Some true) (Sym.lt a b);
+  Alcotest.(check (option bool)) "lt undecidable" None
+    (Sym.lt a (Sym.interval ~lo:3 ~hi:8 ~stride:1));
+  Alcotest.(check (option bool)) "eq disjoint" (Some false) (Sym.eq a b);
+  Alcotest.(check (option bool)) "eq congruent vs const" (Some false)
+    (Sym.eq (Sym.congruent ~m:4 ~r:1) (Sym.Const 8))
+
+let test_points () =
+  Alcotest.(check (list int)) "const" [ 3 ] (Sym.points (Sym.Const 3) ~extent:5);
+  Alcotest.(check (list int)) "const out" [] (Sym.points (Sym.Const 7) ~extent:5);
+  Alcotest.(check (list int)) "interval" [ 1; 3 ]
+    (Sym.points (Sym.interval ~lo:1 ~hi:4 ~stride:2) ~extent:5);
+  Alcotest.(check (list int)) "congruent" [ 2; 5; 8 ]
+    (Sym.points (Sym.congruent ~m:3 ~r:2) ~extent:9);
+  Alcotest.(check int) "unknown = all" 5
+    (List.length (Sym.points Sym.Unknown ~extent:5))
+
+(* --- Rsd --- *)
+
+let rsd dims w = Rsd.create (Array.of_list dims) ~weight:w
+
+let test_rsd_overlap () =
+  let a = rsd [ Sym.Const 1; Sym.interval ~lo:0 ~hi:5 ~stride:1 ] 1.0 in
+  let b = rsd [ Sym.Const 2; Sym.interval ~lo:0 ~hi:5 ~stride:1 ] 1.0 in
+  let c = rsd [ Sym.Const 1; Sym.Const 3 ] 1.0 in
+  Alcotest.(check bool) "disjoint on dim 0" false (Rsd.overlaps a b);
+  Alcotest.(check bool) "overlapping" true (Rsd.overlaps a c);
+  (* rank-0 descriptors describe the whole scalar *)
+  Alcotest.(check bool) "scalars overlap" true (Rsd.overlaps (rsd [] 1.0) (rsd [] 2.0))
+
+let test_rsd_merge () =
+  let a = rsd [ Sym.Const 1; Sym.Const 2 ] 1.5 in
+  let b = rsd [ Sym.Const 1; Sym.Const 4 ] 2.5 in
+  let m = Rsd.merge a b in
+  Alcotest.(check (float 1e-9)) "weights add" 4.0 m.Rsd.weight;
+  Alcotest.(check bool) "dim 0 kept" true (Sym.equal m.Rsd.dims.(0) (Sym.Const 1));
+  Alcotest.(check bool) "dim 1 widened" true
+    (Sym.overlaps m.Rsd.dims.(1) (Sym.Const 2)
+     && Sym.overlaps m.Rsd.dims.(1) (Sym.Const 4))
+
+let test_rsd_set_merging () =
+  (* descriptors differing in at most one dim merge in place *)
+  let s = Rsd.Set.empty () in
+  let s = Rsd.Set.add s (rsd [ Sym.Const 0; Sym.Const 0 ] 1.0) in
+  let s = Rsd.Set.add s (rsd [ Sym.Const 0; Sym.Const 1 ] 1.0) in
+  Alcotest.(check int) "merged" 1 (Rsd.Set.cardinal s);
+  Alcotest.(check (float 1e-9)) "weight kept" 2.0 (Rsd.Set.total_weight s)
+
+let test_rsd_set_limit () =
+  (* force many pairwise-different descriptors; the list stays bounded *)
+  let s = ref (Rsd.Set.empty ~limit:4 ()) in
+  for k = 0 to 19 do
+    s := Rsd.Set.add !s (rsd [ Sym.Const k; Sym.Const (100 * k); Sym.Const (-k) ] 1.0)
+  done;
+  Alcotest.(check bool) "bounded" true (Rsd.Set.cardinal !s <= 4);
+  Alcotest.(check (float 1e-9)) "weight conserved" 20.0 (Rsd.Set.total_weight !s)
+
+let test_rsd_set_weight_conserved =
+  QCheck.Test.make ~name:"rsd set conserves weight" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 25) (pair small_nat small_nat))
+    (fun items ->
+      let s =
+        List.fold_left
+          (fun s (a, b) -> Rsd.Set.add s (rsd [ Sym.Const a; Sym.Const b ] 1.0))
+          (Rsd.Set.empty ~limit:5 ()) items
+      in
+      abs_float (Rsd.Set.total_weight s -. float_of_int (List.length items)) < 1e-6
+      && Rsd.Set.cardinal s <= 5)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest test_add_sound;
+    QCheck_alcotest.to_alcotest test_mul_const_sound;
+    QCheck_alcotest.to_alcotest test_union_superset;
+    QCheck_alcotest.to_alcotest test_overlap_sound;
+    Alcotest.test_case "congruence cases" `Quick test_congruence_cases;
+    Alcotest.test_case "strided cases" `Quick test_strided_cases;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "points" `Quick test_points;
+    Alcotest.test_case "rsd overlap" `Quick test_rsd_overlap;
+    Alcotest.test_case "rsd merge" `Quick test_rsd_merge;
+    Alcotest.test_case "rsd set merging" `Quick test_rsd_set_merging;
+    Alcotest.test_case "rsd set limit" `Quick test_rsd_set_limit;
+    QCheck_alcotest.to_alcotest test_rsd_set_weight_conserved ]

@@ -1,0 +1,73 @@
+(* Tests for trace events, sinks, and listeners. *)
+
+module Sink = Fs_trace.Sink
+module Event = Fs_trace.Event
+module Listener = Fs_trace.Listener
+
+let test_counter () =
+  let c = Sink.Counter.create ~nprocs:3 in
+  let s = Sink.Counter.sink c in
+  s ~proc:0 ~write:true ~addr:0;
+  s ~proc:1 ~write:false ~addr:4;
+  s ~proc:1 ~write:false ~addr:8;
+  Alcotest.(check int) "writes" 1 c.Sink.Counter.writes;
+  Alcotest.(check int) "reads" 2 c.Sink.Counter.reads;
+  Alcotest.(check int) "total" 3 (Sink.Counter.total c);
+  Alcotest.(check int) "per proc" 2 c.Sink.Counter.per_proc.(1)
+
+let test_capture () =
+  let c = Sink.Capture.create () in
+  let s = Sink.Capture.sink c in
+  for k = 0 to 4999 do
+    s ~proc:(k mod 7) ~write:(k land 1 = 1) ~addr:(k * 4)
+  done;
+  Alcotest.(check int) "length" 5000 (Sink.Capture.length c);
+  let e = Sink.Capture.get c 4999 in
+  Alcotest.(check int) "proc" (4999 mod 7) e.Event.proc;
+  Alcotest.(check bool) "write" true e.Event.write;
+  Alcotest.(check int) "addr" (4999 * 4) e.Event.addr;
+  Alcotest.(check int) "to_list length" 5000 (List.length (Sink.Capture.to_list c));
+  Alcotest.(check bool) "get out of range" true
+    (match Sink.Capture.get c 5000 with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+let test_tee () =
+  let a = Sink.Counter.create ~nprocs:1 and b = Sink.Counter.create ~nprocs:1 in
+  let s = Sink.tee (Sink.Counter.sink a) (Sink.Counter.sink b) in
+  s ~proc:0 ~write:true ~addr:0;
+  Alcotest.(check int) "both fed" 2 (Sink.Counter.total a + Sink.Counter.total b)
+
+let test_listener_combine () =
+  let hits = ref 0 in
+  let l =
+    { Listener.null with access = (fun ~proc:_ ~write:_ ~addr:_ -> incr hits) }
+  in
+  let both = Listener.combine l l in
+  both.Listener.access ~proc:0 ~write:false ~addr:0;
+  Alcotest.(check int) "delivered twice" 2 !hits;
+  both.Listener.barrier_arrive ~proc:0;
+  both.Listener.barrier_release ();
+  both.Listener.work ~proc:0 ~amount:3;
+  both.Listener.lock_wait ~proc:0 ~addr:0;
+  both.Listener.lock_grant ~proc:0 ~addr:0 ~from:(-1)
+
+let test_of_sink () =
+  let c = Sink.Counter.create ~nprocs:1 in
+  let l = Listener.of_sink (Sink.Counter.sink c) in
+  l.Listener.access ~proc:0 ~write:true ~addr:4;
+  l.Listener.barrier_arrive ~proc:0;
+  Alcotest.(check int) "access forwarded" 1 (Sink.Counter.total c)
+
+let test_event_pp () =
+  let s = Format.asprintf "%a" Event.pp { Event.proc = 3; write = true; addr = 256 } in
+  Tutil.check_contains "event pp" s "P3";
+  Tutil.check_contains "event pp" s "W"
+
+let suite =
+  [ Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "capture growth" `Quick test_capture;
+    Alcotest.test_case "tee" `Quick test_tee;
+    Alcotest.test_case "listener combine" `Quick test_listener_combine;
+    Alcotest.test_case "listener of_sink" `Quick test_of_sink;
+    Alcotest.test_case "event pp" `Quick test_event_pp ]

@@ -1,0 +1,120 @@
+(* Unit tests for lib/util: the deterministic PRNG, alignment arithmetic,
+   table rendering and the small statistics helpers. *)
+
+module Rng = Fs_util.Rng
+module Align = Fs_util.Align
+module Table = Fs_util.Table
+module Stats = Fs_util.Stats
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_seed_changes_stream () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_rng_bounds =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let x = Rng.int r bound in
+      x >= 0 && x < bound)
+
+let test_rng_invalid_bound () =
+  let r = Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_float_bounds () =
+  let r = Rng.create 11 in
+  for _ = 1 to 100 do
+    let x = Rng.float r 2.5 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_shuffle_permutes () =
+  let r = Rng.create 5 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_align_round_up () =
+  Alcotest.(check int) "already aligned" 128 (Align.round_up 128 128);
+  Alcotest.(check int) "rounds up" 128 (Align.round_up 1 128);
+  Alcotest.(check int) "zero" 0 (Align.round_up 0 64);
+  Alcotest.check_raises "bad align"
+    (Invalid_argument "Align.round_up: align must be positive") (fun () ->
+      ignore (Align.round_up 4 0))
+
+let test_align_round_up_prop =
+  QCheck.Test.make ~name:"round_up is smallest aligned >= n" ~count:500
+    QCheck.(pair (int_range 0 100000) (int_range 1 512))
+    (fun (n, a) ->
+      let r = Align.round_up n a in
+      r >= n && r mod a = 0 && r - n < a)
+
+let test_align_helpers () =
+  Alcotest.(check bool) "aligned" true (Align.is_aligned 256 128);
+  Alcotest.(check bool) "not aligned" false (Align.is_aligned 260 128);
+  Alcotest.(check int) "block of" 2 (Align.block_of ~block:128 257);
+  Alcotest.(check int) "word of" 3 (Align.word_of ~word:4 12);
+  Alcotest.(check bool) "power of two" true (Align.is_power_of_two 64);
+  Alcotest.(check bool) "not power of two" false (Align.is_power_of_two 48);
+  Alcotest.(check bool) "zero not power" false (Align.is_power_of_two 0)
+
+let test_table_render () =
+  let s = Table.render ~header:[ "a"; "bb" ] [ [ "x"; "1" ]; [ "yy"; "22" ] ] in
+  Alcotest.(check bool) "has rule" true (String.length s > 0);
+  let lines = String.split_on_char '\n' s in
+  (* header, rule, two rows, and the trailing newline's empty tail *)
+  Alcotest.(check int) "five pieces" 5 (List.length lines)
+
+let test_table_ragged () =
+  let s = Table.render [ [ "a" ]; [ "b"; "c" ] ] in
+  Alcotest.(check bool) "renders ragged rows" true (String.length s > 0)
+
+let test_table_formats () =
+  Alcotest.(check string) "pct" "56.5%" (Table.pct 0.565);
+  Alcotest.(check string) "f1" "3.1" (Table.f1 3.14159);
+  Alcotest.(check string) "f2" "3.14" (Table.f2 3.14159)
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "mean empty" 0.0 (Stats.mean []);
+  Alcotest.(check (float 1e-6)) "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "ratio" 0.5 (Stats.ratio 1 2);
+  Alcotest.(check (float 1e-9)) "ratio den 0" 0.0 (Stats.ratio 1 0);
+  Alcotest.(check (option int)) "argmax" (Some 3)
+    (Stats.argmax float_of_int [ 1; 3; 2 ]);
+  Alcotest.(check (option int)) "argmax empty" None (Stats.argmax float_of_int [])
+
+let suite =
+  [ Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seeds differ" `Quick test_rng_seed_changes_stream;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    QCheck_alcotest.to_alcotest test_rng_bounds;
+    Alcotest.test_case "rng invalid bound" `Quick test_rng_invalid_bound;
+    Alcotest.test_case "rng float bounds" `Quick test_rng_float_bounds;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+    Alcotest.test_case "align round_up" `Quick test_align_round_up;
+    QCheck_alcotest.to_alcotest test_align_round_up_prop;
+    Alcotest.test_case "align helpers" `Quick test_align_helpers;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table ragged" `Quick test_table_ragged;
+    Alcotest.test_case "table formats" `Quick test_table_formats;
+    Alcotest.test_case "stats" `Quick test_stats ]

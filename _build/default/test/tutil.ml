@@ -1,0 +1,16 @@
+(* Shared helpers for the test suites. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else
+    let rec go i =
+      if i + nn > nh then false
+      else if String.sub haystack i nn = needle then true
+      else go (i + 1)
+    in
+    go 0
+
+let check_contains what haystack needle =
+  if not (contains haystack needle) then
+    Alcotest.fail (Printf.sprintf "%s: expected %S in %S" what needle haystack)

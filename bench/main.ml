@@ -7,7 +7,11 @@
 
    A single argument selects one piece:
      fig3 | table2 | fig4 | table3 | stats | exectime | micro | ablation
-   plus `quick`, which shrinks the processor sweep for a fast pass. *)
+   plus `quick`, which shrinks the processor sweep for a fast pass.
+
+   Besides the text tables, every run writes BENCH_results.json — the
+   same records in machine-readable form (via Falseshare.Emit), with the
+   wall-clock seconds each section took. *)
 
 module E = Falseshare.Experiments
 module Sim = Falseshare.Sim
@@ -19,12 +23,37 @@ module C = Fs_cache.Mpcache
 module W = Fs_workloads.Workload
 module Ws = Fs_workloads.Workloads
 
+module Json = Fs_obs.Json
+module Emit = Falseshare.Emit
+
 let section title = Printf.printf "\n=== %s ===\n\n" title
 
 let time_it f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
+
+(* accumulated for BENCH_results.json, in run order *)
+let results : (string * Json.t) list ref = ref []
+
+let record name ~seconds payload =
+  results :=
+    (name, Json.Obj [ ("seconds", Json.float seconds); ("data", payload) ])
+    :: !results
+
+let write_results ~quick =
+  let path = "BENCH_results.json" in
+  let j =
+    Json.Obj
+      [ ("harness", Json.String "falseshare bench");
+        ("quick", Json.Bool quick);
+        ("sections", Json.Obj (List.rev !results)) ]
+  in
+  let oc = open_out path in
+  Json.to_channel ~compact:false oc j;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s (%d sections)\n" path (List.length !results)
 
 (* ------------------------------------------------------------------ *)
 (* Paper reproductions                                                 *)
@@ -34,6 +63,7 @@ let fig3 () =
            (16B and 128B blocks; paper: white bar = false sharing)";
   let rows, dt = time_it (fun () -> E.figure3 ()) in
   print_string (E.render_figure3 rows);
+  record "fig3" ~seconds:dt (Emit.fig3 rows);
   Printf.printf "(%.1fs)\n" dt
 
 let table2 () =
@@ -41,6 +71,7 @@ let table2 () =
            (averaged over 8-256B blocks)";
   let rows, dt = time_it (fun () -> E.table2 ()) in
   print_string (E.render_table2 rows);
+  record "table2" ~seconds:dt (Emit.table2 rows);
   print_string
     "\npaper:    maxflow 56.5% (pad 49.2, locks 7.3) | pverify 91.2% (g&t 6.4, \
      ind 81.6, locks 3.1)\n\
@@ -54,6 +85,7 @@ let fig4 ~procs () =
            (speedup vs processors, relative to unoptimized uniprocessor)";
   let series, dt = time_it (fun () -> E.figure4 ?procs ()) in
   print_string (E.render_series series);
+  record "fig4" ~seconds:dt (Emit.series series);
   print_string
     "paper maxima: raytrace 7.0/9.6/9.2 | fmm 16.4/33.6/16.4 | pverify 2.5/5.9/3.5\n";
   Printf.printf "(%.1fs)\n" dt
@@ -63,6 +95,7 @@ let table3 ~procs () =
   let series, dt = time_it (fun () -> E.speedups ?procs ()) in
   let rows = E.table3 ~series () in
   print_string (E.render_table3 rows);
+  record "table3" ~seconds:dt (Emit.table3 rows);
   print_string
     "\npaper:    maxflow 1.4(8)/4.3(16) | pverify 2.5(16)/5.9(16)/3.5(8) | \
      topopt 9.2(44)/10.3(28)/10.2(28)\n\
@@ -76,6 +109,7 @@ let stats () =
   section "Headline statistics (abstract / Section 1)";
   let s, dt = time_it E.text_stats in
   print_string (E.render_stats s);
+  record "stats" ~seconds:dt (Emit.stats s);
   Printf.printf "(%.1fs)\n" dt
 
 let exectime ~procs () =
@@ -84,6 +118,7 @@ let exectime ~procs () =
            maxflow 50%, pverify 58%, topopt 20%)";
   let rows, dt = time_it (fun () -> E.exec_time_improvements ?procs ()) in
   print_string (E.render_exec rows);
+  record "exectime" ~seconds:dt (Emit.exec rows);
   Printf.printf "(%.1fs)\n" dt
 
 (* ------------------------------------------------------------------ *)
@@ -99,6 +134,7 @@ let ablation () =
     (Sim.cache_sim prog plan ~nprocs ~block:128).Sim.counts.C.false_sh
   in
   let header = [ "program"; "full"; "no lock pad"; "no profiling"; "rsd limit 1" ] in
+  let t0 = Unix.gettimeofday () in
   let rows =
     List.map
       (fun (w : W.t) ->
@@ -110,7 +146,21 @@ let ablation () =
           string_of_int noprof; string_of_int rsd1 ])
       (Ws.simulated ())
   in
-  print_string (Fs_util.Table.render ~header rows)
+  print_string (Fs_util.Table.render ~header rows);
+  record "ablation" ~seconds:(Unix.gettimeofday () -. t0)
+    (Json.List
+       (List.map
+          (fun row ->
+            match row with
+            | [ name; base; nolocks; noprof; rsd1 ] ->
+              Json.Obj
+                [ ("program", Json.String name);
+                  ("full", Json.Int (int_of_string base));
+                  ("no_lock_pad", Json.Int (int_of_string nolocks));
+                  ("no_profiling", Json.Int (int_of_string noprof));
+                  ("rsd_limit_1", Json.Int (int_of_string rsd1)) ]
+            | _ -> Json.Null)
+          rows))
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the pipeline components                *)
@@ -163,19 +213,37 @@ let micro () =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
+  let estimates =
     Hashtbl.fold
       (fun name ols acc ->
         let est =
           match Analyze.OLS.estimates ols with
-          | Some (t :: _) -> Printf.sprintf "%.3f ms" (t /. 1e6)
-          | _ -> "n/a"
+          | Some (t :: _) -> Some (t /. 1e6)
+          | _ -> None
         in
-        [ name; est ] :: acc)
+        (name, est) :: acc)
       results []
     |> List.sort compare
   in
-  print_string (Fs_util.Table.render ~header:[ "component"; "time/run" ] rows)
+  let rows =
+    List.map
+      (fun (name, est) ->
+        [ name;
+          (match est with
+           | Some ms -> Printf.sprintf "%.3f ms" ms
+           | None -> "n/a") ])
+      estimates
+  in
+  print_string (Fs_util.Table.render ~header:[ "component"; "time/run" ] rows);
+  record "micro" ~seconds:0.
+    (Json.List
+       (List.map
+          (fun (name, est) ->
+            Json.Obj
+              [ ("component", Json.String name);
+                ("ms_per_run",
+                 match est with Some ms -> Json.float ms | None -> Json.Null) ])
+          estimates))
 
 (* ------------------------------------------------------------------ *)
 
@@ -191,4 +259,5 @@ let () =
   if all || pick = "table3" then table3 ~procs ();
   if all || pick = "exectime" then exectime ~procs ();
   if all || pick = "ablation" then ablation ();
-  if all || pick = "micro" then micro ()
+  if all || pick = "micro" then micro ();
+  write_results ~quick

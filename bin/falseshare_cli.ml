@@ -1,20 +1,27 @@
 (* Command-line front end.
 
    falseshare list                      -- the benchmark suite (Table 1)
-   falseshare report  <workload>        -- compiler analysis + decisions
+   falseshare report  <workload>        -- compiler analysis + phase profile
    falseshare source  <workload>        -- ParC source of a benchmark
    falseshare sim     <workload> [...]  -- cache simulation, N vs C vs P
    falseshare speedup <workload> [...]  -- KSR2 scalability curves
+   falseshare blame   <workload> [...]  -- invalidation blame matrix
+   falseshare timeline <workload> [...] -- Chrome-trace timeline export
    falseshare fig3 | table2 | fig4 | table3 | stats | exectime
-                                        -- reproduce the paper's evaluation *)
+                                        -- reproduce the paper's evaluation
+
+   Every subcommand takes --json to emit machine-readable output. *)
 
 open Cmdliner
 module E = Falseshare.Experiments
 module Sim = Falseshare.Sim
+module Pipeline = Falseshare.Pipeline
+module Emit = Falseshare.Emit
 module T = Fs_transform.Transform
 module C = Fs_cache.Mpcache
 module W = Fs_workloads.Workload
 module Ws = Fs_workloads.Workloads
+module Json = Fs_obs.Json
 
 let workload_arg =
   let wconv =
@@ -23,10 +30,15 @@ let workload_arg =
           match Ws.find s with
           | w -> Ok w
           | exception Not_found ->
-            Error
-              (`Msg
-                 (Printf.sprintf "unknown workload %S (try: %s)" s
-                    (String.concat ", " (List.map (fun w -> w.W.name) Ws.all))))),
+            let names = List.map (fun w -> w.W.name) Ws.all in
+            let hint =
+              match Fs_util.Strdist.suggest s names with
+              | [] -> "run `falseshare list` for the benchmark suite"
+              | near ->
+                Printf.sprintf "did you mean %s?"
+                  (String.concat " or " (List.map (Printf.sprintf "%S") near))
+            in
+            Error (`Msg (Printf.sprintf "unknown workload %S (%s)" s hint))),
         fun fmt w -> Format.pp_print_string fmt w.W.name )
   in
   Arg.(required & pos 0 (some wconv) None & info [] ~docv:"WORKLOAD")
@@ -40,87 +52,129 @@ let scale_arg =
 let block_arg =
   Arg.(value & opt int 128 & info [ "b"; "block" ] ~docv:"BYTES" ~doc:"Cache block size.")
 
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text.")
+
+let layout_arg =
+  Arg.(value
+       & opt (enum [ ("unoptimized", `U); ("compiler", `C); ("programmer", `P) ]) `U
+       & info [ "layout" ] ~docv:"V"
+           ~doc:"Which layout: $(b,unoptimized), $(b,compiler), or $(b,programmer).")
+
 let scale_of w = function Some s -> s | None -> w.W.default_scale
+
+let print_json j = Json.to_channel ~compact:false stdout j
+
+let plan_of w version prog ~nprocs ~scale =
+  match version with
+  | `U -> []
+  | `C -> E.plan_for w W.C prog ~nprocs ~scale
+  | `P -> E.plan_for w W.P prog ~nprocs ~scale
 
 (* --- list --- *)
 
 let list_cmd =
-  let run () =
-    let header = [ "name"; "description"; "versions"; "orig. LoC" ] in
-    let rows =
-      List.map
-        (fun (w : W.t) ->
-          [ w.name;
-            w.description;
-            String.concat "/"
-              (List.map
-                 (fun v ->
-                   match v with W.N -> "N" | W.C -> "C" | W.P -> "P")
-                 w.versions);
-            string_of_int w.lines_of_c ])
-        Ws.all
-    in
-    print_string (Fs_util.Table.render ~header rows)
+  let run json =
+    if json then print_json (Emit.workloads Ws.all)
+    else begin
+      let header = [ "name"; "description"; "versions"; "orig. LoC" ] in
+      let rows =
+        List.map
+          (fun (w : W.t) ->
+            [ w.name;
+              w.description;
+              String.concat "/"
+                (List.map
+                   (fun v ->
+                     match v with W.N -> "N" | W.C -> "C" | W.P -> "P")
+                   w.versions);
+              string_of_int w.lines_of_c ])
+          Ws.all
+      in
+      print_string (Fs_util.Table.render ~header rows)
+    end
   in
   Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite (Table 1).")
-    Term.(const run $ const ())
+    Term.(const run $ json_arg)
 
 (* --- report --- *)
 
 let report_cmd =
-  let run w nprocs scale =
+  let run w nprocs scale block json =
     let prog = w.W.build ~nprocs ~scale:(scale_of w scale) in
-    let report = T.plan prog ~nprocs in
-    Format.printf "%a@." T.pp_report report
+    let r = Pipeline.run prog ~nprocs ~block in
+    if json then print_json (Json.Obj [ ("report", Emit.transform_report r.Pipeline.report);
+                                        ("profile", Fs_obs.Profile.to_json r.profile);
+                                        ("metrics", Fs_obs.Metrics.to_json r.metrics) ])
+    else begin
+      Format.printf "%a@." T.pp_report r.Pipeline.report;
+      print_endline "pipeline phases:";
+      print_string (Fs_obs.Profile.render r.profile)
+    end
   in
   Cmd.v
-    (Cmd.info "report" ~doc:"Run the compile-time analysis and print its decisions.")
-    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg)
+    (Cmd.info "report"
+       ~doc:
+         "Run the compile-time analysis and print its decisions, with a \
+          wall-clock profile of every pipeline phase.")
+    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg $ json_arg)
 
 (* --- source --- *)
 
 let source_cmd =
-  let run w nprocs scale =
+  let run w nprocs scale json =
     let prog = w.W.build ~nprocs ~scale:(scale_of w scale) in
-    print_string (Fs_ir.Pp.program_to_string prog)
+    let src = Fs_ir.Pp.program_to_string prog in
+    if json then
+      print_json
+        (Json.Obj [ ("workload", Json.String w.W.name); ("source", Json.String src) ])
+    else print_string src
   in
   Cmd.v (Cmd.info "source" ~doc:"Print a benchmark's ParC source.")
-    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg)
+    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ json_arg)
 
 (* --- sim --- *)
 
+let sim_versions w prog ~nprocs ~scale =
+  List.filter_map
+    (fun v ->
+      match v with
+      | W.N -> Some ("unoptimized", [])
+      | W.C -> Some ("compiler", E.plan_for w W.C prog ~nprocs ~scale)
+      | W.P -> Some ("programmer", E.plan_for w W.P prog ~nprocs ~scale))
+    (if List.mem W.N w.W.versions then w.W.versions else W.N :: w.W.versions)
+
 let sim_cmd =
-  let run w nprocs scale block =
+  let run w nprocs scale block json =
     let scale = scale_of w scale in
     let prog = w.W.build ~nprocs ~scale in
-    let versions =
-      List.filter_map
-        (fun v ->
-          match v with
-          | W.N -> Some ("unoptimized", [])
-          | W.C -> Some ("compiler", E.plan_for w W.C prog ~nprocs ~scale)
-          | W.P -> Some ("programmer", E.plan_for w W.P prog ~nprocs ~scale))
-        (if List.mem W.N w.versions then w.versions else W.N :: w.versions)
-    in
-    let header = [ "version"; "accesses"; "misses"; "false sharing"; "miss rate" ] in
-    let rows =
+    let versions = sim_versions w prog ~nprocs ~scale in
+    let runs =
       List.map
-        (fun (name, plan) ->
-          let r = Sim.cache_sim prog plan ~nprocs ~block in
-          let c = r.Sim.counts in
-          [ name;
-            string_of_int (C.accesses c);
-            string_of_int (C.misses c);
-            string_of_int c.C.false_sh;
-            Fs_util.Table.pct (C.miss_rate c) ])
+        (fun (name, plan) -> (name, Sim.cache_sim prog plan ~nprocs ~block))
         versions
     in
-    print_string (Fs_util.Table.render ~header rows)
+    if json then print_json (Emit.sim ~workload:w.W.name ~nprocs ~block runs)
+    else begin
+      let header = [ "version"; "accesses"; "misses"; "false sharing"; "miss rate" ] in
+      let rows =
+        List.map
+          (fun (name, r) ->
+            let c = r.Sim.counts in
+            [ name;
+              string_of_int (C.accesses c);
+              string_of_int (C.misses c);
+              string_of_int c.C.false_sh;
+              Fs_util.Table.pct (C.miss_rate c) ])
+          runs
+      in
+      print_string (Fs_util.Table.render ~header rows)
+    end
   in
   Cmd.v
     (Cmd.info "sim"
        ~doc:"Trace-driven cache simulation of a benchmark, one row per version.")
-    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg)
+    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg $ json_arg)
 
 (* --- speedup --- *)
 
@@ -129,41 +183,94 @@ let speedup_cmd =
     Arg.(value & opt (list int) [ 1; 2; 4; 8; 12; 16; 24; 32 ]
          & info [ "procs-list" ] ~docv:"P,P,..." ~doc:"Processor counts to sweep.")
   in
-  let run w procs =
+  let run w procs json =
     let series = E.speedups ~procs ~names:[ w.W.name ] () in
-    print_string (E.render_series series)
+    if json then print_json (Emit.series series)
+    else print_string (E.render_series series)
   in
   Cmd.v
     (Cmd.info "speedup" ~doc:"KSR2-model scalability curves for one benchmark.")
-    Term.(const run $ workload_arg $ procs_arg)
+    Term.(const run $ workload_arg $ procs_arg $ json_arg)
 
 (* --- hotspots --- *)
 
 let hotspots_cmd =
-  let version_arg =
-    Arg.(value & opt string "unoptimized"
-         & info [ "layout" ] ~docv:"V"
-             ~doc:"Which layout: unoptimized, compiler, or programmer.")
-  in
-  let run w nprocs scale block version =
+  let run w nprocs scale block version json =
     let scale = scale_of w scale in
     let prog = w.W.build ~nprocs ~scale in
-    let plan =
-      match version with
-      | "unoptimized" -> []
-      | "compiler" -> E.plan_for w W.C prog ~nprocs ~scale
-      | "programmer" -> E.plan_for w W.P prog ~nprocs ~scale
-      | other -> failwith ("unknown version " ^ other)
-    in
+    let plan = plan_of w version prog ~nprocs ~scale in
     let rows = Falseshare.Attribution.attribute prog plan ~nprocs ~block in
-    print_string (Falseshare.Attribution.render rows)
+    if json then print_json (Emit.attribution rows)
+    else print_string (Falseshare.Attribution.render rows)
   in
   Cmd.v
     (Cmd.info "hotspots"
        ~doc:
          "Attribute simulated misses back to the shared data structures — \
           the dynamic counterpart of the compiler's static report.")
-    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg $ version_arg)
+    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg $ layout_arg $ json_arg)
+
+(* --- blame --- *)
+
+let blame_cmd =
+  let top_arg =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"K" ~doc:"How many hot blocks to list.")
+  in
+  let run w nprocs scale block version top json =
+    let scale = scale_of w scale in
+    let prog = w.W.build ~nprocs ~scale in
+    let plan = plan_of w version prog ~nprocs ~scale in
+    let b = Falseshare.Blame.analyze ~top prog plan ~nprocs ~block in
+    if json then print_json (Emit.blame b)
+    else print_string (Falseshare.Blame.render b)
+  in
+  Cmd.v
+    (Cmd.info "blame"
+       ~doc:
+         "The false-sharing blame matrix: per shared variable, which \
+          processor's writes invalidate which processor's cached copies \
+          (split by upgrade vs. write miss), plus the hottest blocks with \
+          their owning variable and cell ranges.")
+    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
+          $ layout_arg $ top_arg $ json_arg)
+
+(* --- timeline --- *)
+
+let timeline_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Output file; \"-\" for stdout.  Default: <workload>.trace.json.")
+  in
+  let run w nprocs scale block version out =
+    let scale = scale_of w scale in
+    let prog = w.W.build ~nprocs ~scale in
+    let plan = plan_of w version prog ~nprocs ~scale in
+    let layout = Fs_layout.Layout.realize prog plan ~block in
+    let tl = Fs_obs.Timeline.create ~nprocs in
+    let _ =
+      Fs_interp.Interp.run prog ~nprocs ~layout
+        ~listener:(Fs_obs.Timeline.listener tl)
+    in
+    match out with
+    | Some "-" -> print_json (Fs_obs.Timeline.to_json tl)
+    | out ->
+      let path = Option.value out ~default:(w.W.name ^ ".trace.json") in
+      Fs_obs.Timeline.write_file tl path;
+      Printf.printf
+        "wrote %d trace events to %s (open in https://ui.perfetto.dev or \
+         chrome://tracing)\n"
+        (Fs_obs.Timeline.events tl) path
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Record a benchmark run's per-processor timeline — work segments, \
+          barrier waits, lock convoys — as Chrome trace-event JSON for \
+          Perfetto.")
+    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
+          $ layout_arg $ out_arg)
 
 (* --- check (.parc sources) --- *)
 
@@ -175,57 +282,96 @@ let check_cmd =
     Arg.(value & opt (some int) None
          & info [ "run" ] ~docv:"P" ~doc:"Also execute with P processes.")
   in
-  let run file procs =
+  let run file procs json =
     let ic = open_in file in
     let n = in_channel_length ic in
     let src = really_input_string ic n in
     close_in ic;
-    match Fs_parc.Parser.parse_and_validate src with
+    let profile = Fs_obs.Profile.create () in
+    match
+      Fs_obs.Profile.time profile "parse"
+        ~events:(fun _ -> String.length src)
+        (fun () -> Fs_parc.Parser.parse_and_validate src)
+    with
     | Error errs ->
-      List.iter prerr_endline errs;
+      if json then
+        print_json
+          (Json.Obj
+             [ ("ok", Json.Bool false);
+               ("errors", Json.List (List.map (fun e -> Json.String e) errs)) ])
+      else List.iter prerr_endline errs;
       exit 1
-    | Ok prog ->
-      Printf.printf "%s: ok (%d globals, %d functions)\n" prog.Fs_ir.Ast.pname
-        (List.length prog.Fs_ir.Ast.globals)
-        (List.length prog.Fs_ir.Ast.funcs);
-      (match procs with
-       | None -> ()
-       | Some nprocs ->
-         let report = T.plan prog ~nprocs in
-         Format.printf "%a@." T.pp_report report)
+    | Ok prog -> (
+      match procs with
+      | None ->
+        if json then
+          print_json
+            (Json.Obj
+               [ ("ok", Json.Bool true);
+                 ("name", Json.String prog.Fs_ir.Ast.pname);
+                 ("globals", Json.Int (List.length prog.Fs_ir.Ast.globals));
+                 ("functions", Json.Int (List.length prog.Fs_ir.Ast.funcs)) ])
+        else
+          Printf.printf "%s: ok (%d globals, %d functions)\n" prog.Fs_ir.Ast.pname
+            (List.length prog.Fs_ir.Ast.globals)
+            (List.length prog.Fs_ir.Ast.funcs)
+      | Some nprocs ->
+        let r = Pipeline.run ~profile prog ~nprocs ~block:128 in
+        if json then
+          print_json
+            (Json.Obj
+               [ ("ok", Json.Bool true);
+                 ("name", Json.String prog.Fs_ir.Ast.pname);
+                 ("report", Emit.transform_report r.Pipeline.report);
+                 ("profile", Fs_obs.Profile.to_json r.profile) ])
+        else begin
+          Printf.printf "%s: ok (%d globals, %d functions)\n" prog.Fs_ir.Ast.pname
+            (List.length prog.Fs_ir.Ast.globals)
+            (List.length prog.Fs_ir.Ast.funcs);
+          Format.printf "%a@." T.pp_report r.Pipeline.report;
+          print_endline "pipeline phases:";
+          print_string (Fs_obs.Profile.render r.profile)
+        end)
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Parse and validate a ParC source file.")
-    Term.(const run $ file_arg $ procs_for_run)
+    Term.(const run $ file_arg $ procs_for_run $ json_arg)
 
 (* --- paper reproductions --- *)
 
-let paper_cmd name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+let paper_cmd name doc ~text ~json =
+  let run use_json = if use_json then print_json (json ()) else print_string (text ()) in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ json_arg)
 
 let fig3_cmd =
-  paper_cmd "fig3" "Reproduce Figure 3 (miss rates before/after)." (fun () ->
-      print_string (E.render_figure3 (E.figure3 ())))
+  paper_cmd "fig3" "Reproduce Figure 3 (miss rates before/after)."
+    ~text:(fun () -> E.render_figure3 (E.figure3 ()))
+    ~json:(fun () -> Emit.fig3 (E.figure3 ()))
 
 let table2_cmd =
-  paper_cmd "table2" "Reproduce Table 2 (reduction by transformation)." (fun () ->
-      print_string (E.render_table2 (E.table2 ())))
+  paper_cmd "table2" "Reproduce Table 2 (reduction by transformation)."
+    ~text:(fun () -> E.render_table2 (E.table2 ()))
+    ~json:(fun () -> Emit.table2 (E.table2 ()))
 
 let fig4_cmd =
-  paper_cmd "fig4" "Reproduce Figure 4 (scalability curves)." (fun () ->
-      print_string (E.render_series (E.figure4 ())))
+  paper_cmd "fig4" "Reproduce Figure 4 (scalability curves)."
+    ~text:(fun () -> E.render_series (E.figure4 ()))
+    ~json:(fun () -> Emit.series (E.figure4 ()))
 
 let table3_cmd =
-  paper_cmd "table3" "Reproduce Table 3 (maximum speedups)." (fun () ->
-      print_string (E.render_table3 (E.table3 ())))
+  paper_cmd "table3" "Reproduce Table 3 (maximum speedups)."
+    ~text:(fun () -> E.render_table3 (E.table3 ()))
+    ~json:(fun () -> Emit.table3 (E.table3 ()))
 
 let stats_cmd =
-  paper_cmd "stats" "Reproduce the headline statistics." (fun () ->
-      print_string (E.render_stats (E.text_stats ())))
+  paper_cmd "stats" "Reproduce the headline statistics."
+    ~text:(fun () -> E.render_stats (E.text_stats ()))
+    ~json:(fun () -> Emit.stats (E.text_stats ()))
 
 let exectime_cmd =
-  paper_cmd "exectime" "Reproduce the execution-time improvements." (fun () ->
-      print_string (E.render_exec (E.exec_time_improvements ())))
+  paper_cmd "exectime" "Reproduce the execution-time improvements."
+    ~text:(fun () -> E.render_exec (E.exec_time_improvements ()))
+    ~json:(fun () -> Emit.exec (E.exec_time_improvements ()))
 
 let () =
   let doc =
@@ -237,5 +383,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; report_cmd; source_cmd; sim_cmd; speedup_cmd;
-            hotspots_cmd; check_cmd; fig3_cmd;
+            hotspots_cmd; blame_cmd; timeline_cmd; check_cmd; fig3_cmd;
             table2_cmd; fig4_cmd; table3_cmd; stats_cmd; exectime_cmd ]))

@@ -72,17 +72,32 @@ type pcache = {
   sets : int list array;             (* set index -> resident blocks *)
 }
 
+(* One invalidation flow: writes by [src] that destroyed [victim]'s copy
+   of a block, split by whether the write hit a Shared copy (upgrade) or
+   missed outright. *)
+type flow = { mutable by_upgrade : int; mutable by_miss : int }
+
+type pair = {
+  block : int;
+  src : int;
+  victim : int;
+  upgrades : int;
+  write_misses : int;
+}
+
 type t = {
   cfg : config;
   nsets : int;
   procs : pcache array;
   blocks : (int, binfo) Hashtbl.t;
   totals : counts;
+  per_proc : counts array;
   per_block_tbl : (int, counts) Hashtbl.t option;
+  pair_tbl : (int * int * int, flow) Hashtbl.t option;  (* block, src, victim *)
   mutable time : int;
 }
 
-let create ?(track_blocks = false) cfg =
+let create ?(track_blocks = false) ?(track_pairs = false) (cfg : config) =
   if not (Align.is_power_of_two cfg.block) || cfg.block < word_size then
     invalid_arg "Mpcache.create: block must be a power of two >= 4";
   if cfg.assoc <= 0 || cfg.cache_bytes < cfg.block * cfg.assoc then
@@ -96,7 +111,9 @@ let create ?(track_blocks = false) cfg =
           { entries = Hashtbl.create 512; sets = Array.make nsets [] });
     blocks = Hashtbl.create 1024;
     totals = zero_counts ();
+    per_proc = Array.init cfg.nprocs (fun _ -> zero_counts ());
     per_block_tbl = (if track_blocks then Some (Hashtbl.create 256) else None);
+    pair_tbl = (if track_pairs then Some (Hashtbl.create 256) else None);
     time = 0;
   }
 
@@ -133,8 +150,10 @@ let block_counts t b =
       Hashtbl.add tbl b c;
       Some c)
 
-(* Remove [proc]'s copy because a remote write invalidated it. *)
-let invalidate t bi b ~victim =
+(* Remove [victim]'s copy because a write by [src] invalidated it.
+   [cause] distinguishes upgrades (write hits on a Shared copy) from
+   outright write misses, for the blame matrix. *)
+let invalidate t bi b ~src ~victim ~cause =
   let pc = t.procs.(victim) in
   let e = entry_of pc b in
   e.state <- 0;
@@ -143,15 +162,41 @@ let invalidate t bi b ~victim =
   if bi.owner = victim then bi.owner <- -1;
   let set = b mod t.nsets in
   pc.sets.(set) <- List.filter (fun b' -> b' <> b) pc.sets.(set);
-  t.totals.invalidations <- t.totals.invalidations + 1
+  t.totals.invalidations <- t.totals.invalidations + 1;
+  let c = t.per_proc.(victim) in
+  c.invalidations <- c.invalidations + 1;
+  (match t.per_block_tbl with
+   | None -> ()
+   | Some tbl -> (
+     match Hashtbl.find_opt tbl b with
+     | Some c -> c.invalidations <- c.invalidations + 1
+     | None ->
+       let c = zero_counts () in
+       c.invalidations <- 1;
+       Hashtbl.add tbl b c));
+  match t.pair_tbl with
+  | None -> ()
+  | Some tbl ->
+    let key = (b, src, victim) in
+    let f =
+      match Hashtbl.find_opt tbl key with
+      | Some f -> f
+      | None ->
+        let f = { by_upgrade = 0; by_miss = 0 } in
+        Hashtbl.add tbl key f;
+        f
+    in
+    (match cause with
+     | `Upgrade -> f.by_upgrade <- f.by_upgrade + 1
+     | `Wmiss -> f.by_miss <- f.by_miss + 1)
 
-let invalidate_others t bi b ~keep =
+let invalidate_others t bi b ~keep ~cause =
   let mask = bi.mask land lnot (1 lsl keep) in
   let n = ref 0 in
   if mask <> 0 then
     for q = 0 to t.cfg.nprocs - 1 do
       if mask land (1 lsl q) <> 0 then begin
-        invalidate t bi b ~victim:q;
+        invalidate t bi b ~src:keep ~victim:q ~cause;
         incr n
       end
     done;
@@ -215,7 +260,11 @@ let access t ~proc ~write ~addr =
   let e = entry_of pc b in
   let bi = binfo_of t b in
   let bc = block_counts t b in
-  let count f = f t.totals; Option.iter f bc in
+  let count f =
+    f t.totals;
+    f t.per_proc.(proc);
+    Option.iter f bc
+  in
   if write then count (fun c -> c.writes <- c.writes + 1)
   else count (fun c -> c.reads <- c.reads + 1);
   let note_write () =
@@ -232,7 +281,7 @@ let access t ~proc ~write ~addr =
         Hit
       | 1 ->
         (* write hit on a shared copy: upgrade, invalidating other sharers *)
-        let invalidated = invalidate_others t bi b ~keep:proc in
+        let invalidated = invalidate_others t bi b ~keep:proc ~cause:`Upgrade in
         e.state <- 2;
         e.last_use <- t.time;
         bi.owner <- proc;
@@ -242,7 +291,7 @@ let access t ~proc ~write ~addr =
       | _ ->
         let kind = classify_miss bi ~proc ~word e in
         let provider = provider_of bi in
-        let invalidated = invalidate_others t bi b ~keep:proc in
+        let invalidated = invalidate_others t bi b ~keep:proc ~cause:`Wmiss in
         install t ~proc b;
         e.state <- 2;
         e.lost <- Never;
@@ -281,6 +330,20 @@ let access t ~proc ~write ~addr =
 let sink t ~proc ~write ~addr = ignore (access t ~proc ~write ~addr)
 
 let counts t = t.totals
+
+let proc_counts t = t.per_proc
+
+let invalidation_pairs t =
+  match t.pair_tbl with
+  | None -> []
+  | Some tbl ->
+    Hashtbl.fold
+      (fun (block, src, victim) f acc ->
+        { block; src; victim; upgrades = f.by_upgrade; write_misses = f.by_miss }
+        :: acc)
+      tbl []
+    |> List.sort (fun a b ->
+           compare (a.block, a.src, a.victim) (b.block, b.src, b.victim))
 
 let per_block t =
   match t.per_block_tbl with

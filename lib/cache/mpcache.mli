@@ -72,7 +72,18 @@ type outcome =
 
 type t
 
-val create : ?track_blocks:bool -> config -> t
+(** One invalidation flow for the blame matrix: writes by [src] that
+    destroyed [victim]'s copy of [block], split between upgrades (write
+    hits on a Shared copy) and outright write misses. *)
+type pair = {
+  block : int;
+  src : int;
+  victim : int;
+  upgrades : int;
+  write_misses : int;
+}
+
+val create : ?track_blocks:bool -> ?track_pairs:bool -> config -> t
 val config : t -> config
 
 val access : t -> proc:int -> write:bool -> addr:int -> outcome
@@ -84,9 +95,21 @@ val sink : t -> Fs_trace.Sink.t
 val counts : t -> counts
 (** Live totals (the record is the simulator's own accumulator). *)
 
+val proc_counts : t -> counts array
+(** Per-processor counters, always maintained: accesses and misses are
+    the acting processor's, [invalidations] count copies {e this}
+    processor lost to remote writes. *)
+
 val per_block : t -> (int * counts) list
 (** Per-block counters, available when created with [~track_blocks:true];
-    empty otherwise.  Sorted by block number. *)
+    empty otherwise.  Sorted by block number.  [invalidations] are
+    attributed to the block whose copies were destroyed. *)
+
+val invalidation_pairs : t -> pair list
+(** Who invalidates whom, per block, available when created with
+    [~track_pairs:true]; empty otherwise.  Sorted by (block, src,
+    victim).  Summing [upgrades + write_misses] over all pairs equals
+    [(counts t).invalidations]. *)
 
 val state_of : t -> proc:int -> addr:int -> [ `Modified | `Shared | `Invalid ]
 (** Protocol state of the block containing [addr] in [proc]'s cache

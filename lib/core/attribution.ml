@@ -19,17 +19,10 @@ let add_into (dst : Mpcache.counts) (src : Mpcache.counts) =
   dst.upgrades <- dst.upgrades + src.upgrades
 
 let pointer_owner = "(indirection pointers)"
+let unmapped_owner = "(unmapped)"
 
-let attribute ?(cache_bytes = 32 * 1024) ?(assoc = 4) prog plan ~nprocs ~block =
-  let layout = Layout.realize prog plan ~block in
-  let cache =
-    Mpcache.create ~track_blocks:true
-      { Mpcache.nprocs; block; cache_bytes; assoc }
-  in
-  let _ =
-    Interp.run_to_sink prog ~nprocs ~layout ~sink:(Mpcache.sink cache)
-  in
-  (* dominant owner of each block, by cell count *)
+(* Dominant owner of each block, by cell count. *)
+let block_owner prog layout ~block =
   let owner_cells : (int, (string, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 256 in
   let bump blk var =
     let tbl =
@@ -49,15 +42,25 @@ let attribute ?(cache_bytes = 32 * 1024) ?(assoc = 4) prog plan ~nprocs ~block =
       Array.iter (fun a -> bump (a / block) name) vl.Layout.addr;
       Array.iter (fun a -> if a >= 0 then bump (a / block) pointer_owner) vl.Layout.extra)
     prog.Fs_ir.Ast.globals;
-  let dominant blk =
+  fun blk ->
     match Hashtbl.find_opt owner_cells blk with
-    | None -> "(unmapped)"
+    | None -> unmapped_owner
     | Some tbl ->
       fst
         (Hashtbl.fold
            (fun var n (bv, bn) -> if n > bn then (var, n) else (bv, bn))
-           tbl ("(unmapped)", 0))
+           tbl (unmapped_owner, 0))
+
+let attribute ?(cache_bytes = 32 * 1024) ?(assoc = 4) prog plan ~nprocs ~block =
+  let layout = Layout.realize prog plan ~block in
+  let cache =
+    Mpcache.create ~track_blocks:true
+      { Mpcache.nprocs; block; cache_bytes; assoc }
   in
+  let _ =
+    Interp.run_to_sink prog ~nprocs ~layout ~sink:(Mpcache.sink cache)
+  in
+  let dominant = block_owner prog layout ~block in
   let per_var : (string, Mpcache.counts * int ref) Hashtbl.t = Hashtbl.create 32 in
   List.iter
     (fun (blk, c) ->

@@ -8,6 +8,18 @@
     simulator's verdict can be compared with the compiler's report
     structure by structure. *)
 
+val pointer_owner : string
+(** The pseudo-variable owning injected indirection-pointer cells. *)
+
+val unmapped_owner : string
+(** The pseudo-variable owning blocks no global maps to. *)
+
+val block_owner :
+  Fs_ir.Ast.program -> Fs_layout.Layout.t -> block:int -> int -> string
+(** [block_owner prog layout ~block] maps a block number to the variable
+    owning the most cells in it — the attribution rule shared with
+    {!Blame}. *)
+
 type row = {
   var : string;
       (** a shared global, or ["(indirection pointers)"] for the pointer

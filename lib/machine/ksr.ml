@@ -43,6 +43,7 @@ type result = {
   per_proc : int array;
   mem_stall : int array;
   sync_stall : int array;
+  lock_stall : int array;
   cache : Mpcache.counts;
 }
 
@@ -52,6 +53,7 @@ type t = {
   clock : int array;
   mem_stall : int array;
   sync_stall : int array;
+  lock_stall : int array;
   busy_until : (int, int) Hashtbl.t;  (* block -> cycle it finishes serving *)
   mutable phase_anchor : int;  (* wall time at which the current phase began *)
   mutable ring_cycles : int;   (* interconnect occupancy accrued this phase *)
@@ -72,6 +74,7 @@ let create cfg =
     clock = Array.make cfg.nprocs 0;
     mem_stall = Array.make cfg.nprocs 0;
     sync_stall = Array.make cfg.nprocs 0;
+    lock_stall = Array.make cfg.nprocs 0;
     busy_until = Hashtbl.create 256;
     phase_anchor = 0;
     ring_cycles = 0;
@@ -180,7 +183,9 @@ let listener t =
       (fun ~proc ~addr:_ ~from ->
         (* A contended lock hands over no earlier than its release. *)
         if from >= 0 && t.clock.(from) > t.clock.(proc) then begin
-          t.sync_stall.(proc) <- t.sync_stall.(proc) + t.clock.(from) - t.clock.(proc);
+          let stall = t.clock.(from) - t.clock.(proc) in
+          t.sync_stall.(proc) <- t.sync_stall.(proc) + stall;
+          t.lock_stall.(proc) <- t.lock_stall.(proc) + stall;
           t.clock.(proc) <- t.clock.(from)
         end);
   }
@@ -193,5 +198,8 @@ let finish t =
     per_proc = Array.copy t.clock;
     mem_stall = Array.copy t.mem_stall;
     sync_stall = Array.copy t.sync_stall;
+    lock_stall = Array.copy t.lock_stall;
     cache = Mpcache.counts t.cache;
   }
+
+let cache t = t.cache

@@ -52,6 +52,8 @@ type result = {
   per_proc : int array;       (** final clock of each processor *)
   mem_stall : int array;      (** cycles spent in misses/queueing, per processor *)
   sync_stall : int array;     (** cycles spent waiting at barriers and locks *)
+  lock_stall : int array;     (** the lock-serialization share of [sync_stall];
+                                  barrier idle time is the difference *)
   cache : Fs_cache.Mpcache.counts;  (** protocol totals at 128-byte blocks *)
 }
 
@@ -59,5 +61,8 @@ type t
 
 val create : config -> t
 val listener : t -> Fs_trace.Listener.t
+val cache : t -> Fs_cache.Mpcache.t
+(** The embedded protocol simulator (for per-processor telemetry). *)
+
 val finish : t -> result
 (** Call after the interpreter run driving {!listener} has completed. *)

@@ -1,0 +1,45 @@
+(** A minimal JSON tree, serializer, and parser.
+
+    The telemetry layer emits every experiment record as JSON so the
+    benchmark trajectory, regression checks, and external viewers
+    (Perfetto for timelines) can consume pipeline output without scraping
+    text tables.  The parser exists so the test suite can round-trip
+    everything the emitters produce; it accepts standard JSON (RFC 8259)
+    and nothing more. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?compact:bool -> t -> string
+(** Serialize.  [compact] (default [true]) omits all whitespace; otherwise
+    the output is indented two spaces per level.  Floats are printed with
+    enough digits to round-trip; non-finite floats become [null]. *)
+
+val to_channel : ?compact:bool -> out_channel -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error.  Numbers
+    without [.], [e] or [E] parse as [Int]. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing fields or non-objects. *)
+
+val get_int : t -> int option
+(** [Int n] and integral [Float]s. *)
+
+val get_float : t -> float option
+(** [Float] and [Int]. *)
+
+val get_string : t -> string option
+val get_list : t -> t list option
+val get_bool : t -> bool option
+
+val float : float -> t
+(** [Float], except non-finite values become [Null] (JSON has no
+    representation for them). *)

@@ -1,0 +1,200 @@
+type labels = (string * string) list
+
+module Counter = struct
+  type t = { mutable n : int }
+
+  let incr t = t.n <- t.n + 1
+  let add t k = t.n <- t.n + k
+  let value t = t.n
+end
+
+module Gauge = struct
+  type t = { mutable v : float }
+
+  let set t v = t.v <- v
+  let value t = t.v
+end
+
+module Histogram = struct
+  type t = {
+    bounds : float array;       (* finite upper bounds, ascending *)
+    counts : int array;         (* per-bucket counts; length bounds + 1 *)
+    mutable total : int;
+    mutable sum : float;
+  }
+
+  let observe t v =
+    let rec find i =
+      if i >= Array.length t.bounds then Array.length t.bounds
+      else if v <= t.bounds.(i) then i
+      else find (i + 1)
+    in
+    let i = find 0 in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.total <- t.total + 1;
+    t.sum <- t.sum +. v
+
+  let count t = t.total
+  let sum t = t.sum
+
+  let buckets t =
+    let acc = ref 0 in
+    let finite =
+      Array.to_list
+        (Array.mapi
+           (fun i b ->
+             acc := !acc + t.counts.(i);
+             (b, !acc))
+           t.bounds)
+    in
+    finite @ [ (infinity, t.total) ]
+end
+
+type instrument =
+  | Icounter of Counter.t
+  | Igauge of Gauge.t
+  | Ihist of Histogram.t
+
+type key = { name : string; labels : labels }
+
+type t = {
+  tbl : (key, instrument) Hashtbl.t;
+  mutable order : key list;  (* registration order, reversed *)
+}
+
+let create () = { tbl = Hashtbl.create 64; order = [] }
+
+let canon labels = List.sort compare labels
+
+let register t name labels make select =
+  let key = { name; labels = canon labels } in
+  match Hashtbl.find_opt t.tbl key with
+  | Some inst -> select inst
+  | None ->
+    let inst = make () in
+    Hashtbl.add t.tbl key inst;
+    t.order <- key :: t.order;
+    select inst
+
+let type_error name = invalid_arg ("Metrics: " ^ name ^ " registered with another type")
+
+let counter t ?(labels = []) name =
+  register t name labels
+    (fun () -> Icounter { Counter.n = 0 })
+    (function Icounter c -> c | _ -> type_error name)
+
+let gauge t ?(labels = []) name =
+  register t name labels
+    (fun () -> Igauge { Gauge.v = 0.0 })
+    (function Igauge g -> g | _ -> type_error name)
+
+let default_buckets = [ 1.; 10.; 100.; 1_000.; 10_000.; 100_000.; 1_000_000. ]
+
+let histogram t ?(labels = []) ?(buckets = default_buckets) name =
+  let bounds = Array.of_list buckets in
+  register t name labels
+    (fun () ->
+      Ihist
+        { Histogram.bounds; counts = Array.make (Array.length bounds + 1) 0;
+          total = 0; sum = 0.0 })
+    (function Ihist h -> h | _ -> type_error name)
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter instrumentation                                         *)
+
+let listener t =
+  let proc_label p = [ ("proc", string_of_int p) ] in
+  {
+    Fs_trace.Listener.access =
+      (fun ~proc ~write ~addr:_ ->
+        Counter.incr
+          (counter t
+             ~labels:(("kind", if write then "write" else "read") :: proc_label proc)
+             "interp_accesses"));
+    work =
+      (fun ~proc ~amount ->
+        Counter.add (counter t ~labels:(proc_label proc) "interp_work_units") amount);
+    barrier_arrive =
+      (fun ~proc ->
+        Counter.incr (counter t ~labels:(proc_label proc) "interp_barrier_arrivals"));
+    barrier_release =
+      (fun () -> Counter.incr (counter t "interp_barrier_releases"));
+    lock_wait =
+      (fun ~proc ~addr:_ ->
+        Counter.incr (counter t ~labels:(proc_label proc) "interp_lock_waits"));
+    lock_grant =
+      (fun ~proc ~addr:_ ~from ->
+        Counter.incr
+          (counter t
+             ~labels:
+               (("contended", if from >= 0 then "true" else "false")
+                :: proc_label proc)
+             "interp_lock_grants"));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+
+let sorted_entries t =
+  List.map (fun key -> (key, Hashtbl.find t.tbl key)) (List.rev t.order)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+
+let to_json t =
+  Json.List
+    (List.map
+       (fun ({ name; labels }, inst) ->
+         let base = [ ("name", Json.String name); ("labels", labels_json labels) ] in
+         match inst with
+         | Icounter c ->
+           Json.Obj
+             (base @ [ ("type", Json.String "counter"); ("value", Json.Int (Counter.value c)) ])
+         | Igauge g ->
+           Json.Obj
+             (base @ [ ("type", Json.String "gauge"); ("value", Json.float (Gauge.value g)) ])
+         | Ihist h ->
+           Json.Obj
+             (base
+              @ [ ("type", Json.String "histogram");
+                  ("count", Json.Int (Histogram.count h));
+                  ("sum", Json.float (Histogram.sum h));
+                  ("buckets",
+                   Json.List
+                     (List.map
+                        (fun (le, n) ->
+                          Json.Obj
+                            [ ("le",
+                               if Float.is_finite le then Json.float le
+                               else Json.String "+Inf");
+                              ("count", Json.Int n) ])
+                        (Histogram.buckets h))) ]))
+       (sorted_entries t))
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let label_text labels =
+    match labels with
+    | [] -> ""
+    | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+      ^ "}"
+  in
+  List.iter
+    (fun ({ name; labels }, inst) ->
+      match inst with
+      | Icounter c ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %d\n" name (label_text labels) (Counter.value c))
+      | Igauge g ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %g\n" name (label_text labels) (Gauge.value g))
+      | Ihist h ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" name (label_text labels) (Histogram.count h));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %g\n" name (label_text labels) (Histogram.sum h)))
+    (sorted_entries t);
+  Buffer.contents buf

@@ -1,0 +1,68 @@
+(** A labeled metrics registry: counters, gauges, and histograms.
+
+    Every stage of the pipeline registers what it measures here — the
+    interpreter its work units, barrier waits, and lock contention; the
+    cache simulator its per-processor misses, invalidations, and upgrades;
+    the KSR2 model its stall cycles — so a run's telemetry is one
+    structure, renderable as text or JSON.
+
+    Metrics are identified by name plus a label set; asking twice for the
+    same (name, labels) returns the same instrument.  Registries are
+    single-threaded, like everything in the simulator. *)
+
+type t
+
+val create : unit -> t
+
+type labels = (string * string) list
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+
+  val count : t -> int
+  val sum : t -> float
+
+  val buckets : t -> (float * int) list
+  (** Upper bound of each bucket (the last is [infinity]) with the
+      {e cumulative} count of observations at or below it. *)
+end
+
+val counter : t -> ?labels:labels -> string -> Counter.t
+val gauge : t -> ?labels:labels -> string -> Gauge.t
+
+val histogram : t -> ?labels:labels -> ?buckets:float list -> string -> Histogram.t
+(** [buckets] are the finite upper bounds, sorted ascending; a catch-all
+    [infinity] bucket is appended.  Defaults to powers of ten from 1 to
+    1e6.  The bucket list of an existing histogram is not changed. *)
+
+val listener : t -> Fs_trace.Listener.t
+(** Instrument an interpreter run: counts work units and accesses per
+    processor, barrier arrivals and releases, lock waits and grants
+    (contended grants — those handed over by another processor — counted
+    separately). *)
+
+val to_json : t -> Json.t
+(** An array of metric objects
+    [{"name", "type", "labels", "value" | "count"/"sum"/"buckets"}],
+    sorted by name then labels. *)
+
+val render : t -> string
+(** One metric per line, Prometheus-flavored:
+    [name{k="v",...} value]. *)

@@ -1,0 +1,65 @@
+type entry = { name : string; seconds : float; events : int }
+
+type cell = { mutable secs : float; mutable evs : int }
+
+type t = {
+  tbl : (string, cell) Hashtbl.t;
+  mutable order : string list;  (* reversed *)
+}
+
+let create () = { tbl = Hashtbl.create 16; order = [] }
+
+let cell_of t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some c -> c
+  | None ->
+    let c = { secs = 0.0; evs = 0 } in
+    Hashtbl.add t.tbl name c;
+    t.order <- name :: t.order;
+    c
+
+let time t ?events name f =
+  let c = cell_of t name in
+  let t0 = Unix.gettimeofday () in
+  let record () = c.secs <- c.secs +. (Unix.gettimeofday () -. t0) in
+  match f () with
+  | r ->
+    record ();
+    (match events with Some ev -> c.evs <- c.evs + ev r | None -> ());
+    r
+  | exception e ->
+    record ();
+    raise e
+
+let entries t =
+  List.rev_map
+    (fun name ->
+      let c = Hashtbl.find t.tbl name in
+      { name; seconds = c.secs; events = c.evs })
+    t.order
+
+let total_seconds t = List.fold_left (fun acc e -> acc +. e.seconds) 0.0 (entries t)
+
+let render t =
+  let total = total_seconds t in
+  let header = [ "phase"; "time"; "share"; "events" ] in
+  let body =
+    List.map
+      (fun e ->
+        [ e.name;
+          Printf.sprintf "%.1f ms" (e.seconds *. 1000.0);
+          (if total > 0.0 then Fs_util.Table.pct (e.seconds /. total) else "-");
+          (if e.events > 0 then string_of_int e.events else "-") ])
+      (entries t)
+  in
+  Fs_util.Table.render ~header body
+
+let to_json t =
+  Json.List
+    (List.map
+       (fun e ->
+         Json.Obj
+           [ ("phase", Json.String e.name);
+             ("seconds", Json.float e.seconds);
+             ("events", Json.Int e.events) ])
+       (entries t))

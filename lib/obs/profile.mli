@@ -1,0 +1,29 @@
+(** Pipeline phase profiling: wall-clock time and an event count per
+    stage (parse, analyses, transform, layout, interpretation,
+    simulation), in execution order. *)
+
+type entry = {
+  name : string;
+  seconds : float;
+  events : int;  (** stage-defined unit of output: keys, actions, refs… *)
+}
+
+type t
+
+val create : unit -> t
+
+val time : t -> ?events:('a -> int) -> string -> (unit -> 'a) -> 'a
+(** [time t name f] runs [f], records its wall-clock duration under
+    [name], and derives the entry's event count from the result via
+    [events] (default 0).  Exceptions propagate; the phase is still
+    recorded.  Re-using a name accumulates into the same entry. *)
+
+val entries : t -> entry list
+(** In first-use order. *)
+
+val total_seconds : t -> float
+
+val render : t -> string
+(** A text table: phase, time, share of total, events. *)
+
+val to_json : t -> Json.t

@@ -1,0 +1,158 @@
+(* Chrome trace-event records, accumulated in reverse order.
+
+   The trace-event format (the "JSON Array Format" of the Trace Event
+   spec) wants, per event: name, ph (phase: "X" duration, "i" instant,
+   "M" metadata), ts/dur in microseconds, pid, tid, and free-form args. *)
+
+type ev = {
+  name : string;
+  ph : string;
+  ts : int;
+  dur : int;          (* -1 when not a duration event *)
+  tid : int;
+  scope : string;     (* instant-event scope, "" when absent *)
+  args : (string * Json.t) list;
+}
+
+type t = {
+  nprocs : int;
+  clock : int array;            (* per-proc logical time, in work units *)
+  accesses : int array;         (* accesses since the last work slice *)
+  barrier_at : int array;       (* arrival ts, or -1 *)
+  lock_at : (int * int) array;  (* (lock addr, wait-start ts), or (-1,-1) *)
+  mutable evs : ev list;
+  mutable nevs : int;
+}
+
+let create ~nprocs =
+  if nprocs <= 0 then invalid_arg "Timeline.create: nprocs must be positive";
+  {
+    nprocs;
+    clock = Array.make nprocs 0;
+    accesses = Array.make nprocs 0;
+    barrier_at = Array.make nprocs (-1);
+    lock_at = Array.make nprocs (-1, -1);
+    evs = [];
+    nevs = 0;
+  }
+
+let push t ev =
+  t.evs <- ev :: t.evs;
+  t.nevs <- t.nevs + 1
+
+let events t = t.nevs
+
+let slice t ~name ~ts ~dur ~tid ~args =
+  push t { name; ph = "X"; ts; dur; tid; scope = ""; args }
+
+let instant t ~name ~ts ~tid ~scope =
+  push t { name; ph = "i"; ts; dur = -1; tid; scope; args = [] }
+
+let ok t proc = proc >= 0 && proc < t.nprocs
+
+let listener t =
+  {
+    Fs_trace.Listener.access =
+      (fun ~proc ~write:_ ~addr:_ ->
+        if ok t proc then t.accesses.(proc) <- t.accesses.(proc) + 1);
+    work =
+      (fun ~proc ~amount ->
+        if ok t proc && amount > 0 then begin
+          let args =
+            if t.accesses.(proc) > 0 then [ ("accesses", Json.Int t.accesses.(proc)) ]
+            else []
+          in
+          slice t ~name:"work" ~ts:t.clock.(proc) ~dur:amount ~tid:proc ~args;
+          t.accesses.(proc) <- 0;
+          t.clock.(proc) <- t.clock.(proc) + amount
+        end);
+    barrier_arrive =
+      (fun ~proc -> if ok t proc then t.barrier_at.(proc) <- t.clock.(proc));
+    barrier_release =
+      (fun () ->
+        let release = ref 0 and any = ref false in
+        Array.iter
+          (fun at ->
+            if at >= 0 then begin
+              any := true;
+              if at > !release then release := at
+            end)
+          t.barrier_at;
+        if !any then begin
+          for p = 0 to t.nprocs - 1 do
+            let at = t.barrier_at.(p) in
+            if at >= 0 then begin
+              if !release > at then
+                slice t ~name:"barrier wait" ~ts:at ~dur:(!release - at) ~tid:p
+                  ~args:[];
+              t.clock.(p) <- !release;
+              t.barrier_at.(p) <- -1
+            end
+          done;
+          instant t ~name:"barrier release" ~ts:!release ~tid:0 ~scope:"g"
+        end);
+    lock_wait =
+      (fun ~proc ~addr ->
+        if ok t proc then t.lock_at.(proc) <- (addr, t.clock.(proc)));
+    lock_grant =
+      (fun ~proc ~addr ~from ->
+        if ok t proc then begin
+          match t.lock_at.(proc) with
+          | a, start when a = addr && start >= 0 ->
+            (* the grant happens no earlier than the releasing processor's
+               present — a contended lock serializes its critical sections *)
+            let fin =
+              if from >= 0 && ok t from then max t.clock.(from) start else start
+            in
+            slice t
+              ~name:(Printf.sprintf "lock 0x%x wait" addr)
+              ~ts:start ~dur:(fin - start) ~tid:proc
+              ~args:
+                (if from >= 0 then [ ("granted_by", Json.Int from) ] else []);
+            t.clock.(proc) <- fin;
+            t.lock_at.(proc) <- (-1, -1)
+          | _ -> ()
+        end);
+  }
+
+let to_json t =
+  let meta =
+    Json.Obj
+      [ ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 0);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.String "falseshare interp") ]) ]
+    :: List.init t.nprocs (fun p ->
+           Json.Obj
+             [ ("name", Json.String "thread_name");
+               ("ph", Json.String "M");
+               ("pid", Json.Int 0);
+               ("tid", Json.Int p);
+               ("args", Json.Obj [ ("name", Json.String (Printf.sprintf "P%d" p)) ]) ])
+  in
+  let body =
+    List.rev_map
+      (fun ev ->
+        let fields =
+          [ ("name", Json.String ev.name);
+            ("ph", Json.String ev.ph);
+            ("ts", Json.Int ev.ts);
+            ("pid", Json.Int 0);
+            ("tid", Json.Int ev.tid) ]
+          @ (if ev.dur >= 0 then [ ("dur", Json.Int ev.dur) ] else [])
+          @ (if ev.scope <> "" then [ ("s", Json.String ev.scope) ] else [])
+          @ if ev.args <> [] then [ ("args", Json.Obj ev.args) ] else []
+        in
+        Json.Obj fields)
+      t.evs
+  in
+  Json.Obj
+    [ ("traceEvents", Json.List (meta @ body));
+      ("displayTimeUnit", Json.String "ms") ]
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Json.to_channel ~compact:false oc (to_json t))

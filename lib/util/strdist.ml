@@ -1,0 +1,24 @@
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let prev = Array.init (lb + 1) Fun.id in
+    let curr = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      curr.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        curr.(j) <- min (min (curr.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit curr 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+let suggest ?(max_dist = 2) query candidates =
+  let q = String.lowercase_ascii query in
+  List.mapi (fun i c -> (levenshtein q (String.lowercase_ascii c), i, c)) candidates
+  |> List.filter (fun (d, _, _) -> d <= max_dist)
+  |> List.sort (fun (d1, i1, _) (d2, i2, _) -> compare (d1, i1) (d2, i2))
+  |> List.map (fun (_, _, c) -> c)

@@ -1,0 +1,8 @@
+(** Edit distance, for "did you mean …?" suggestions. *)
+
+val levenshtein : string -> string -> int
+(** Unit-cost insert/delete/substitute distance; case-sensitive. *)
+
+val suggest : ?max_dist:int -> string -> string list -> string list
+(** Candidates within [max_dist] (default 2) of the query, closest first,
+    compared case-insensitively; ties break in candidate-list order. *)

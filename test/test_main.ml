@@ -14,4 +14,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("parc", Test_parc.suite);
       ("trace", Test_trace.suite);
+      ("obs", Test_obs.suite);
       ("fuzz", Test_fuzz.suite) ]

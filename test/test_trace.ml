@@ -59,6 +59,49 @@ let test_of_sink () =
   l.Listener.barrier_arrive ~proc:0;
   Alcotest.(check int) "access forwarded" 1 (Sink.Counter.total c)
 
+let test_combine_order () =
+  (* combine must deliver to its first argument before its second, for
+     every event kind — the cache sink must see an access before the
+     metrics listener counts it *)
+  let order = ref [] in
+  let tagged tag =
+    { Listener.access = (fun ~proc:_ ~write:_ ~addr:_ -> order := tag :: !order);
+      work = (fun ~proc:_ ~amount:_ -> order := tag :: !order);
+      barrier_arrive = (fun ~proc:_ -> order := tag :: !order);
+      barrier_release = (fun () -> order := tag :: !order);
+      lock_wait = (fun ~proc:_ ~addr:_ -> order := tag :: !order);
+      lock_grant = (fun ~proc:_ ~addr:_ ~from:_ -> order := tag :: !order);
+    }
+  in
+  let both = Listener.combine (tagged "a") (tagged "b") in
+  both.Listener.access ~proc:0 ~write:false ~addr:0;
+  both.Listener.work ~proc:0 ~amount:1;
+  both.Listener.barrier_arrive ~proc:0;
+  both.Listener.barrier_release ();
+  both.Listener.lock_wait ~proc:0 ~addr:0;
+  both.Listener.lock_grant ~proc:0 ~addr:0 ~from:(-1);
+  Alcotest.(check (list string))
+    "first listener first, every kind"
+    [ "a"; "b"; "a"; "b"; "a"; "b"; "a"; "b"; "a"; "b"; "a"; "b" ]
+    (List.rev !order)
+
+let test_capture_pp_roundtrip () =
+  (* every captured event prints with Event.pp in a form that parses back
+     to the same (proc, write, addr) triple *)
+  let c = Sink.Capture.create () in
+  let s = Sink.Capture.sink c in
+  List.iter
+    (fun (proc, write, addr) -> s ~proc ~write ~addr)
+    [ (0, false, 0); (3, true, 256); (11, false, 0xdeadbeef); (7, true, 4) ];
+  List.iter
+    (fun (e : Event.t) ->
+      let str = Format.asprintf "%a" Event.pp e in
+      let proc, rw, addr = Scanf.sscanf str "P%d %s 0x%x" (fun p s a -> (p, s, a)) in
+      Alcotest.(check int) "proc round-trips" e.Event.proc proc;
+      Alcotest.(check bool) "write round-trips" e.Event.write (rw = "W");
+      Alcotest.(check int) "addr round-trips" e.Event.addr addr)
+    (Sink.Capture.to_list c)
+
 let test_event_pp () =
   let s = Format.asprintf "%a" Event.pp { Event.proc = 3; write = true; addr = 256 } in
   Tutil.check_contains "event pp" s "P3";
@@ -69,5 +112,7 @@ let suite =
     Alcotest.test_case "capture growth" `Quick test_capture;
     Alcotest.test_case "tee" `Quick test_tee;
     Alcotest.test_case "listener combine" `Quick test_listener_combine;
+    Alcotest.test_case "combine delivery order" `Quick test_combine_order;
+    Alcotest.test_case "capture round-trip vs pp" `Quick test_capture_pp_roundtrip;
     Alcotest.test_case "listener of_sink" `Quick test_of_sink;
     Alcotest.test_case "event pp" `Quick test_event_pp ]

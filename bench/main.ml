@@ -6,12 +6,17 @@
    improvements — and then times the pipeline components with Bechamel.
 
    A single argument selects one piece:
-     fig3 | table2 | fig4 | table3 | stats | exectime | micro | ablation
+     fig3 | table2 | fig4 | table3 | stats | exectime | replay | micro |
+     ablation
    plus `quick`, which shrinks the processor sweep for a fast pass.
+   `--jobs N` sets the number of worker domains for parallel replay
+   (default: the recommended domain count).
 
-   Besides the text tables, every run writes BENCH_results.json — the
-   same records in machine-readable form (via Falseshare.Emit), with the
-   wall-clock seconds each section took. *)
+   Besides the text tables, every run writes BENCH_results.json
+   (atomically: temp file + rename) — the same records in
+   machine-readable form (via Falseshare.Emit), with the wall-clock
+   seconds each section took, the job count, and the measured
+   replay-vs-reinterpret speedup. *)
 
 module E = Falseshare.Experiments
 module Sim = Falseshare.Sim
@@ -41,35 +46,41 @@ let record name ~seconds payload =
     (name, Json.Obj [ ("seconds", Json.float seconds); ("data", payload) ])
     :: !results
 
-let write_results ~quick =
+(* written atomically so a concurrent reader (or an interrupted run)
+   never sees a partial file *)
+let write_results ~quick ~jobs ~seconds =
   let path = "BENCH_results.json" in
   let j =
     Json.Obj
       [ ("harness", Json.String "falseshare bench");
         ("quick", Json.Bool quick);
+        ("jobs", Json.Int jobs);
+        ("total_seconds", Json.float seconds);
         ("sections", Json.Obj (List.rev !results)) ]
   in
-  let oc = open_out path in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
   Json.to_channel ~compact:false oc j;
   output_char oc '\n';
   close_out oc;
+  Sys.rename tmp path;
   Printf.printf "\nwrote %s (%d sections)\n" path (List.length !results)
 
 (* ------------------------------------------------------------------ *)
 (* Paper reproductions                                                 *)
 
-let fig3 () =
+let fig3 ~jobs () =
   section "Figure 3 - miss rates, unoptimized vs compiler-transformed \
            (16B and 128B blocks; paper: white bar = false sharing)";
-  let rows, dt = time_it (fun () -> E.figure3 ()) in
+  let rows, dt = time_it (fun () -> E.figure3 ~jobs ()) in
   print_string (E.render_figure3 rows);
   record "fig3" ~seconds:dt (Emit.fig3 rows);
   Printf.printf "(%.1fs)\n" dt
 
-let table2 () =
+let table2 ~jobs () =
   section "Table 2 - false-sharing reduction by transformation \
            (averaged over 8-256B blocks)";
-  let rows, dt = time_it (fun () -> E.table2 ()) in
+  let rows, dt = time_it (fun () -> E.table2 ~jobs ()) in
   print_string (E.render_table2 rows);
   record "table2" ~seconds:dt (Emit.table2 rows);
   print_string
@@ -80,19 +91,19 @@ let table2 () =
      (g&t 70.4, pad 3.3, locks 4.6)\n";
   Printf.printf "(%.1fs)\n" dt
 
-let fig4 ~procs () =
+let fig4 ~procs ~jobs () =
   section "Figure 4 - scalability of the three representative programs \
            (speedup vs processors, relative to unoptimized uniprocessor)";
-  let series, dt = time_it (fun () -> E.figure4 ?procs ()) in
+  let series, dt = time_it (fun () -> E.figure4 ?procs ~jobs ()) in
   print_string (E.render_series series);
   record "fig4" ~seconds:dt (Emit.series series);
   print_string
     "paper maxima: raytrace 7.0/9.6/9.2 | fmm 16.4/33.6/16.4 | pverify 2.5/5.9/3.5\n";
   Printf.printf "(%.1fs)\n" dt
 
-let table3 ~procs () =
+let table3 ~procs ~jobs () =
   section "Table 3 - maximum speedup (and processor count) per version";
-  let series, dt = time_it (fun () -> E.speedups ?procs ()) in
+  let series, dt = time_it (fun () -> E.speedups ?procs ~jobs ()) in
   let rows = E.table3 ~series () in
   print_string (E.render_table3 rows);
   record "table3" ~seconds:dt (Emit.table3 rows);
@@ -105,21 +116,58 @@ let table3 ~procs () =
      pthor -/2.8(4)/2.2(4) | water -/9.9(40)/4.6(12)\n";
   Printf.printf "(%.1fs)\n" dt
 
-let stats () =
+let stats ~jobs () =
   section "Headline statistics (abstract / Section 1)";
-  let s, dt = time_it E.text_stats in
+  let s, dt = time_it (fun () -> E.text_stats ~jobs ()) in
   print_string (E.render_stats s);
   record "stats" ~seconds:dt (Emit.stats s);
   Printf.printf "(%.1fs)\n" dt
 
-let exectime ~procs () =
+let exectime ~procs ~jobs () =
   section "Execution-time improvements while the unoptimized version still \
            scales (Section 5; paper: fmm 3%, radiosity 6%, raytrace 2%, \
            maxflow 50%, pverify 58%, topopt 20%)";
-  let rows, dt = time_it (fun () -> E.exec_time_improvements ?procs ()) in
+  let rows, dt = time_it (fun () -> E.exec_time_improvements ?procs ~jobs ()) in
   print_string (E.render_exec rows);
   record "exectime" ~seconds:dt (Emit.exec rows);
   Printf.printf "(%.1fs)\n" dt
+
+(* ------------------------------------------------------------------ *)
+(* The refactor's headline: record once, replay per layout             *)
+
+let replay_bench ~jobs () =
+  section "Replay vs re-interpretation (one block-size sweep of pverify)";
+  let w = Ws.find "pverify" in
+  let nprocs = w.W.fig3_procs in
+  let prog = w.W.build ~nprocs ~scale:w.W.default_scale in
+  let blocks = [ 8; 16; 32; 64; 128; 256 ] in
+  let direct, t_direct =
+    time_it (fun () ->
+        List.map
+          (fun block ->
+            (Sim.cache_sim prog Plan.empty ~nprocs ~block).Sim.counts)
+          blocks)
+  in
+  let replayed, t_replay =
+    time_it (fun () ->
+        let recorded = Sim.record prog ~nprocs in
+        Fs_util.Par.map ~jobs
+          (fun block ->
+            (Sim.cache_sim ~recorded prog Plan.empty ~nprocs ~block).Sim.counts)
+          blocks)
+  in
+  assert (direct = replayed);
+  let speedup = if t_replay > 0. then t_direct /. t_replay else 0. in
+  Printf.printf
+    "re-interpret per block size: %.2fs\nrecord once + replay:        %.2fs\n\
+     speedup: %.2fx (jobs=%d, identical counts)\n"
+    t_direct t_replay speedup jobs;
+  record "replay" ~seconds:(t_direct +. t_replay)
+    (Json.Obj
+       [ ("reinterpret_seconds", Json.float t_direct);
+         ("replay_seconds", Json.float t_replay);
+         ("speedup", Json.float speedup);
+         ("jobs", Json.Int jobs) ])
 
 (* ------------------------------------------------------------------ *)
 (* Ablations of the design choices DESIGN.md calls out                 *)
@@ -127,21 +175,23 @@ let exectime ~procs () =
 let ablation () =
   section "Ablations - lock padding, static profiling, RSD merge limit \
            (residual false-sharing misses at 128B under each compiler variant)";
-  let fs_with options (w : W.t) =
-    let nprocs = w.fig3_procs in
-    let prog = w.build ~nprocs ~scale:w.default_scale in
-    let plan = (T.plan ~options prog ~nprocs).T.plan in
-    (Sim.cache_sim prog plan ~nprocs ~block:128).Sim.counts.C.false_sh
-  in
   let header = [ "program"; "full"; "no lock pad"; "no profiling"; "rsd limit 1" ] in
   let t0 = Unix.gettimeofday () in
   let rows =
     List.map
       (fun (w : W.t) ->
-        let base = fs_with T.default_options w in
-        let nolocks = fs_with { T.default_options with pad_locks = false } w in
-        let noprof = fs_with { T.default_options with profile = false } w in
-        let rsd1 = fs_with { T.default_options with rsd_limit = 1 } w in
+        let nprocs = w.fig3_procs in
+        let prog = w.build ~nprocs ~scale:w.default_scale in
+        let recorded = Sim.record prog ~nprocs in
+        let fs_with options =
+          let plan = (T.plan ~options prog ~nprocs).T.plan in
+          (Sim.cache_sim ~recorded prog plan ~nprocs ~block:128)
+            .Sim.counts.C.false_sh
+        in
+        let base = fs_with T.default_options in
+        let nolocks = fs_with { T.default_options with pad_locks = false } in
+        let noprof = fs_with { T.default_options with profile = false } in
+        let rsd1 = fs_with { T.default_options with rsd_limit = 1 } in
         [ w.name; string_of_int base; string_of_int nolocks;
           string_of_int noprof; string_of_int rsd1 ])
       (Ws.simulated ())
@@ -165,7 +215,7 @@ let ablation () =
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the pipeline components                *)
 
-let micro () =
+let micro ~quick () =
   section "Component micro-benchmarks (Bechamel)";
   let open Bechamel in
   let open Toolkit in
@@ -207,7 +257,8 @@ let micro () =
     Test.make_grouped ~name:"falseshare"
       [ bench_analysis; bench_layout; bench_interp; bench_cache; bench_full ]
   in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let limit, quota = if quick then (50, 0.1) else (200, 0.5) in
+  let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) () in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -248,16 +299,35 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let quick = Array.exists (( = ) "quick") Sys.argv in
+  let t0 = Unix.gettimeofday () in
+  let jobs = ref (Fs_util.Par.default_jobs ()) in
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: n :: rest ->
+      jobs := int_of_string n;
+      parse rest
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+      jobs := int_of_string (String.sub a 7 (String.length a - 7));
+      parse rest
+    | a :: rest ->
+      positional := a :: !positional;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let positional = List.rev !positional in
+  let jobs = !jobs in
+  let quick = List.mem "quick" positional in
   let procs = if quick then Some [ 1; 2; 4; 8; 12; 16; 24; 32 ] else None in
-  let pick = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let pick = match positional with p :: _ -> p | [] -> "all" in
   let all = pick = "all" || pick = "quick" in
-  if all || pick = "fig3" then fig3 ();
-  if all || pick = "table2" then table2 ();
-  if all || pick = "stats" then stats ();
-  if all || pick = "fig4" then fig4 ~procs ();
-  if all || pick = "table3" then table3 ~procs ();
-  if all || pick = "exectime" then exectime ~procs ();
+  if all || pick = "fig3" then fig3 ~jobs ();
+  if all || pick = "table2" then table2 ~jobs ();
+  if all || pick = "stats" then stats ~jobs ();
+  if all || pick = "fig4" then fig4 ~procs ~jobs ();
+  if all || pick = "table3" then table3 ~procs ~jobs ();
+  if all || pick = "exectime" then exectime ~procs ~jobs ();
+  if all || pick = "replay" then replay_bench ~jobs ();
   if all || pick = "ablation" then ablation ();
-  if all || pick = "micro" then micro ();
-  write_results ~quick
+  if all || pick = "micro" then micro ~quick ();
+  write_results ~quick ~jobs ~seconds:(Unix.gettimeofday () -. t0)

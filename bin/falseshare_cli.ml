@@ -55,6 +55,13 @@ let block_arg =
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text.")
 
+let jobs_arg =
+  Arg.(value
+       & opt int (Fs_util.Par.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for parallel replay (default: the \
+                 recommended domain count).")
+
 let layout_arg =
   Arg.(value
        & opt (enum [ ("unoptimized", `U); ("compiler", `C); ("programmer", `P) ]) `U
@@ -145,13 +152,15 @@ let sim_versions w prog ~nprocs ~scale =
     (if List.mem W.N w.W.versions then w.W.versions else W.N :: w.W.versions)
 
 let sim_cmd =
-  let run w nprocs scale block json =
+  let run w nprocs scale block jobs json =
     let scale = scale_of w scale in
     let prog = w.W.build ~nprocs ~scale in
     let versions = sim_versions w prog ~nprocs ~scale in
+    let recorded = Sim.record prog ~nprocs in
     let runs =
-      List.map
-        (fun (name, plan) -> (name, Sim.cache_sim prog plan ~nprocs ~block))
+      Fs_util.Par.map ~jobs
+        (fun (name, plan) ->
+          (name, Sim.cache_sim ~recorded prog plan ~nprocs ~block))
         versions
     in
     if json then print_json (Emit.sim ~workload:w.W.name ~nprocs ~block runs)
@@ -173,8 +182,11 @@ let sim_cmd =
   in
   Cmd.v
     (Cmd.info "sim"
-       ~doc:"Trace-driven cache simulation of a benchmark, one row per version.")
-    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg $ json_arg)
+       ~doc:
+         "Trace-driven cache simulation of a benchmark: the execution is \
+          interpreted once and replayed under each version's layout.")
+    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
+          $ jobs_arg $ json_arg)
 
 (* --- speedup --- *)
 
@@ -183,14 +195,14 @@ let speedup_cmd =
     Arg.(value & opt (list int) [ 1; 2; 4; 8; 12; 16; 24; 32 ]
          & info [ "procs-list" ] ~docv:"P,P,..." ~doc:"Processor counts to sweep.")
   in
-  let run w procs json =
-    let series = E.speedups ~procs ~names:[ w.W.name ] () in
+  let run w procs jobs json =
+    let series = E.speedups ~procs ~names:[ w.W.name ] ~jobs () in
     if json then print_json (Emit.series series)
     else print_string (E.render_series series)
   in
   Cmd.v
     (Cmd.info "speedup" ~doc:"KSR2-model scalability curves for one benchmark.")
-    Term.(const run $ workload_arg $ procs_arg $ json_arg)
+    Term.(const run $ workload_arg $ procs_arg $ jobs_arg $ json_arg)
 
 (* --- hotspots --- *)
 
@@ -221,7 +233,8 @@ let blame_cmd =
     let scale = scale_of w scale in
     let prog = w.W.build ~nprocs ~scale in
     let plan = plan_of w version prog ~nprocs ~scale in
-    let b = Falseshare.Blame.analyze ~top prog plan ~nprocs ~block in
+    let recorded = Sim.record prog ~nprocs in
+    let b = Falseshare.Blame.analyze ~top ~recorded prog plan ~nprocs ~block in
     if json then print_json (Emit.blame b)
     else print_string (Falseshare.Blame.render b)
   in
@@ -249,10 +262,9 @@ let timeline_cmd =
     let plan = plan_of w version prog ~nprocs ~scale in
     let layout = Fs_layout.Layout.realize prog plan ~block in
     let tl = Fs_obs.Timeline.create ~nprocs in
-    let _ =
-      Fs_interp.Interp.run prog ~nprocs ~layout
-        ~listener:(Fs_obs.Timeline.listener tl)
-    in
+    let recorded = Sim.record prog ~nprocs in
+    Fs_replay.Replay.replay recorded.Sim.trace ~layout
+      ~listener:(Fs_obs.Timeline.listener tl);
     match out with
     | Some "-" -> print_json (Fs_obs.Timeline.to_json tl)
     | out ->
@@ -340,38 +352,40 @@ let check_cmd =
 (* --- paper reproductions --- *)
 
 let paper_cmd name doc ~text ~json =
-  let run use_json = if use_json then print_json (json ()) else print_string (text ()) in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ json_arg)
+  let run jobs use_json =
+    if use_json then print_json (json ~jobs) else print_string (text ~jobs)
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ jobs_arg $ json_arg)
 
 let fig3_cmd =
   paper_cmd "fig3" "Reproduce Figure 3 (miss rates before/after)."
-    ~text:(fun () -> E.render_figure3 (E.figure3 ()))
-    ~json:(fun () -> Emit.fig3 (E.figure3 ()))
+    ~text:(fun ~jobs -> E.render_figure3 (E.figure3 ~jobs ()))
+    ~json:(fun ~jobs -> Emit.fig3 (E.figure3 ~jobs ()))
 
 let table2_cmd =
   paper_cmd "table2" "Reproduce Table 2 (reduction by transformation)."
-    ~text:(fun () -> E.render_table2 (E.table2 ()))
-    ~json:(fun () -> Emit.table2 (E.table2 ()))
+    ~text:(fun ~jobs -> E.render_table2 (E.table2 ~jobs ()))
+    ~json:(fun ~jobs -> Emit.table2 (E.table2 ~jobs ()))
 
 let fig4_cmd =
   paper_cmd "fig4" "Reproduce Figure 4 (scalability curves)."
-    ~text:(fun () -> E.render_series (E.figure4 ()))
-    ~json:(fun () -> Emit.series (E.figure4 ()))
+    ~text:(fun ~jobs -> E.render_series (E.figure4 ~jobs ()))
+    ~json:(fun ~jobs -> Emit.series (E.figure4 ~jobs ()))
 
 let table3_cmd =
   paper_cmd "table3" "Reproduce Table 3 (maximum speedups)."
-    ~text:(fun () -> E.render_table3 (E.table3 ()))
-    ~json:(fun () -> Emit.table3 (E.table3 ()))
+    ~text:(fun ~jobs -> E.render_table3 (E.table3 ~jobs ()))
+    ~json:(fun ~jobs -> Emit.table3 (E.table3 ~jobs ()))
 
 let stats_cmd =
   paper_cmd "stats" "Reproduce the headline statistics."
-    ~text:(fun () -> E.render_stats (E.text_stats ()))
-    ~json:(fun () -> Emit.stats (E.text_stats ()))
+    ~text:(fun ~jobs -> E.render_stats (E.text_stats ~jobs ()))
+    ~json:(fun ~jobs -> Emit.stats (E.text_stats ~jobs ()))
 
 let exectime_cmd =
   paper_cmd "exectime" "Reproduce the execution-time improvements."
-    ~text:(fun () -> E.render_exec (E.exec_time_improvements ()))
-    ~json:(fun () -> Emit.exec (E.exec_time_improvements ()))
+    ~text:(fun ~jobs -> E.render_exec (E.exec_time_improvements ~jobs ()))
+    ~json:(fun ~jobs -> Emit.exec (E.exec_time_improvements ~jobs ()))
 
 let () =
   let doc =

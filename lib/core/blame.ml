@@ -1,6 +1,5 @@
 module Mpcache = Fs_cache.Mpcache
 module Layout = Fs_layout.Layout
-module Interp = Fs_interp.Interp
 module Table = Fs_util.Table
 
 type pair = { src : int; victim : int; upgrades : int; write_misses : int }
@@ -29,14 +28,18 @@ type t = {
   hot : hot_block list;
 }
 
-let analyze ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?(top = 10) prog plan
-    ~nprocs ~block =
+let analyze ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?(top = 10) ?recorded prog
+    plan ~nprocs ~block =
+  let recorded =
+    match recorded with Some r -> r | None -> Sim.record prog ~nprocs
+  in
   let layout = Layout.realize prog plan ~block in
   let cache =
     Mpcache.create ~track_blocks:true ~track_pairs:true
       { Mpcache.nprocs; block; cache_bytes; assoc }
   in
-  let _ = Interp.run_to_sink prog ~nprocs ~layout ~sink:(Mpcache.sink cache) in
+  Fs_replay.Replay.replay_to_sink recorded.Sim.trace ~layout
+    ~sink:(Mpcache.sink cache);
   let owner = Attribution.block_owner prog layout ~block in
   (* fold the per-block pair flows onto the owning variables: per variable,
      a (src, victim) -> (upgrades, write misses) accumulator *)

@@ -40,12 +40,14 @@ val analyze :
   ?cache_bytes:int ->
   ?assoc:int ->
   ?top:int ->
+  ?recorded:Sim.recorded ->
   Fs_ir.Ast.program ->
   Fs_layout.Plan.t ->
   nprocs:int ->
   block:int ->
   t
-(** Runs the interpreter + cache simulation with pair tracking.
-    [top] bounds the hot-block list (default 10). *)
+(** Replays a recorded execution (fresh if [recorded] is omitted) through
+    the cache simulation with pair tracking.  [top] bounds the hot-block
+    list (default 10). *)
 
 val render : t -> string

@@ -3,19 +3,49 @@ module Workloads = Fs_workloads.Workloads
 module Plan = Fs_layout.Plan
 module Mpcache = Fs_cache.Mpcache
 module Table = Fs_util.Table
+module Par = Fs_util.Par
 
 type version = Workload.version
+
+(* ------------------------------------------------------------------ *)
+(* Plan memo: figure3, table2, the speedup sweeps and the CLI all ask
+   for the same compiler plan; analyze once per (workload, version,
+   nprocs, scale).  The memo trusts that [prog] is the workload's build
+   at that configuration, which is how every caller obtains it.          *)
+
+let plan_cache : (string * version * int * int, Plan.t) Hashtbl.t =
+  Hashtbl.create 32
+
+let plan_lock = Mutex.create ()
 
 let plan_for (w : Workload.t) version prog ~nprocs ~scale =
   if nprocs <= 1 then Plan.empty
   else
     match version with
     | Workload.N -> Plan.empty
-    | Workload.C -> Sim.compiler_plan prog ~nprocs
-    | Workload.P -> (
-      match w.programmer_plan with
-      | Some f -> f ~nprocs ~scale
-      | None -> invalid_arg (w.name ^ " has no programmer-optimized version"))
+    | Workload.C | Workload.P -> (
+      let key = (w.name, version, nprocs, scale) in
+      match
+        Mutex.protect plan_lock (fun () -> Hashtbl.find_opt plan_cache key)
+      with
+      | Some plan -> plan
+      | None ->
+        let plan =
+          match version with
+          | Workload.C -> Sim.compiler_plan prog ~nprocs
+          | Workload.P -> (
+            match w.programmer_plan with
+            | Some f -> f ~nprocs ~scale
+            | None ->
+              invalid_arg (w.name ^ " has no programmer-optimized version"))
+          | Workload.N -> assert false
+        in
+        Mutex.protect plan_lock (fun () ->
+            Hashtbl.replace plan_cache key plan);
+        plan)
+
+let recorded_of (e : Trace_memo.entry) =
+  { Sim.trace = e.trace; interp = e.interp }
 
 (* ------------------------------------------------------------------ *)
 (* Figure 3                                                            *)
@@ -37,26 +67,36 @@ let cell_of_counts (c : Mpcache.counts) =
     false_sharing = c.Mpcache.false_sh;
   }
 
-let figure3 ?(blocks = [ 16; 128 ]) ?scale_override () =
-  List.concat_map
-    (fun (w : Workload.t) ->
-      let nprocs = w.fig3_procs in
-      let scale = Option.value scale_override ~default:w.default_scale in
-      let prog = w.build ~nprocs ~scale in
-      let cplan = plan_for w Workload.C prog ~nprocs ~scale in
-      List.map
-        (fun block ->
-          let unopt = Sim.cache_sim prog Plan.empty ~nprocs ~block in
-          let compiler = Sim.cache_sim prog cplan ~nprocs ~block in
-          {
-            name = w.name;
-            procs = nprocs;
-            block;
-            unopt = cell_of_counts unopt.Sim.counts;
-            compiler = cell_of_counts compiler.Sim.counts;
-          })
-        blocks)
-    (Workloads.simulated ())
+let figure3 ?(blocks = [ 16; 128 ]) ?scale_override ?jobs () =
+  let ws = Workloads.simulated () in
+  let configs =
+    List.map
+      (fun (w : Workload.t) ->
+        (w, w.fig3_procs, Option.value scale_override ~default:w.default_scale))
+      ws
+  in
+  let entries = Trace_memo.get_all ?jobs configs in
+  let tasks =
+    List.concat
+      (List.map2
+         (fun (w, nprocs, scale) (e : Trace_memo.entry) ->
+           let cplan = plan_for w Workload.C e.prog ~nprocs ~scale in
+           List.map (fun block -> (w, nprocs, e, cplan, block)) blocks)
+         configs entries)
+  in
+  Par.map ?jobs
+    (fun ((w : Workload.t), nprocs, (e : Trace_memo.entry), cplan, block) ->
+      let recorded = recorded_of e in
+      let unopt = Sim.cache_sim ~recorded e.prog Plan.empty ~nprocs ~block in
+      let compiler = Sim.cache_sim ~recorded e.prog cplan ~nprocs ~block in
+      {
+        name = w.name;
+        procs = nprocs;
+        block;
+        unopt = cell_of_counts unopt.Sim.counts;
+        compiler = cell_of_counts compiler.Sim.counts;
+      })
+    tasks
 
 let pct_rate num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
 
@@ -104,41 +144,67 @@ let family = function
   | Plan.Pad_align _ -> `Pad
   | Plan.Pad_locks -> `Locks
 
-let table2 ?(blocks = [ 8; 16; 32; 64; 128; 256 ]) () =
+let table2 ?(blocks = [ 8; 16; 32; 64; 128; 256 ]) ?jobs () =
+  let ws = Workloads.simulated () in
+  let configs =
+    List.map
+      (fun (w : Workload.t) -> (w, w.fig3_procs, w.default_scale))
+      ws
+  in
+  let entries = Trace_memo.get_all ?jobs configs in
+  (* per workload: the cumulative plans of the four families, in the
+     paper's order — each family's marginal effect on top of the last *)
+  let prepped =
+    List.map2
+      (fun (w, nprocs, scale) (e : Trace_memo.entry) ->
+        let cplan = plan_for w Workload.C e.prog ~nprocs ~scale in
+        let upto fam prev = prev @ List.filter (fun a -> family a = fam) cplan in
+        let p1 = upto `Gt [] in
+        let p2 = upto `Ind p1 in
+        let p3 = upto `Pad p2 in
+        let p4 = upto `Locks p3 in
+        (w, nprocs, e, [| Plan.empty; p1; p2; p3; p4 |]))
+      configs entries
+  in
+  let tasks =
+    List.concat_map
+      (fun (w, nprocs, e, plans) ->
+        List.map (fun block -> (w, nprocs, e, plans, block)) blocks)
+      prepped
+  in
+  let fs_counts =
+    Par.map ?jobs
+      (fun (_, nprocs, (e : Trace_memo.entry), plans, block) ->
+        let recorded = recorded_of e in
+        Array.map
+          (fun plan ->
+            (Sim.cache_sim ~recorded e.prog plan ~nprocs ~block)
+              .Sim.counts.Mpcache.false_sh)
+          plans)
+      tasks
+  in
+  let by_task = Hashtbl.create 64 in
+  List.iter2
+    (fun ((w : Workload.t), _, _, _, block) counts ->
+      Hashtbl.replace by_task (w.name, block) counts)
+    tasks fs_counts;
   List.map
-    (fun (w : Workload.t) ->
-      let nprocs = w.fig3_procs in
-      let scale = w.default_scale in
-      let prog = w.build ~nprocs ~scale in
-      let cplan = plan_for w Workload.C prog ~nprocs ~scale in
-      let fs plan block =
-        (Sim.cache_sim prog plan ~nprocs ~block).Sim.counts.Mpcache.false_sh
-      in
+    (fun ((w : Workload.t), _, _, _) ->
       let fractions =
         List.map
           (fun block ->
-            let fs0 = fs Plan.empty block in
+            let c = Hashtbl.find by_task (w.name, block) in
+            let fs0 = c.(0) in
             if fs0 = 0 then (0.0, 0.0, 0.0, 0.0, 0.0)
             else begin
-              let marginal fam_filter prev_plan =
-                let plan =
-                  prev_plan @ List.filter (fun a -> family a = fam_filter) cplan
-                in
-                (plan, fs plan block)
-              in
-              let p1, f1 = marginal `Gt [] in
-              let p2, f2 = marginal `Ind p1 in
-              let p3, f3 = marginal `Pad p2 in
-              let _p4, f4 = marginal `Locks p3 in
+              let f1 = c.(1) and f2 = c.(2) and f3 = c.(3) and f4 = c.(4) in
               let frac a b = float_of_int (a - b) /. float_of_int fs0 in
               ( float_of_int (fs0 - f4) /. float_of_int fs0,
                 frac fs0 f1, frac f1 f2, frac f2 f3, frac f3 f4 )
             end)
           blocks
       in
-      let avg f =
-        Fs_util.Stats.mean (List.map f fractions)
-      in
+      let avg f = Fs_util.Stats.mean (List.map f fractions) in
       {
         name = w.name;
         total_reduction = avg (fun (t, _, _, _, _) -> t);
@@ -147,7 +213,7 @@ let table2 ?(blocks = [ 8; 16; 32; 64; 128; 256 ]) () =
         pad_align = avg (fun (_, _, _, p, _) -> p);
         locks = avg (fun (_, _, _, _, l) -> l);
       })
-    (Workloads.simulated ())
+    prepped
 
 let render_table2 rows =
   let header =
@@ -179,28 +245,99 @@ type series = {
 
 let default_procs = [ 1; 2; 4; 8; 12; 16; 20; 24; 28; 32; 40; 48; 56 ]
 
-let run_cycles (w : Workload.t) version ~nprocs =
-  let scale = w.default_scale in
-  let prog = w.build ~nprocs ~scale in
-  let plan = plan_for w version prog ~nprocs ~scale in
-  let r = Sim.machine_sim prog plan ~nprocs in
-  r.Sim.machine.Fs_machine.Ksr.cycles
+(* One KSR2 run per (workload, version, nprocs), replayed from the
+   (workload, nprocs) trace: the three versions differ only in layout.
+   Cycle counts are memoized process-wide — Figure 4, Table 3 and the
+   execution-time sweep largely ask for the same runs. *)
+let cycles_cache : (string * version * int * int, int) Hashtbl.t =
+  Hashtbl.create 64
 
-let speedups ?(procs = default_procs) ?names () =
+let cycles_lock = Mutex.create ()
+
+let cycles_table ?jobs (triples : (Workload.t * version * int) list) =
+  let seen = Hashtbl.create 64 in
+  let deduped =
+    List.filter
+      (fun ((w : Workload.t), version, nprocs) ->
+        let key = (w.name, version, nprocs) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      triples
+  in
+  let table = Hashtbl.create 64 in
+  let tasks =
+    Mutex.protect cycles_lock (fun () ->
+        List.filter
+          (fun ((w : Workload.t), version, nprocs) ->
+            match
+              Hashtbl.find_opt cycles_cache
+                (w.name, version, nprocs, w.default_scale)
+            with
+            | Some c ->
+              Hashtbl.replace table (w.name, version, nprocs) c;
+              false
+            | None -> true)
+          deduped)
+  in
+  let entries =
+    Trace_memo.get_all ?jobs
+      (List.map
+         (fun ((w : Workload.t), _, nprocs) -> (w, nprocs, w.default_scale))
+         tasks)
+  in
+  (* plans are computed on the calling domain (the transform pass is the
+     compiler; replay tasks only consume its output) *)
+  let prepped =
+    List.map2
+      (fun ((w : Workload.t), version, nprocs) (e : Trace_memo.entry) ->
+        let plan = plan_for w version e.prog ~nprocs ~scale:w.default_scale in
+        (w, version, nprocs, e, plan))
+      tasks entries
+  in
+  let results =
+    Par.map ?jobs
+      (fun ((w : Workload.t), version, nprocs, (e : Trace_memo.entry), plan) ->
+        let r = Sim.machine_sim ~recorded:(recorded_of e) e.prog plan ~nprocs in
+        ((w.name, version, nprocs, w.default_scale),
+         r.Sim.machine.Fs_machine.Ksr.cycles))
+      prepped
+  in
+  Mutex.protect cycles_lock (fun () ->
+      List.iter
+        (fun (((name, version, nprocs, _) as key), cycles) ->
+          Hashtbl.replace cycles_cache key cycles;
+          Hashtbl.replace table (name, version, nprocs) cycles)
+        results);
+  fun (w : Workload.t) version nprocs -> Hashtbl.find table (w.name, version, nprocs)
+
+let speedups ?(procs = default_procs) ?names ?jobs () =
   let selected =
     match names with
     | None -> Workloads.all
     | Some ns -> List.map Workloads.find ns
   in
+  let triples =
+    List.concat_map
+      (fun (w : Workload.t) ->
+        (w, Workload.N, 1)
+        :: List.concat_map
+             (fun version -> List.map (fun p -> (w, version, p)) procs)
+             w.versions)
+      selected
+  in
+  let cycles = cycles_table ?jobs triples in
   List.concat_map
     (fun (w : Workload.t) ->
-      let base = run_cycles w Workload.N ~nprocs:1 in
+      let base = cycles w Workload.N 1 in
       List.map
         (fun version ->
           let points =
             List.map
               (fun nprocs ->
-                let c = run_cycles w version ~nprocs in
+                let c = cycles w version nprocs in
                 (nprocs, if c = 0 then 0.0 else float_of_int base /. float_of_int c))
               procs
           in
@@ -208,8 +345,8 @@ let speedups ?(procs = default_procs) ?names () =
         w.versions)
     selected
 
-let figure4 ?procs () =
-  speedups ?procs ~names:[ "raytrace"; "fmm"; "pverify" ] ()
+let figure4 ?procs ?jobs () =
+  speedups ?procs ~names:[ "raytrace"; "fmm"; "pverify" ] ?jobs ()
 
 let render_series series =
   let buf = Buffer.create 1024 in
@@ -247,8 +384,8 @@ type table3_row = {
   results : (version * float * int) list;
 }
 
-let table3 ?procs ?series () =
-  let series = match series with Some s -> s | None -> speedups ?procs () in
+let table3 ?procs ?series ?jobs () =
+  let series = match series with Some s -> s | None -> speedups ?procs ?jobs () in
   let names = List.map (fun (w : Workload.t) -> w.name) Workloads.all in
   List.map
     (fun name ->
@@ -295,9 +432,9 @@ type stats = {
   total_miss_reduction_64 : float;
 }
 
-let text_stats () =
-  let rows128 = figure3 ~blocks:[ 128 ] () in
-  let rows64 = figure3 ~blocks:[ 64 ] () in
+let text_stats ?jobs () =
+  let rows128 = figure3 ~blocks:[ 128 ] ?jobs () in
+  let rows64 = figure3 ~blocks:[ 64 ] ?jobs () in
   let sum f rows = List.fold_left (fun acc r -> acc + f r) 0 rows in
   let fs_u = sum (fun r -> r.unopt.false_sharing) rows128 in
   let fs_c = sum (fun r -> r.compiler.false_sharing) rows128 in
@@ -336,30 +473,48 @@ let render_stats s =
 
 type exec_row = { name : string; improvement : float; at_procs : int }
 
-let exec_time_improvements ?(procs = default_procs) () =
+let exec_time_improvements ?(procs = default_procs) ?jobs () =
+  let ws = Workloads.simulated () in
+  let n_cycles =
+    cycles_table ?jobs
+      (List.concat_map
+         (fun w -> List.map (fun p -> (w, Workload.N, p)) procs)
+         ws)
+  in
+  (* the range where the unoptimized version still scales: processor
+     counts up to the unoptimized version's best point *)
+  let ranges =
+    List.map
+      (fun (w : Workload.t) ->
+        let n_curve = List.map (fun p -> (p, n_cycles w Workload.N p)) procs in
+        let best_p =
+          fst
+            (List.fold_left
+               (fun (bp, bc) (p, c) -> if c < bc then (p, c) else (bp, bc))
+               (1, max_int) n_curve)
+        in
+        (w, List.filter (fun (p, _) -> p <= best_p) n_curve))
+      ws
+  in
+  let c_cycles =
+    cycles_table ?jobs
+      (List.concat_map
+         (fun (w, in_range) ->
+           List.map (fun (p, _) -> (w, Workload.C, p)) in_range)
+         ranges)
+  in
   List.map
-    (fun (w : Workload.t) ->
-      let cycles version nprocs = run_cycles w version ~nprocs in
-      (* the range where the unoptimized version still scales: processor
-         counts up to the unoptimized version's best point *)
-      let n_curve = List.map (fun p -> (p, cycles Workload.N p)) procs in
-      let best_p =
-        fst
-          (List.fold_left
-             (fun (bp, bc) (p, c) -> if c < bc then (p, c) else (bp, bc))
-             (1, max_int) n_curve)
-      in
-      let in_range = List.filter (fun (p, _) -> p <= best_p) n_curve in
+    (fun ((w : Workload.t), in_range) ->
       let improvement, at_procs =
         List.fold_left
           (fun (bi, bp) (p, tn) ->
-            let tc = cycles Workload.C p in
+            let tc = c_cycles w Workload.C p in
             let imp = if tn = 0 then 0.0 else float_of_int (tn - tc) /. float_of_int tn in
             if imp > bi then (imp, p) else (bi, bp))
           (0.0, 1) in_range
       in
       { name = w.name; improvement; at_procs })
-    (Workloads.simulated ())
+    ranges
 
 let render_exec rows =
   let header = [ "program"; "max exec-time improvement"; "at P" ] in

@@ -14,7 +14,9 @@ val plan_for :
   Fs_layout.Plan.t
 (** The layout plan of a benchmark version: empty for N (and for a single
     process, where sharing cannot occur), the compiler's plan for C, the
-    hand-written plan for P. *)
+    hand-written plan for P.  Plans are memoized per
+    (workload, version, nprocs, scale); [prog] must be the workload's
+    build at that configuration. *)
 
 (** {1 Figure 3} — total miss rates split into false sharing and other
     misses, unoptimized vs compiler-transformed, per block size. *)
@@ -33,9 +35,12 @@ type fig3_row = {
   compiler : fig3_cell;
 }
 
-val figure3 : ?blocks:int list -> ?scale_override:int -> unit -> fig3_row list
+val figure3 :
+  ?blocks:int list -> ?scale_override:int -> ?jobs:int -> unit -> fig3_row list
 (** Defaults: the six simulated benchmarks at their Figure 3 processor
-    counts (12; Topopt 9), block sizes 16 and 128. *)
+    counts (12; Topopt 9), block sizes 16 and 128.  Each workload is
+    interpreted once (via {!Trace_memo}) and the per-block cache runs
+    replay that trace, fanned out over [jobs] domains. *)
 
 val render_figure3 : fig3_row list -> string
 
@@ -53,7 +58,7 @@ type table2_row = {
   locks : float;
 }
 
-val table2 : ?blocks:int list -> unit -> table2_row list
+val table2 : ?blocks:int list -> ?jobs:int -> unit -> table2_row list
 (** Default blocks: 8–256 bytes, as in the paper.  Attribution applies the
     plan's transformation families cumulatively (group & transpose, then
     indirection, then pad & align, then lock padding) and charges each
@@ -70,12 +75,12 @@ type series = {
 }
 
 val speedups :
-  ?procs:int list -> ?names:string list -> unit -> series list
+  ?procs:int list -> ?names:string list -> ?jobs:int -> unit -> series list
 (** Speedups relative to the single-processor run of the unoptimized
     version, as in Figure 4.  Default processor counts:
     1, 2, 4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 56. *)
 
-val figure4 : ?procs:int list -> unit -> series list
+val figure4 : ?procs:int list -> ?jobs:int -> unit -> series list
 (** The paper's three representative programs: Raytrace, Fmm, Pverify. *)
 
 val render_series : series list -> string
@@ -87,7 +92,8 @@ type table3_row = {
           where it occurs *)
 }
 
-val table3 : ?procs:int list -> ?series:series list -> unit -> table3_row list
+val table3 :
+  ?procs:int list -> ?series:series list -> ?jobs:int -> unit -> table3_row list
 (** Computed from {!speedups} over all ten benchmarks (pass [series] to
     reuse already-computed curves). *)
 
@@ -106,7 +112,7 @@ type stats = {
   total_miss_reduction_64 : float;
 }
 
-val text_stats : unit -> stats
+val text_stats : ?jobs:int -> unit -> stats
 val render_stats : stats -> string
 
 (** {1 Execution-time improvements} (Section 5): the largest reduction in
@@ -120,5 +126,5 @@ type exec_row = {
   at_procs : int;
 }
 
-val exec_time_improvements : ?procs:int list -> unit -> exec_row list
+val exec_time_improvements : ?procs:int list -> ?jobs:int -> unit -> exec_row list
 val render_exec : exec_row list -> string

@@ -6,6 +6,8 @@ module Layout = Fs_layout.Layout
 module Mpcache = Fs_cache.Mpcache
 module Ksr = Fs_machine.Ksr
 module Interp = Fs_interp.Interp
+module Replay = Fs_replay.Replay
+module Cell_trace = Fs_trace.Cell_trace
 module Listener = Fs_trace.Listener
 module Metrics = Fs_obs.Metrics
 module Profile = Fs_obs.Profile
@@ -91,17 +93,24 @@ let run ?options ?(machine = false) ?plan ?profile prog ~nprocs ~block =
     Profile.time profile "layout" ~events:Layout.size (fun () ->
         Layout.realize prog plan ~block)
   in
+  (* interpret once, layout-free; the cache and machine runs below both
+     replay the same trace under their own layouts *)
+  let recorded =
+    Profile.time profile "interp"
+      ~events:(fun (r : Sim.recorded) ->
+        Array.fold_left ( + ) 0 r.interp.Interp.accesses)
+      (fun () -> Sim.record prog ~nprocs)
+  in
   let cache =
     Mpcache.create ~track_blocks:true (Mpcache.default_config ~nprocs ~block)
   in
   let listener =
     Listener.combine (Listener.of_sink (Mpcache.sink cache)) (Metrics.listener metrics)
   in
-  let interp =
-    Profile.time profile "interp+cache"
-      ~events:(fun (r : Interp.result) -> Array.fold_left ( + ) 0 r.accesses)
-      (fun () -> Interp.run prog ~nprocs ~layout ~listener)
-  in
+  Profile.time profile "replay+cache"
+    ~events:(fun () -> Cell_trace.length recorded.Sim.trace)
+    (fun () -> Replay.replay recorded.Sim.trace ~layout ~listener);
+  let interp = recorded.Sim.interp in
   ingest_cache metrics cache;
   let machine_result =
     if not machine then None
@@ -114,7 +123,8 @@ let run ?options ?(machine = false) ?plan ?profile prog ~nprocs ~block =
              let mlayout =
                Layout.realize prog plan ~block:(Ksr.default_config ~nprocs).Ksr.block
              in
-             let _ = Interp.run prog ~nprocs ~layout:mlayout ~listener:(Ksr.listener m) in
+             Replay.replay recorded.Sim.trace ~layout:mlayout
+               ~listener:(Ksr.listener m);
              Ksr.finish m))
   in
   Option.iter (ingest_machine metrics) machine_result;

@@ -1,7 +1,15 @@
 module Mpcache = Fs_cache.Mpcache
 module Layout = Fs_layout.Layout
 module Interp = Fs_interp.Interp
+module Replay = Fs_replay.Replay
+module Listener = Fs_trace.Listener
 module Ksr = Fs_machine.Ksr
+
+type recorded = { trace : Fs_trace.Cell_trace.t; interp : Interp.result }
+
+let record ?quantum ?max_steps prog ~nprocs =
+  let trace, interp = Interp.record ?quantum ?max_steps prog ~nprocs in
+  { trace; interp }
 
 type cache_run = {
   counts : Mpcache.counts;
@@ -11,34 +19,36 @@ type cache_run = {
 }
 
 let cache_sim ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?(track_blocks = false)
-    prog plan ~nprocs ~block =
+    ?recorded prog plan ~nprocs ~block =
+  let recorded =
+    match recorded with Some r -> r | None -> record prog ~nprocs
+  in
   let layout = Layout.realize prog plan ~block in
   let cache =
     Mpcache.create ~track_blocks
       { Mpcache.nprocs; block; cache_bytes; assoc }
   in
-  let interp =
-    Interp.run_to_sink prog ~nprocs ~layout ~sink:(Mpcache.sink cache)
-  in
+  Replay.replay_to_sink recorded.trace ~layout ~sink:(Mpcache.sink cache);
   {
     counts = Mpcache.counts cache;
     per_block = Mpcache.per_block cache;
     layout_bytes = Layout.size layout;
-    interp;
+    interp = recorded.interp;
   }
 
 type timed_run = { machine : Ksr.result; work : int array }
 
-let machine_sim ?config prog plan ~nprocs =
+let machine_sim ?config ?recorded prog plan ~nprocs =
   let config =
     match config with Some c -> c | None -> Ksr.default_config ~nprocs
   in
+  let recorded =
+    match recorded with Some r -> r | None -> record prog ~nprocs
+  in
   let layout = Layout.realize prog plan ~block:config.Ksr.block in
   let machine = Ksr.create config in
-  let interp =
-    Interp.run prog ~nprocs ~layout ~listener:(Ksr.listener machine)
-  in
-  { machine = Ksr.finish machine; work = interp.Interp.work }
+  Replay.replay recorded.trace ~layout ~listener:(Ksr.listener machine);
+  { machine = Ksr.finish machine; work = recorded.interp.Interp.work }
 
 let compiler_plan ?options prog ~nprocs =
   (Fs_transform.Transform.plan ?options prog ~nprocs).Fs_transform.Transform.plan

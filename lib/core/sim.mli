@@ -1,5 +1,24 @@
 (** One-call simulation drivers tying the pipeline together:
-    program -> plan -> layout -> interpreter -> cache / timing model. *)
+    program -> plan -> layout -> interpreter -> cache / timing model.
+
+    Since the interpreter's schedule is layout-free, interpretation and
+    simulation are decoupled: {!record} interprets once, and both
+    {!cache_sim} and {!machine_sim} accept the [?recorded] execution to
+    replay under their layout instead of re-interpreting.  Without
+    [?recorded] each call records a fresh (identical) execution. *)
+
+type recorded = {
+  trace : Fs_trace.Cell_trace.t;
+  interp : Fs_interp.Interp.result;
+}
+
+val record :
+  ?quantum:int ->
+  ?max_steps:int ->
+  Fs_ir.Ast.program ->
+  nprocs:int ->
+  recorded
+(** Interpret once, layout-free. *)
 
 type cache_run = {
   counts : Fs_cache.Mpcache.counts;
@@ -13,13 +32,15 @@ val cache_sim :
   ?cache_bytes:int ->
   ?assoc:int ->
   ?track_blocks:bool ->
+  ?recorded:recorded ->
   Fs_ir.Ast.program ->
   Fs_layout.Plan.t ->
   nprocs:int ->
   block:int ->
   cache_run
 (** Trace-driven simulation of the paper's Section 4 architecture
-    (32 KB 4-way L1 per processor unless overridden, infinite L2). *)
+    (32 KB 4-way L1 per processor unless overridden, infinite L2).
+    [recorded] must come from the same program at the same [nprocs]. *)
 
 type timed_run = {
   machine : Fs_machine.Ksr.result;
@@ -28,6 +49,7 @@ type timed_run = {
 
 val machine_sim :
   ?config:Fs_machine.Ksr.config ->
+  ?recorded:recorded ->
   Fs_ir.Ast.program ->
   Fs_layout.Plan.t ->
   nprocs:int ->

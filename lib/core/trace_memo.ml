@@ -1,0 +1,182 @@
+module Workload = Fs_workloads.Workload
+module Cell_trace = Fs_trace.Cell_trace
+module Cell_event = Fs_trace.Cell_event
+module Interp = Fs_interp.Interp
+module Par = Fs_util.Par
+
+type key = { workload : string; nprocs : int; scale : int }
+
+type entry = {
+  prog : Fs_ir.Ast.program;
+  trace : Cell_trace.t;
+  interp : Interp.result;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable disk_loads : int;
+}
+
+(* The memo is process-global, like the workload registry it mirrors.
+   All bookkeeping happens under [lock] so the experiment drivers can
+   consult it around their Par fan-outs; interpretation itself always
+   runs outside the lock. *)
+let lock = Mutex.create ()
+let table : (key, entry * int ref) Hashtbl.t = Hashtbl.create 32
+let tick = ref 0
+let capacity = ref 128
+let capture_dir : string option ref = ref None
+let stats = { hits = 0; misses = 0; evictions = 0; disk_loads = 0 }
+
+let locked f = Mutex.protect lock f
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Trace_memo.set_capacity: capacity must be >= 1";
+  locked (fun () -> capacity := n)
+
+let set_capture_dir d = locked (fun () -> capture_dir := d)
+
+let clear () =
+  locked (fun () ->
+      Hashtbl.reset table;
+      tick := 0;
+      stats.hits <- 0;
+      stats.misses <- 0;
+      stats.evictions <- 0;
+      stats.disk_loads <- 0)
+
+let read_stats () =
+  locked (fun () ->
+      (stats.hits, stats.misses, stats.evictions, stats.disk_loads))
+
+(* ------------------------------------------------------------------ *)
+
+let path_of dir k =
+  Filename.concat dir
+    (Printf.sprintf "%s-p%d-s%d.fstrace" k.workload k.nprocs k.scale)
+
+(* A disk-loaded trace carries no final memory image, but the summary
+   counters of the original run are all derivable from the event
+   stream. *)
+let result_of_trace trace =
+  let nprocs = Cell_trace.nprocs trace in
+  let work = Array.make nprocs 0 in
+  let accesses = Array.make nprocs 0 in
+  let barriers = ref 0 in
+  Cell_trace.iter
+    (function
+      | Cell_event.Access { proc; _ } -> accesses.(proc) <- accesses.(proc) + 1
+      | Cell_event.Work { proc; amount } -> work.(proc) <- work.(proc) + amount
+      | Cell_event.Barrier_release -> incr barriers
+      | _ -> ())
+    trace;
+  {
+    Interp.work;
+    accesses;
+    barrier_episodes = !barriers;
+    store = Hashtbl.create 1;
+  }
+
+let compute dir (w : Workload.t) k =
+  let prog = w.Workload.build ~nprocs:k.nprocs ~scale:k.scale in
+  let from_disk =
+    match dir with
+    | None -> None
+    | Some d -> (
+      let path = path_of d k in
+      if not (Sys.file_exists path) then None
+      else
+        match Cell_trace.read_file path with
+        | trace when Cell_trace.nprocs trace = k.nprocs ->
+          Some { prog; trace; interp = result_of_trace trace }
+        | _ -> None
+        | exception (Cell_trace.Corrupt _ | Sys_error _) -> None)
+  in
+  match from_disk with
+  | Some e -> (e, true)
+  | None ->
+    let trace, interp = Interp.record prog ~nprocs:k.nprocs in
+    (match dir with
+     | Some d when Sys.file_exists d -> Cell_trace.write_file trace (path_of d k)
+     | _ -> ());
+    ({ prog; trace; interp }, false)
+
+(* under [lock] *)
+let insert k e =
+  stats.misses <- stats.misses + 1;
+  if not (Hashtbl.mem table k) then begin
+    while Hashtbl.length table >= !capacity do
+      let victim =
+        Hashtbl.fold
+          (fun k (_, last) acc ->
+            match acc with
+            | Some (_, best) when !best <= !last -> acc
+            | _ -> Some (k, last))
+          table None
+      in
+      match victim with
+      | Some (vk, _) ->
+        Hashtbl.remove table vk;
+        stats.evictions <- stats.evictions + 1
+      | None -> assert false
+    done;
+    incr tick;
+    Hashtbl.add table k (e, ref !tick)
+  end
+
+let find k =
+  match Hashtbl.find_opt table k with
+  | Some (e, last) ->
+    incr tick;
+    last := !tick;
+    stats.hits <- stats.hits + 1;
+    Some e
+  | None -> None
+
+let key_of (w : Workload.t) ~nprocs ~scale =
+  { workload = w.Workload.name; nprocs; scale }
+
+let get (w : Workload.t) ~nprocs ~scale =
+  let k = key_of w ~nprocs ~scale in
+  match locked (fun () -> (find k, !capture_dir)) with
+  | Some e, _ -> e
+  | None, dir ->
+    let e, from_disk = compute dir w k in
+    locked (fun () ->
+        insert k e;
+        if from_disk then stats.disk_loads <- stats.disk_loads + 1);
+    e
+
+let get_all ?jobs configs =
+  let keyed =
+    List.map (fun (w, nprocs, scale) -> (w, key_of w ~nprocs ~scale)) configs
+  in
+  let cached, dir =
+    locked (fun () -> (List.map (fun (_, k) -> find k) keyed, !capture_dir))
+  in
+  (* distinct missing keys, first occurrence wins *)
+  let missing = Hashtbl.create 16 in
+  List.iter2
+    (fun (w, k) hit ->
+      if hit = None && not (Hashtbl.mem missing k) then Hashtbl.add missing k w)
+    keyed cached;
+  let todo = Hashtbl.fold (fun k w acc -> (w, k) :: acc) missing [] in
+  let computed =
+    Par.map ?jobs (fun (w, k) -> (k, compute dir w k)) todo
+  in
+  locked (fun () ->
+      List.iter
+        (fun (k, (e, from_disk)) ->
+          insert k e;
+          if from_disk then stats.disk_loads <- stats.disk_loads + 1)
+        computed);
+  List.map2
+    (fun (_, k) hit ->
+      match hit with
+      | Some e -> e
+      | None ->
+        let e, _ = List.assoc k computed in
+        e)
+    keyed cached

@@ -2,6 +2,8 @@ module Ast = Fs_ir.Ast
 module Cells = Fs_ir.Cells
 module Layout = Fs_layout.Layout
 module Listener = Fs_trace.Listener
+module Cell_listener = Fs_trace.Cell_listener
+module Cell_trace = Fs_trace.Cell_trace
 
 exception Runtime_error of string
 exception Deadlock of string
@@ -15,12 +17,15 @@ type result = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Effects through which processes yield to the scheduler.             *)
+(* Effects through which processes yield to the scheduler.  Locks are
+   identified by their abstract location (var id, cell id): layouts give
+   distinct cells distinct addresses, so this names exactly the same
+   locks the address did, without consulting any layout.                *)
 
 type _ Effect.t += Yield : unit Effect.t
 type _ Effect.t += Barrier_wait : unit Effect.t
-type _ Effect.t += Lock_acq : int -> unit Effect.t
-type _ Effect.t += Lock_rel : int -> unit Effect.t
+type _ Effect.t += Lock_acq : (int * int) -> unit Effect.t
+type _ Effect.t += Lock_rel : (int * int) -> unit Effect.t
 
 exception Return_of of Value.t option
 
@@ -29,9 +34,8 @@ exception Return_of of Value.t option
 
 type ginfo = {
   gty : Ast.ty;
+  vid : int;                  (* variable id: index in declaration order *)
   values : Value.t array;     (* cell id -> current value *)
-  gaddr : int array;          (* cell id -> physical address *)
-  gextra : int array;         (* cell id -> pointer-cell address or -1; [||] if none *)
 }
 
 type ctx = {
@@ -39,10 +43,10 @@ type ctx = {
   nprocs : int;
   quantum : int;
   max_steps : int;
-  listener : Listener.t;
+  cells : Cell_listener.t;
   ginfos : (string, ginfo) Hashtbl.t;
   pending : int array;        (* work units since last yield, per proc *)
-  workpend : int array;       (* work units since last listener.work flush *)
+  workpend : int array;       (* work units since last cells.work flush *)
   work : int array;
   accesses : int array;
   mutable total : int;
@@ -57,7 +61,7 @@ let flush_work ctx proc =
   let w = ctx.workpend.(proc) in
   if w > 0 then begin
     ctx.workpend.(proc) <- 0;
-    ctx.listener.work ~proc ~amount:w
+    ctx.cells.Cell_listener.work ~proc ~amount:w
   end
 
 let tick ctx proc w =
@@ -78,9 +82,7 @@ let access_cost = 3
 let emit ctx g ~write ~proc cell =
   flush_work ctx proc;
   ctx.accesses.(proc) <- ctx.accesses.(proc) + 1;
-  if Array.length g.gextra > 0 && g.gextra.(cell) >= 0 then
-    ctx.listener.access ~proc ~write:false ~addr:g.gextra.(cell);
-  ctx.listener.access ~proc ~write ~addr:g.gaddr.(cell);
+  ctx.cells.Cell_listener.access ~proc ~write ~var:g.vid ~cell;
   tick ctx proc access_cost
 
 (* ------------------------------------------------------------------ *)
@@ -280,17 +282,16 @@ let compile ctx =
         fun env ->
           tick ctx env.proc 1;
           flush_work ctx env.proc;
-          ctx.listener.barrier_arrive ~proc:env.proc;
+          ctx.cells.Cell_listener.barrier_arrive ~proc:env.proc;
           Effect.perform Barrier_wait
       | Lock lv ->
         let g, cellf = compile_lvalue lv in
         fun env ->
           tick ctx env.proc 1;
           let cell = cellf env in
-          let addr = g.gaddr.(cell) in
           (* the probe read of test-and-test-and-set *)
           emit ctx g ~write:false ~proc:env.proc cell;
-          Effect.perform (Lock_acq addr);
+          Effect.perform (Lock_acq (g.vid, cell));
           (* granted: the re-read after invalidation and the acquiring write *)
           emit ctx g ~write:false ~proc:env.proc cell;
           emit ctx g ~write:true ~proc:env.proc cell;
@@ -300,10 +301,9 @@ let compile ctx =
         fun env ->
           tick ctx env.proc 1;
           let cell = cellf env in
-          let addr = g.gaddr.(cell) in
           emit ctx g ~write:true ~proc:env.proc cell;
           g.values.(cell) <- Value.Vint 0;
-          Effect.perform (Lock_rel addr)
+          Effect.perform (Lock_rel (g.vid, cell))
     and compile_block (b : Ast.block) : env -> unit =
       let stmts = Array.of_list (List.map compile_stmt b) in
       fun env -> Array.iter (fun cs -> cs env) stmts
@@ -345,18 +345,16 @@ type lockinfo = {
   waiters : (int * (unit, unit) Effect.Deep.continuation) Queue.t;
 }
 
-let run ?(quantum = 12) ?(max_steps = 400_000_000) prog ~nprocs ~layout ~listener =
+let run_cells ?(quantum = 12) ?(max_steps = 400_000_000) prog ~nprocs ~cells =
   if nprocs <= 0 then invalid_arg "Interp.run: nprocs must be positive";
   (match Fs_ir.Validate.check prog with
    | Ok () -> ()
    | Error errs -> raise (Fs_ir.Validate.Invalid_program errs));
   let ginfos = Hashtbl.create 16 in
-  List.iter
-    (fun (name, gty) ->
+  List.iteri
+    (fun vid (name, gty) ->
       let n = Cells.count prog gty in
-      let vl = Layout.lookup layout name in
-      Hashtbl.add ginfos name
-        { gty; values = Array.make n Value.zero; gaddr = vl.Layout.addr; gextra = vl.Layout.extra })
+      Hashtbl.add ginfos name { gty; vid; values = Array.make n Value.zero })
     prog.Ast.globals;
   let ctx =
     {
@@ -364,7 +362,7 @@ let run ?(quantum = 12) ?(max_steps = 400_000_000) prog ~nprocs ~layout ~listene
       nprocs;
       quantum;
       max_steps;
-      listener;
+      cells;
       ginfos;
       pending = Array.make nprocs 0;
       workpend = Array.make nprocs 0;
@@ -381,13 +379,13 @@ let run ?(quantum = 12) ?(max_steps = 400_000_000) prog ~nprocs ~layout ~listene
     | None -> err "entry function %s not found" prog.entry
   in
   let states = Array.make nprocs Not_started in
-  let locks : (int, lockinfo) Hashtbl.t = Hashtbl.create 16 in
-  let lockinfo addr =
-    match Hashtbl.find_opt locks addr with
+  let locks : (int * int, lockinfo) Hashtbl.t = Hashtbl.create 16 in
+  let lockinfo key =
+    match Hashtbl.find_opt locks key with
     | Some l -> l
     | None ->
       let l = { owner = -1; waiters = Queue.create () } in
-      Hashtbl.add locks addr l;
+      Hashtbl.add locks key l;
       l
   in
   let alive_count () =
@@ -404,7 +402,7 @@ let run ?(quantum = 12) ?(max_steps = 400_000_000) prog ~nprocs ~layout ~listene
     let n_at = barrier_count () in
     if n_at > 0 && n_at = alive_count () then begin
       ctx.barrier_episodes <- ctx.barrier_episodes + 1;
-      ctx.listener.barrier_release ();
+      ctx.cells.Cell_listener.barrier_release ();
       Array.iteri
         (fun i s ->
           match s with At_barrier k -> states.(i) <- Ready k | _ -> ())
@@ -433,32 +431,33 @@ let run ?(quantum = 12) ?(max_steps = 400_000_000) prog ~nprocs ~layout ~listene
                 (fun (k : (a, _) Effect.Deep.continuation) ->
                   states.(proc) <- At_barrier k;
                   release_barrier_if_complete ())
-            | Lock_acq addr ->
+            | Lock_acq ((var, cell) as key) ->
               Some
                 (fun (k : (a, _) Effect.Deep.continuation) ->
-                  let l = lockinfo addr in
+                  let l = lockinfo key in
                   if l.owner < 0 then begin
                     l.owner <- proc;
-                    ctx.listener.lock_grant ~proc ~addr ~from:(-1);
+                    ctx.cells.Cell_listener.lock_grant ~proc ~var ~cell ~from:(-1);
                     Effect.Deep.continue k ()
                   end
                   else begin
                     flush_work ctx proc;
-                    ctx.listener.lock_wait ~proc ~addr;
+                    ctx.cells.Cell_listener.lock_wait ~proc ~var ~cell;
                     Queue.add (proc, k) l.waiters;
                     states.(proc) <- Waiting_lock
                   end)
-            | Lock_rel addr ->
+            | Lock_rel ((var, cell) as key) ->
               Some
                 (fun (k : (a, _) Effect.Deep.continuation) ->
-                  let l = lockinfo addr in
+                  let l = lockinfo key in
                   if l.owner <> proc then
-                    err "P%d unlocks lock at 0x%x held by %d" proc addr l.owner;
+                    err "P%d unlocks lock v%d[%d] held by %d" proc var cell l.owner;
                   (match Queue.take_opt l.waiters with
                    | None -> l.owner <- -1
                    | Some (waiter, wk) ->
                      l.owner <- waiter;
-                     ctx.listener.lock_grant ~proc:waiter ~addr ~from:proc;
+                     ctx.cells.Cell_listener.lock_grant ~proc:waiter ~var ~cell
+                       ~from:proc;
                      states.(waiter) <- Ready wk);
                   Effect.Deep.continue k ())
             | _ -> None);
@@ -495,8 +494,9 @@ let run ?(quantum = 12) ?(max_steps = 400_000_000) prog ~nprocs ~layout ~listene
       else begin
         let held =
           Hashtbl.fold
-            (fun addr l acc ->
-              if l.owner >= 0 then Printf.sprintf "lock 0x%x held by P%d" addr l.owner :: acc
+            (fun (var, cell) l acc ->
+              if l.owner >= 0 then
+                Printf.sprintf "lock v%d[%d] held by P%d" var cell l.owner :: acc
               else acc)
             locks []
         in
@@ -516,6 +516,20 @@ let run ?(quantum = 12) ?(max_steps = 400_000_000) prog ~nprocs ~layout ~listene
     barrier_episodes = ctx.barrier_episodes;
     store;
   }
+
+let vars prog = Array.of_list (List.map fst prog.Ast.globals)
+
+let record ?quantum ?max_steps prog ~nprocs =
+  let trace = Cell_trace.create ~vars:(vars prog) ~nprocs in
+  let r = run_cells ?quantum ?max_steps prog ~nprocs ~cells:(Cell_trace.recorder trace) in
+  (trace, r)
+
+let run ?quantum ?max_steps prog ~nprocs ~layout ~listener =
+  (* the direct path: translation through the layout's address oracle
+     happens inline, as each event is produced *)
+  let oracle = Fs_replay.Replay.oracle layout ~vars:(vars prog) in
+  run_cells ?quantum ?max_steps prog ~nprocs
+    ~cells:(Fs_replay.Replay.translating oracle listener)
 
 let run_to_sink ?quantum ?max_steps prog ~nprocs ~layout ~sink =
   run ?quantum ?max_steps prog ~nprocs ~layout ~listener:(Listener.of_sink sink)

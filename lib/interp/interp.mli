@@ -11,13 +11,20 @@
     cross-processor interleaving false sharing depends on.  Scheduling is
     fully deterministic.
 
-    Every shared access is reported through the {!Fs_trace.Listener}
-    after translation through the memory layout; when the layout carries an
-    indirection, the injected pointer load is emitted before the data
-    access.  Spin waiting on a contended lock is modelled as
-    test-and-test-and-set: the initial probe read, then silence while
-    spinning on the locally cached copy, then the re-read and the
-    acquiring write when the lock is handed over. *)
+    Execution is {e layout-free}: the interpreter names every shared
+    reference by its abstract location — (variable id, cell id) — and
+    reports it through a {!Fs_trace.Cell_listener}.  Locks are likewise
+    identified by cell, so the schedule is a property of the program
+    alone and one interpreted execution can be re-laid-out arbitrarily
+    often.  {!record} captures the stream as a {!Fs_trace.Cell_trace} for
+    replay; {!run} is the direct path, wiring the cell stream through
+    [Fs_replay.Replay.translating] inline so consumers see byte
+    addresses — when the layout carries an indirection, the injected
+    pointer load is emitted before the data access.  Spin waiting on a
+    contended lock is modelled as test-and-test-and-set: the initial
+    probe read, then silence while spinning on the locally cached copy,
+    then the re-read and the acquiring write when the lock is handed
+    over. *)
 
 exception Runtime_error of string
 exception Deadlock of string
@@ -29,6 +36,28 @@ type result = {
   barrier_episodes : int;  (** completed global barriers *)
   store : (string, Value.t array) Hashtbl.t;  (** final shared memory *)
 }
+
+val run_cells :
+  ?quantum:int ->
+  ?max_steps:int ->
+  Fs_ir.Ast.program ->
+  nprocs:int ->
+  cells:Fs_trace.Cell_listener.t ->
+  result
+(** The layout-free core: one interpreted execution, events delivered at
+    cell granularity.  Everything else is a wrapper. *)
+
+val record :
+  ?quantum:int ->
+  ?max_steps:int ->
+  Fs_ir.Ast.program ->
+  nprocs:int ->
+  Fs_trace.Cell_trace.t * result
+(** Interpret once, capturing the full cell-event stream for later
+    replay under any layout. *)
+
+val vars : Fs_ir.Ast.program -> string array
+(** Variable ids in declaration order, as used by cell events. *)
 
 val run :
   ?quantum:int ->

@@ -1,0 +1,60 @@
+module Layout = Fs_layout.Layout
+module Cell_event = Fs_trace.Cell_event
+module Cell_trace = Fs_trace.Cell_trace
+module Cell_listener = Fs_trace.Cell_listener
+module Listener = Fs_trace.Listener
+
+let vars_of prog =
+  Array.of_list (List.map fst prog.Fs_ir.Ast.globals)
+
+(* ------------------------------------------------------------------ *)
+(* The address oracle: per variable id, the cell -> address map of one
+   realized layout, plus the injected-pointer-cell map for indirection. *)
+
+type oracle = {
+  addr : int array array;
+  extra : int array array;
+}
+
+let oracle layout ~vars =
+  let lookup name =
+    match Layout.lookup layout name with
+    | vl -> vl
+    | exception Not_found ->
+      invalid_arg ("Replay.oracle: layout has no variable " ^ name)
+  in
+  {
+    addr = Array.map (fun name -> (lookup name).Layout.addr) vars;
+    extra = Array.map (fun name -> (lookup name).Layout.extra) vars;
+  }
+
+let translating o (l : Listener.t) : Cell_listener.t =
+  {
+    access =
+      (fun ~proc ~write ~var ~cell ->
+        (* an indirection layout interposes a pointer cell: the read of the
+           pointer happens before the data reference it redirects *)
+        let extra = o.extra.(var) in
+        if Array.length extra > 0 && extra.(cell) >= 0 then
+          l.Listener.access ~proc ~write:false ~addr:extra.(cell);
+        l.Listener.access ~proc ~write ~addr:o.addr.(var).(cell));
+    work = l.Listener.work;
+    barrier_arrive = l.Listener.barrier_arrive;
+    barrier_release = l.Listener.barrier_release;
+    lock_wait =
+      (fun ~proc ~var ~cell ->
+        l.Listener.lock_wait ~proc ~addr:o.addr.(var).(cell));
+    lock_grant =
+      (fun ~proc ~var ~cell ~from ->
+        l.Listener.lock_grant ~proc ~addr:o.addr.(var).(cell) ~from);
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let replay trace ~layout ~listener =
+  let o = oracle layout ~vars:(Cell_trace.vars trace) in
+  let cells = translating o listener in
+  Cell_trace.deliver trace cells
+
+let replay_to_sink trace ~layout ~sink =
+  replay trace ~layout ~listener:(Listener.of_sink sink)

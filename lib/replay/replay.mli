@@ -1,0 +1,43 @@
+(** Mapping layout-free cell traces to concrete address streams.
+
+    The interpreter decides {e what} is accessed in {e which} order; a
+    layout decides {e where} each cell lives.  This module is the second
+    half of that split: it routes a {!Fs_trace.Cell_trace} (or a live
+    cell-event stream) through a layout's address oracle, producing
+    exactly the address-level {!Fs_trace.Listener} stream the simulators
+    consume — including the pointer-load reads an indirection layout
+    interposes, which exist only at replay time.
+
+    Replay is deterministic and order-preserving: one recorded trace
+    replayed under two layouts yields two address streams over the same
+    schedule, which is what makes false-sharing comparisons across
+    layouts meaningful (the paper's simulator "only observes the address
+    stream"). *)
+
+val vars_of : Fs_ir.Ast.program -> string array
+(** Variable ids in declaration order — the id space of the interpreter's
+    cell events and of recorded traces. *)
+
+type oracle
+
+val oracle : Fs_layout.Layout.t -> vars:string array -> oracle
+(** Resolve the per-variable address tables once.
+    @raise Invalid_argument when the layout lacks one of [vars]. *)
+
+val translating : oracle -> Fs_trace.Listener.t -> Fs_trace.Cell_listener.t
+(** The translation itself, usable both online (the interpreter's direct
+    path wires its cell stream straight into this) and offline (replay of
+    a recorded trace). *)
+
+val replay :
+  Fs_trace.Cell_trace.t ->
+  layout:Fs_layout.Layout.t ->
+  listener:Fs_trace.Listener.t ->
+  unit
+(** Replay a recorded trace through a layout, event for event. *)
+
+val replay_to_sink :
+  Fs_trace.Cell_trace.t ->
+  layout:Fs_layout.Layout.t ->
+  sink:Fs_trace.Sink.t ->
+  unit

@@ -1,0 +1,34 @@
+(** Layout-free interpreter events.
+
+    Where {!Event} speaks in physical byte addresses, a cell event names
+    the abstract location — (variable id, scalar cell id) — leaving every
+    layout decision to replay time.  The variable id is the variable's
+    index in the program's global-declaration order; a recorded
+    {!Cell_trace} carries the id -> name table.
+
+    Events pack into single OCaml ints (processor and variable ids below
+    256, cell ids below 2^34), so traces of tens of millions of events
+    stay cheap to hold and to scan. *)
+
+type t =
+  | Access of { proc : int; write : bool; var : int; cell : int }
+      (** one shared-memory reference; pointer loads injected by an
+          indirection layout are {e not} recorded — they are a property of
+          the layout and materialize at replay *)
+  | Work of { proc : int; amount : int }
+  | Barrier_arrive of { proc : int }
+  | Barrier_release
+  | Lock_wait of { proc : int; var : int; cell : int }
+  | Lock_grant of { proc : int; var : int; cell : int; from : int }
+      (** [from = -1] when the lock was free *)
+
+val pack : t -> int
+(** @raise Invalid_argument when a field exceeds its packed range. *)
+
+val unpack : int -> t
+
+val max_proc : int
+val max_var : int
+val max_cell : int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,140 @@
+type t = {
+  vars : string array;
+  nprocs : int;
+  mutable data : int array;
+  mutable len : int;
+}
+
+let create ~vars ~nprocs =
+  if nprocs <= 0 then invalid_arg "Cell_trace.create: nprocs must be positive";
+  if Array.length vars > Cell_event.max_var + 1 then
+    invalid_arg "Cell_trace.create: too many variables";
+  { vars; nprocs; data = Array.make 1024 0; len = 0 }
+
+let vars t = t.vars
+let nprocs t = t.nprocs
+let length t = t.len
+
+let var_id t name =
+  let rec go i =
+    if i >= Array.length t.vars then None
+    else if t.vars.(i) = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let push t packed =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * t.len) 0 in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- packed;
+  t.len <- t.len + 1
+
+let recorder t =
+  {
+    Cell_listener.access =
+      (fun ~proc ~write ~var ~cell ->
+        push t (Cell_event.pack (Access { proc; write; var; cell })));
+    work =
+      (fun ~proc ~amount -> push t (Cell_event.pack (Work { proc; amount })));
+    barrier_arrive =
+      (fun ~proc -> push t (Cell_event.pack (Barrier_arrive { proc })));
+    barrier_release =
+      (fun () -> push t (Cell_event.pack Barrier_release));
+    lock_wait =
+      (fun ~proc ~var ~cell ->
+        push t (Cell_event.pack (Lock_wait { proc; var; cell })));
+    lock_grant =
+      (fun ~proc ~var ~cell ~from ->
+        push t (Cell_event.pack (Lock_grant { proc; var; cell; from })));
+  }
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Cell_trace.get: out of range";
+  Cell_event.unpack t.data.(i)
+
+let iter_packed f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iter f t = iter_packed (fun packed -> f (Cell_event.unpack packed)) t
+
+let deliver t listener = iter (Cell_listener.dispatch listener) t
+
+let equal a b =
+  a.nprocs = b.nprocs && a.vars = b.vars && a.len = b.len
+  &&
+  let rec go i = i >= a.len || (a.data.(i) = b.data.(i) && go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Disk format: little-endian 64-bit fields throughout.
+
+   "FSTRACE1" | nprocs | nvars | (name length | name bytes) * | len | events *)
+
+let magic = "FSTRACE1"
+
+exception Corrupt of string
+
+let write_channel t oc =
+  let b = Bytes.create 8 in
+  let w64 n =
+    Bytes.set_int64_le b 0 (Int64.of_int n);
+    output_bytes oc b
+  in
+  output_string oc magic;
+  w64 t.nprocs;
+  w64 (Array.length t.vars);
+  Array.iter
+    (fun name ->
+      w64 (String.length name);
+      output_string oc name)
+    t.vars;
+  w64 t.len;
+  for i = 0 to t.len - 1 do
+    w64 t.data.(i)
+  done
+
+let read_channel ic =
+  let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt in
+  let b = Bytes.create 8 in
+  let r64 () =
+    (try really_input ic b 0 8 with End_of_file -> corrupt "truncated trace");
+    Int64.to_int (Bytes.get_int64_le b 0)
+  in
+  let m = Bytes.create (String.length magic) in
+  (try really_input ic m 0 (String.length magic)
+   with End_of_file -> corrupt "truncated trace");
+  if Bytes.to_string m <> magic then corrupt "bad magic";
+  let nprocs = r64 () in
+  if nprocs <= 0 || nprocs > Cell_event.max_proc + 1 then
+    corrupt "bad nprocs %d" nprocs;
+  let nvars = r64 () in
+  if nvars < 0 || nvars > Cell_event.max_var + 1 then corrupt "bad nvars %d" nvars;
+  let vars =
+    Array.init nvars (fun _ ->
+        let n = r64 () in
+        if n < 0 || n > 4096 then corrupt "bad name length %d" n;
+        let s = Bytes.create n in
+        (try really_input ic s 0 n with End_of_file -> corrupt "truncated trace");
+        Bytes.to_string s)
+  in
+  let len = r64 () in
+  if len < 0 then corrupt "bad length %d" len;
+  let data = Array.init (max len 1) (fun i -> if i < len then r64 () else 0) in
+  { vars; nprocs; data; len }
+
+let write_file t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> write_channel t oc);
+  Sys.rename tmp path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_channel ic)

@@ -1,0 +1,48 @@
+(** Recorded layout-free traces.
+
+    A cell trace is the durable form of one interpreted execution: the
+    packed {!Cell_event} stream in program order plus the variable-id ->
+    name table and the processor count it was recorded with.  Because the
+    interpreter's schedule is layout-independent, a single trace replays
+    under {e any} layout of the same program — the trace-once /
+    replay-many contract the experiment drivers build on. *)
+
+type t
+
+val create : vars:string array -> nprocs:int -> t
+(** [vars] maps variable ids (indices) to global names — the program's
+    declaration order.
+    @raise Invalid_argument on a non-positive [nprocs] or more than 256
+    variables. *)
+
+val recorder : t -> Cell_listener.t
+(** Appends every delivered event to the trace. *)
+
+val vars : t -> string array
+val nprocs : t -> int
+val length : t -> int
+
+val var_id : t -> string -> int option
+
+val get : t -> int -> Cell_event.t
+(** @raise Invalid_argument out of range. *)
+
+val iter : (Cell_event.t -> unit) -> t -> unit
+val iter_packed : (int -> unit) -> t -> unit
+val deliver : t -> Cell_listener.t -> unit
+(** Re-deliver the recorded stream, in order. *)
+
+val equal : t -> t -> bool
+
+(** {1 Capture to disk}
+
+    Little-endian binary format, written atomically (temp file + rename). *)
+
+exception Corrupt of string
+
+val write_file : t -> string -> unit
+val read_file : string -> t
+(** @raise Corrupt on malformed input, [Sys_error] on IO failure. *)
+
+val write_channel : t -> out_channel -> unit
+val read_channel : in_channel -> t

@@ -1,0 +1,41 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ?jobs f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  (* clamp to the core count: oversubscribing OCaml 5 domains serializes
+     on the stop-the-world minor GC and only adds overhead *)
+  let jobs =
+    max 1
+      (min
+         (min (match jobs with Some j -> j | None -> default_jobs ())
+            (default_jobs ()))
+         n)
+  in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let error : exn option Atomic.t = Atomic.make None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n && Atomic.get error = None then begin
+        (match f arr.(i) with
+         | v -> results.(i) <- Some v
+         | exception e -> ignore (Atomic.compare_and_set error None (Some e)));
+        worker ()
+      end
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    (match Atomic.get error with Some e -> raise e | None -> ());
+    Array.to_list
+      (Array.map
+         (function
+           | Some v -> v
+           | None -> invalid_arg "Par.map: task dropped (worker died?)")
+         results)
+  end
+
+let iter ?jobs f xs = ignore (map ?jobs (fun x -> f x) xs)

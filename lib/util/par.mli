@@ -1,0 +1,26 @@
+(** A minimal work-stealing-free domain pool.
+
+    [map ~jobs f xs] applies [f] to every element of [xs] on up to [jobs]
+    OCaml 5 domains (the calling domain participates, so [jobs] is the
+    total degree of parallelism) and returns the results {e in input
+    order} — results never depend on [jobs], only wall-clock does.  Tasks
+    are claimed from a shared atomic counter, so long and short tasks mix
+    without static partitioning.
+
+    [f] must be domain-safe: it may freely read shared immutable data
+    (programs, recorded traces, plans) but must own any mutable state it
+    touches (caches, layouts, machines it creates itself).
+
+    If any task raises, the first exception observed is re-raised in the
+    caller after all domains join; remaining queued tasks are abandoned. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [jobs] defaults to {!default_jobs}; values below 1 mean 1 (purely
+    sequential, no domains spawned), and values above {!default_jobs}
+    are clamped to it — oversubscribing domains only adds stop-the-world
+    GC overhead, and results don't depend on [jobs] anyway. *)
+
+val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit

@@ -14,5 +14,6 @@ let () =
       ("experiments", Test_experiments.suite);
       ("parc", Test_parc.suite);
       ("trace", Test_trace.suite);
+      ("replay", Test_replay.suite);
       ("obs", Test_obs.suite);
       ("fuzz", Test_fuzz.suite) ]

@@ -400,7 +400,8 @@ let test_pipeline () =
   List.iter
     (fun phase ->
       if not (List.mem phase names) then Alcotest.fail ("missing phase " ^ phase))
-    [ "pdv"; "non-concurrency"; "summary"; "transform"; "layout"; "interp+cache" ];
+    [ "pdv"; "non-concurrency"; "summary"; "transform"; "layout"; "interp";
+      "replay+cache" ];
   (* metrics carry the cache's totals *)
   let total = ref 0 in
   for p = 0 to nprocs - 1 do

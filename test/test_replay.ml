@@ -1,0 +1,320 @@
+(* Tests for the cell-trace / replay layer: the replayed address stream
+   is event-for-event identical to the direct interpretation path for
+   every benchmark, version and block size; traces survive packing and
+   disk round-trips; the trace memo shares interpretations; and the
+   domain-pool fan-out is deterministic in the job count. *)
+
+module W = Fs_workloads.Workload
+module Ws = Fs_workloads.Workloads
+module E = Falseshare.Experiments
+module Sim = Falseshare.Sim
+module Memo = Falseshare.Trace_memo
+module Interp = Fs_interp.Interp
+module Replay = Fs_replay.Replay
+module Layout = Fs_layout.Layout
+module Listener = Fs_trace.Listener
+module Cell_event = Fs_trace.Cell_event
+module Cell_trace = Fs_trace.Cell_trace
+module Par = Fs_util.Par
+
+(* ------------------------------------------------------------------ *)
+(* Full-listener capture: every event, tagged, in delivery order        *)
+
+type ev =
+  | A of int * bool * int
+  | Wk of int * int
+  | Ba of int
+  | Br
+  | Lw of int * int
+  | Lg of int * int * int
+
+let capture acc : Listener.t =
+  {
+    access = (fun ~proc ~write ~addr -> acc := A (proc, write, addr) :: !acc);
+    work = (fun ~proc ~amount -> acc := Wk (proc, amount) :: !acc);
+    barrier_arrive = (fun ~proc -> acc := Ba proc :: !acc);
+    barrier_release = (fun () -> acc := Br :: !acc);
+    lock_wait = (fun ~proc ~addr -> acc := Lw (proc, addr) :: !acc);
+    lock_grant =
+      (fun ~proc ~addr ~from -> acc := Lg (proc, addr, from) :: !acc);
+  }
+
+let direct_stream prog ~nprocs ~layout =
+  let acc = ref [] in
+  let _ = Interp.run prog ~nprocs ~layout ~listener:(capture acc) in
+  List.rev !acc
+
+let replay_stream trace ~layout =
+  let acc = ref [] in
+  Replay.replay trace ~layout ~listener:(capture acc);
+  List.rev !acc
+
+(* Replay of a recorded trace must reproduce the direct path event for
+   event — including injected indirection pointer loads and every sync
+   event — for all ten benchmarks, every available version, and both a
+   small and a large block size. *)
+let test_equivalence () =
+  let nprocs = 4 and scale = 1 in
+  List.iter
+    (fun (w : W.t) ->
+      let prog = w.build ~nprocs ~scale in
+      let trace, _ = Interp.record prog ~nprocs in
+      List.iter
+        (fun version ->
+          let plan = E.plan_for w version prog ~nprocs ~scale in
+          List.iter
+            (fun block ->
+              let layout = Layout.realize prog plan ~block in
+              let what =
+                Printf.sprintf "%s/%s b=%d" w.name
+                  (W.version_to_string version) block
+              in
+              let d = direct_stream prog ~nprocs ~layout in
+              let r = replay_stream trace ~layout in
+              Alcotest.(check int) (what ^ " event count") (List.length d)
+                (List.length r);
+              if d <> r then Alcotest.fail (what ^ ": streams differ"))
+            [ 16; 128 ])
+        w.versions)
+    Ws.all
+
+(* The indirected layouts really do inject pointer loads at replay: the
+   replayed stream has more accesses than the trace records. *)
+let test_pointer_loads_injected () =
+  let w = Ws.find "pverify" in
+  let nprocs = 4 in
+  let prog = w.W.build ~nprocs ~scale:1 in
+  let trace, _ = Interp.record prog ~nprocs in
+  let plan = E.plan_for w W.C prog ~nprocs ~scale:1 in
+  Alcotest.(check bool) "plan indirects" true
+    (List.exists
+       (function Fs_layout.Plan.Indirect _ -> true | _ -> false)
+       plan);
+  let layout = Layout.realize prog plan ~block:128 in
+  let accesses stream =
+    List.length (List.filter (function A _ -> true | _ -> false) stream)
+  in
+  let traced = ref 0 in
+  Cell_trace.iter
+    (function Cell_event.Access _ -> incr traced | _ -> ())
+    trace;
+  let replayed = accesses (replay_stream trace ~layout) in
+  Alcotest.(check bool)
+    (Printf.sprintf "pointer loads injected (%d traced, %d replayed)" !traced
+       replayed)
+    true
+    (replayed > !traced)
+
+(* ------------------------------------------------------------------ *)
+(* Packing and disk round-trips                                         *)
+
+let event = Alcotest.testable Cell_event.pp ( = )
+
+let test_pack_roundtrip () =
+  let cases =
+    [ Cell_event.Access { proc = 0; write = false; var = 0; cell = 0 };
+      Cell_event.Access
+        { proc = Cell_event.max_proc; write = true; var = Cell_event.max_var;
+          cell = Cell_event.max_cell };
+      Cell_event.Work { proc = 7; amount = 123_456 };
+      Cell_event.Barrier_arrive { proc = 255 };
+      Cell_event.Barrier_release;
+      Cell_event.Lock_wait { proc = 3; var = 12; cell = 99 };
+      Cell_event.Lock_grant { proc = 3; var = 12; cell = 99; from = -1 };
+      Cell_event.Lock_grant { proc = 0; var = 255; cell = 1 lsl 30; from = 255 };
+    ]
+  in
+  List.iter
+    (fun e ->
+      Alcotest.check event "pack/unpack" e
+        (Cell_event.unpack (Cell_event.pack e)))
+    cases;
+  (* out-of-range fields are rejected, not silently truncated *)
+  List.iter
+    (fun e ->
+      match Cell_event.pack e with
+      | (_ : int) -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+    [ Cell_event.Access
+        { proc = Cell_event.max_proc + 1; write = false; var = 0; cell = 0 };
+      Cell_event.Access
+        { proc = 0; write = false; var = Cell_event.max_var + 1; cell = 0 };
+      Cell_event.Lock_grant
+        { proc = 0; var = 0; cell = Cell_event.max_cell + 1; from = 0 };
+      Cell_event.Lock_grant { proc = 0; var = 0; cell = 0; from = -2 };
+    ]
+
+let prop_pack_roundtrip =
+  let gen =
+    let open QCheck.Gen in
+    let proc = int_bound Cell_event.max_proc in
+    let var = int_bound Cell_event.max_var in
+    let cell = int_bound Cell_event.max_cell in
+    oneof
+      [ (proc >>= fun p -> var >>= fun v -> cell >>= fun c ->
+         bool >|= fun w -> Cell_event.Access { proc = p; write = w; var = v; cell = c });
+        (proc >>= fun p -> int_bound 1_000_000 >|= fun a ->
+         Cell_event.Work { proc = p; amount = a });
+        (proc >|= fun p -> Cell_event.Barrier_arrive { proc = p });
+        return Cell_event.Barrier_release;
+        (proc >>= fun p -> var >>= fun v -> cell >|= fun c ->
+         Cell_event.Lock_wait { proc = p; var = v; cell = c });
+        (proc >>= fun p -> var >>= fun v -> cell >>= fun c ->
+         int_range (-1) Cell_event.max_proc >|= fun f ->
+         Cell_event.Lock_grant { proc = p; var = v; cell = c; from = f });
+      ]
+  in
+  QCheck.Test.make ~count:500 ~name:"cell event pack round-trip"
+    (QCheck.make gen ~print:(Format.asprintf "%a" Cell_event.pp))
+    (fun e -> Cell_event.unpack (Cell_event.pack e) = e)
+
+let test_disk_roundtrip () =
+  let w = Ws.find "maxflow" in
+  let nprocs = 4 in
+  let prog = w.W.build ~nprocs ~scale:1 in
+  let trace, _ = Interp.record prog ~nprocs in
+  let path = Filename.temp_file "fstrace" ".fstrace" in
+  Cell_trace.write_file trace path;
+  let back = Cell_trace.read_file path in
+  Alcotest.(check bool) "trace survives disk" true (Cell_trace.equal trace back);
+  Alcotest.(check int) "nprocs survives" (Cell_trace.nprocs trace)
+    (Cell_trace.nprocs back);
+  Alcotest.(check bool) "vars survive" true
+    (Cell_trace.vars trace = Cell_trace.vars back);
+  let oc = open_out path in
+  output_string oc "not a trace";
+  close_out oc;
+  (match Cell_trace.read_file path with
+   | (_ : Cell_trace.t) -> Alcotest.fail "expected Corrupt"
+   | exception Cell_trace.Corrupt _ -> ());
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* The trace memo                                                       *)
+
+let test_memo_sharing () =
+  Memo.clear ();
+  let w = Ws.find "water" in
+  let e1 = Memo.get w ~nprocs:4 ~scale:1 in
+  let e2 = Memo.get w ~nprocs:4 ~scale:1 in
+  Alcotest.(check bool) "second get shares the trace" true
+    (e1.Memo.trace == e2.Memo.trace);
+  let hits, misses, _, _ = Memo.read_stats () in
+  Alcotest.(check (pair int int)) "one miss then one hit" (1, 1) (hits, misses);
+  (* get_all: duplicates collapse to one interpretation, order is kept *)
+  Memo.clear ();
+  let es = Memo.get_all ~jobs:2 [ (w, 4, 1); (w, 4, 1); (w, 2, 1) ] in
+  (match es with
+   | [ a; b; c ] ->
+     Alcotest.(check bool) "duplicates share" true (a.Memo.trace == b.Memo.trace);
+     Alcotest.(check int) "4-proc trace" 4 (Cell_trace.nprocs a.Memo.trace);
+     Alcotest.(check int) "2-proc trace" 2 (Cell_trace.nprocs c.Memo.trace)
+   | _ -> Alcotest.fail "expected three entries");
+  let _, misses, _, _ = Memo.read_stats () in
+  Alcotest.(check int) "two distinct interpretations" 2 misses;
+  Memo.clear ()
+
+let test_memo_eviction () =
+  Memo.clear ();
+  Memo.set_capacity 1;
+  let w = Ws.find "water" in
+  ignore (Memo.get w ~nprocs:2 ~scale:1);
+  ignore (Memo.get w ~nprocs:3 ~scale:1);
+  let _, _, evictions, _ = Memo.read_stats () in
+  Alcotest.(check int) "bounded cache evicts" 1 evictions;
+  Memo.set_capacity 128;
+  Memo.clear ()
+
+let test_memo_capture_dir () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "fstrace-capture" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Memo.clear ();
+  Memo.set_capture_dir (Some dir);
+  let w = Ws.find "mp3d" in
+  let e1 = Memo.get w ~nprocs:4 ~scale:1 in
+  Memo.clear ();
+  (* a fresh memo finds the capture on disk instead of re-interpreting *)
+  Memo.set_capture_dir (Some dir);
+  let e2 = Memo.get w ~nprocs:4 ~scale:1 in
+  let _, _, _, disk_loads = Memo.read_stats () in
+  Alcotest.(check int) "loaded from disk" 1 disk_loads;
+  Alcotest.(check bool) "same trace" true
+    (Cell_trace.equal e1.Memo.trace e2.Memo.trace);
+  (* the interp summary is reconstructed from the event stream *)
+  Alcotest.(check bool) "summary rebuilt" true
+    (e1.Memo.interp.Interp.work = e2.Memo.interp.Interp.work
+    && e1.Memo.interp.Interp.accesses = e2.Memo.interp.Interp.accesses
+    && e1.Memo.interp.Interp.barrier_episodes
+       = e2.Memo.interp.Interp.barrier_episodes);
+  Memo.set_capture_dir None;
+  Memo.clear ();
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  Sys.rmdir dir
+
+(* ------------------------------------------------------------------ *)
+(* Parallel fan-out determinism                                         *)
+
+let test_par_map () =
+  let xs = List.init 100 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let expect = List.map f xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "order kept at jobs=%d" jobs)
+        expect
+        (Par.map ~jobs f xs))
+    [ 1; 2; 4; 7 ];
+  (match Par.map ~jobs:4 (fun x -> if x = 41 then failwith "boom" else x) xs with
+   | (_ : int list) -> Alcotest.fail "expected failure to propagate"
+   | exception Failure msg -> Alcotest.(check string) "error surfaced" "boom" msg);
+  Alcotest.(check (list int)) "empty" [] (Par.map ~jobs:4 f [])
+
+(* The experiment drivers return identical results whatever the job
+   count — the determinism guarantee behind the --jobs flag. *)
+let test_jobs_independence () =
+  let fig_a = E.figure3 ~blocks:[ 32 ] ~scale_override:1 ~jobs:1 () in
+  let fig_b = E.figure3 ~blocks:[ 32 ] ~scale_override:1 ~jobs:4 () in
+  Alcotest.(check bool) "figure3 independent of jobs" true (fig_a = fig_b);
+  let sp_a = E.speedups ~procs:[ 1; 4 ] ~names:[ "maxflow" ] ~jobs:1 () in
+  let sp_b = E.speedups ~procs:[ 1; 4 ] ~names:[ "maxflow" ] ~jobs:4 () in
+  Alcotest.(check bool) "speedups independent of jobs" true (sp_a = sp_b)
+
+(* Replays through Sim agree with the direct-path simulation counts. *)
+let test_sim_recorded_counts () =
+  let w = Ws.find "raytrace" in
+  let nprocs = 4 in
+  let prog = w.W.build ~nprocs ~scale:1 in
+  let recorded = Sim.record prog ~nprocs in
+  let plan = E.plan_for w W.C prog ~nprocs ~scale:1 in
+  List.iter
+    (fun block ->
+      let fresh = Sim.cache_sim prog plan ~nprocs ~block in
+      let replayed = Sim.cache_sim ~recorded prog plan ~nprocs ~block in
+      Alcotest.(check bool)
+        (Printf.sprintf "counts identical at block %d" block)
+        true
+        (fresh.Sim.counts = replayed.Sim.counts))
+    [ 16; 128 ];
+  let fresh = Sim.machine_sim prog plan ~nprocs in
+  let replayed = Sim.machine_sim ~recorded prog plan ~nprocs in
+  Alcotest.(check int) "KSR cycles identical"
+    fresh.Sim.machine.Fs_machine.Ksr.cycles
+    replayed.Sim.machine.Fs_machine.Ksr.cycles
+
+let suite =
+  [ Alcotest.test_case "replay equivalence (all benchmarks)" `Quick
+      test_equivalence;
+    Alcotest.test_case "pointer loads injected at replay" `Quick
+      test_pointer_loads_injected;
+    Alcotest.test_case "event packing" `Quick test_pack_roundtrip;
+    QCheck_alcotest.to_alcotest prop_pack_roundtrip;
+    Alcotest.test_case "trace disk round-trip" `Quick test_disk_roundtrip;
+    Alcotest.test_case "memo sharing" `Quick test_memo_sharing;
+    Alcotest.test_case "memo eviction" `Quick test_memo_eviction;
+    Alcotest.test_case "memo capture dir" `Quick test_memo_capture_dir;
+    Alcotest.test_case "par map" `Quick test_par_map;
+    Alcotest.test_case "jobs independence" `Quick test_jobs_independence;
+    Alcotest.test_case "sim replay counts" `Quick test_sim_recorded_counts ]

@@ -7,10 +7,14 @@
 
    A single argument selects one piece:
      fig3 | table2 | fig4 | table3 | stats | exectime | replay | micro |
-     ablation
-   plus `quick`, which shrinks the processor sweep for a fast pass.
-   `--jobs N` sets the number of worker domains for parallel replay
-   (default: the recommended domain count).
+     ablation | phases
+   plus `quick`, which shrinks the processor sweep for a fast pass,
+   `baseline`, which runs the quick pass and seeds bench/BASELINE.json,
+   and `check`, which runs the quick pass and fails (exit 1) if any
+   deterministic section drifted from the committed baseline or ran
+   slower than the baseline by more than the tolerance factor
+   (`--tolerance F`, default 10).  `--jobs N` sets the number of worker
+   domains for parallel replay (default: the recommended domain count).
 
    Besides the text tables, every run writes BENCH_results.json
    (atomically: temp file + rename) — the same records in
@@ -213,6 +217,165 @@ let ablation () =
           rows))
 
 (* ------------------------------------------------------------------ *)
+(* Phase-resolved sharing: per-epoch profiles + tracking overhead      *)
+
+let phases_bench () =
+  section "Per-epoch sharing profile (pverify and topopt, unoptimized, 128B)";
+  let t0 = Unix.gettimeofday () in
+  let payloads =
+    List.map
+      (fun name ->
+        let w = Ws.find name in
+        let nprocs = w.W.fig3_procs in
+        let prog = w.W.build ~nprocs ~scale:w.W.default_scale in
+        let p = Falseshare.Phases.analyze prog Plan.empty ~nprocs ~block:128 in
+        Printf.printf "--- %s ---\n" name;
+        print_string (Falseshare.Phases.render p);
+        print_newline ();
+        (name, Emit.phases p))
+      [ "pverify"; "topopt" ]
+  in
+  record "phases" ~seconds:(Unix.gettimeofday () -. t0)
+    (Json.Obj payloads);
+  (* epoch + line tracking is opt-in; measure what turning it on costs a
+     replay of the same recorded trace (separate section: timings are
+     machine-dependent, so `check` must not compare them) *)
+  let w = Ws.find "pverify" in
+  let nprocs = w.W.fig3_procs in
+  let prog = w.W.build ~nprocs ~scale:w.W.default_scale in
+  let recorded = Sim.record prog ~nprocs in
+  let layout = Layout.default prog ~block:128 in
+  let reps = 5 in
+  let _, plain =
+    time_it (fun () ->
+        for _ = 1 to reps do
+          let cache = C.create (C.default_config ~nprocs ~block:128) in
+          Fs_replay.Replay.replay_to_sink recorded.Sim.trace ~layout
+            ~sink:(C.sink cache)
+        done)
+  in
+  let _, tracked =
+    time_it (fun () ->
+        for _ = 1 to reps do
+          let cache =
+            C.create ~track_lines:true (C.default_config ~nprocs ~block:128)
+          in
+          let tracker, close = Falseshare.Phases.tracker cache in
+          Fs_replay.Replay.replay recorded.Sim.trace ~layout
+            ~listener:
+              (Fs_trace.Listener.combine
+                 (Fs_trace.Listener.of_sink (C.sink cache))
+                 tracker);
+          ignore (close ())
+        done)
+  in
+  let ratio = if plain > 0. then tracked /. plain else 1.0 in
+  Printf.printf
+    "tracking overhead (pverify replay x%d): plain %.3fs, epoch+line \
+     tracking %.3fs (%.2fx)\n"
+    reps plain tracked ratio;
+  record "tracking_overhead" ~seconds:(plain +. tracked)
+    (Json.Obj
+       [ ("reps", Json.Int reps);
+         ("plain_seconds", Json.float plain);
+         ("tracked_seconds", Json.float tracked);
+         ("ratio", Json.float ratio) ])
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate: compare this run against the committed baseline    *)
+
+(* sections whose payloads are wall-clock measurements, not
+   deterministic experiment data *)
+let nondeterministic = [ "micro"; "replay"; "tracking_overhead" ]
+
+let baseline_path () =
+  if Sys.file_exists "bench/BASELINE.json" then "bench/BASELINE.json"
+  else "BASELINE.json"
+
+let read_json path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Json.of_string s with
+  | Ok j -> j
+  | Error e -> failwith (Printf.sprintf "%s: %s" path e)
+
+let write_baseline () =
+  let path = "bench/BASELINE.json" in
+  let j =
+    Json.Obj
+      [ ("harness", Json.String "falseshare bench");
+        ("sections",
+         Json.Obj
+           (List.rev !results
+            |> List.filter (fun (name, _) ->
+                   not (List.mem name nondeterministic)))) ]
+  in
+  let oc = open_out path in
+  Json.to_channel ~compact:false oc j;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nseeded %s\n" path
+
+let check_against_baseline ~tolerance =
+  let path = baseline_path () in
+  if not (Sys.file_exists path) then begin
+    Printf.printf
+      "\nno baseline at %s — run `bench baseline` and commit it\n" path;
+    exit 1
+  end;
+  let obj = function Json.Obj kv -> kv | _ -> [] in
+  let base_sections =
+    match Json.member "sections" (read_json path) with
+    | Some s -> obj s
+    | None -> []
+  in
+  let current = List.rev !results in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  List.iter
+    (fun (name, bj) ->
+      if not (List.mem name nondeterministic) then
+        match List.assoc_opt name current with
+        | None -> fail "%s: in the baseline but not produced by this run" name
+        | Some cj -> (
+          (match (Json.member "data" bj, Json.member "data" cj) with
+           | Some b, Some c ->
+             (* the pipeline is deterministic, so the payloads must agree
+                bit for bit; floats survive the round-trip exactly *)
+             if Json.to_string b <> Json.to_string c then
+               fail "%s: data drifted from the baseline" name
+           | _ -> fail "%s: malformed section record" name);
+          match
+            ( Option.bind (Json.member "seconds" bj) Json.get_float,
+              Option.bind (Json.member "seconds" cj) Json.get_float )
+          with
+          | Some b, Some c when c > (b +. 0.1) *. tolerance ->
+            (* +0.1s so near-instant baseline sections don't trip on noise *)
+            fail "%s: took %.2fs, baseline %.2fs (tolerance %gx)" name c b
+              tolerance
+          | _ -> ()))
+    base_sections;
+  List.iter
+    (fun (name, _) ->
+      if
+        (not (List.mem name nondeterministic))
+        && not (List.mem_assoc name base_sections)
+      then
+        fail "%s: produced by this run but missing from the baseline" name)
+    current;
+  match !failures with
+  | [] ->
+    Printf.printf "\nbench check: ok — %d section(s) match %s\n"
+      (List.length base_sections) path
+  | fs ->
+    Printf.printf "\nbench check: %d FAILURE(S) against %s\n" (List.length fs)
+      path;
+    List.iter (fun f -> Printf.printf "  %s\n" f) (List.rev fs);
+    exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the pipeline components                *)
 
 let micro ~quick () =
@@ -301,6 +464,7 @@ let micro ~quick () =
 let () =
   let t0 = Unix.gettimeofday () in
   let jobs = ref (Fs_util.Par.default_jobs ()) in
+  let tolerance = ref 10.0 in
   let positional = ref [] in
   let rec parse = function
     | [] -> ()
@@ -310,6 +474,12 @@ let () =
     | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
       jobs := int_of_string (String.sub a 7 (String.length a - 7));
       parse rest
+    | "--tolerance" :: f :: rest ->
+      tolerance := float_of_string f;
+      parse rest
+    | a :: rest when String.length a > 12 && String.sub a 0 12 = "--tolerance=" ->
+      tolerance := float_of_string (String.sub a 12 (String.length a - 12));
+      parse rest
     | a :: rest ->
       positional := a :: !positional;
       parse rest
@@ -317,17 +487,22 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   let positional = List.rev !positional in
   let jobs = !jobs in
-  let quick = List.mem "quick" positional in
-  let procs = if quick then Some [ 1; 2; 4; 8; 12; 16; 24; 32 ] else None in
   let pick = match positional with p :: _ -> p | [] -> "all" in
+  (* baseline/check run the quick pass of every deterministic section *)
+  let gate = pick = "baseline" || pick = "check" in
+  let quick = List.mem "quick" positional || gate in
+  let procs = if quick then Some [ 1; 2; 4; 8; 12; 16; 24; 32 ] else None in
   let all = pick = "all" || pick = "quick" in
-  if all || pick = "fig3" then fig3 ~jobs ();
-  if all || pick = "table2" then table2 ~jobs ();
-  if all || pick = "stats" then stats ~jobs ();
-  if all || pick = "fig4" then fig4 ~procs ~jobs ();
-  if all || pick = "table3" then table3 ~procs ~jobs ();
-  if all || pick = "exectime" then exectime ~procs ~jobs ();
+  if all || gate || pick = "fig3" then fig3 ~jobs ();
+  if all || gate || pick = "table2" then table2 ~jobs ();
+  if all || gate || pick = "stats" then stats ~jobs ();
+  if all || gate || pick = "fig4" then fig4 ~procs ~jobs ();
+  if all || gate || pick = "table3" then table3 ~procs ~jobs ();
+  if all || gate || pick = "exectime" then exectime ~procs ~jobs ();
   if all || pick = "replay" then replay_bench ~jobs ();
-  if all || pick = "ablation" then ablation ();
+  if all || gate || pick = "ablation" then ablation ();
+  if all || gate || pick = "phases" then phases_bench ();
   if all || pick = "micro" then micro ~quick ();
-  write_results ~quick ~jobs ~seconds:(Unix.gettimeofday () -. t0)
+  write_results ~quick ~jobs ~seconds:(Unix.gettimeofday () -. t0);
+  if pick = "baseline" then write_baseline ();
+  if pick = "check" then check_against_baseline ~tolerance:!tolerance

@@ -6,6 +6,8 @@
    falseshare sim     <workload> [...]  -- cache simulation, N vs C vs P
    falseshare speedup <workload> [...]  -- KSR2 scalability curves
    falseshare blame   <workload> [...]  -- invalidation blame matrix
+   falseshare phases  <workload> [...]  -- per-epoch sharing profile
+   falseshare hotlines <workload> [...] -- hot-line lifetimes + fixes
    falseshare timeline <workload> [...] -- Chrome-trace timeline export
    falseshare fig3 | table2 | fig4 | table3 | stats | exectime
                                         -- reproduce the paper's evaluation
@@ -229,14 +231,37 @@ let blame_cmd =
     Arg.(value & opt int 10
          & info [ "top" ] ~docv:"K" ~doc:"How many hot blocks to list.")
   in
-  let run w nprocs scale block version top json =
+  let epochs_arg =
+    Arg.(value & flag
+         & info [ "epochs" ]
+             ~doc:"Also segment the run at barrier releases and append the \
+                   per-epoch sharing profile.")
+  in
+  let run w nprocs scale block version top epochs json =
     let scale = scale_of w scale in
     let prog = w.W.build ~nprocs ~scale in
     let plan = plan_of w version prog ~nprocs ~scale in
     let recorded = Sim.record prog ~nprocs in
     let b = Falseshare.Blame.analyze ~top ~recorded prog plan ~nprocs ~block in
-    if json then print_json (Emit.blame b)
-    else print_string (Falseshare.Blame.render b)
+    let ph =
+      if epochs then
+        Some (Falseshare.Phases.analyze ~recorded prog plan ~nprocs ~block)
+      else None
+    in
+    if json then
+      print_json
+        (match ph with
+         | None -> Emit.blame b
+         | Some p ->
+           Json.Obj [ ("blame", Emit.blame b); ("phases", Emit.phases p) ])
+    else begin
+      print_string (Falseshare.Blame.render b);
+      match ph with
+      | None -> ()
+      | Some p ->
+        print_newline ();
+        print_string (Falseshare.Phases.render p)
+    end
   in
   Cmd.v
     (Cmd.info "blame"
@@ -245,6 +270,62 @@ let blame_cmd =
           processor's writes invalidate which processor's cached copies \
           (split by upgrade vs. write miss), plus the hottest blocks with \
           their owning variable and cell ranges.")
+    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
+          $ layout_arg $ top_arg $ epochs_arg $ json_arg)
+
+(* --- phases --- *)
+
+let phases_cmd =
+  let run w nprocs scale block version json =
+    let scale = scale_of w scale in
+    let prog = w.W.build ~nprocs ~scale in
+    let plan = plan_of w version prog ~nprocs ~scale in
+    let p = Falseshare.Phases.analyze prog plan ~nprocs ~block in
+    if json then print_json (Emit.phases p)
+    else print_string (Falseshare.Phases.render p)
+  in
+  Cmd.v
+    (Cmd.info "phases"
+       ~doc:
+         "Phase-resolved sharing profile: split the replay into \
+          barrier-delimited epochs, report each epoch's miss-class \
+          counters and observed write-sharing, and cross-check the \
+          dynamic epochs against the static non-concurrency phases.")
+    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
+          $ layout_arg $ json_arg)
+
+(* --- hotlines --- *)
+
+let hotlines_cmd =
+  let top_arg =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"K" ~doc:"How many hot lines to list.")
+  in
+  (* unlike the other inspection commands, the interesting default here is
+     the compiler's layout: the lines that remain hot are exactly the ones
+     the static analysis could not fix *)
+  let layout_arg =
+    Arg.(value
+         & opt (enum [ ("unoptimized", `U); ("compiler", `C); ("programmer", `P) ]) `C
+         & info [ "layout" ] ~docv:"V"
+             ~doc:"Which layout: $(b,unoptimized), $(b,compiler) (default), \
+                   or $(b,programmer).")
+  in
+  let run w nprocs scale block version top json =
+    let scale = scale_of w scale in
+    let prog = w.W.build ~nprocs ~scale in
+    let plan = plan_of w version prog ~nprocs ~scale in
+    let h = Falseshare.Hotlines.analyze ~top prog plan ~nprocs ~block in
+    if json then print_json (Emit.hotlines h)
+    else print_string (Falseshare.Hotlines.render h)
+  in
+  Cmd.v
+    (Cmd.info "hotlines"
+       ~doc:
+         "Hot cache lines with their lifetimes: ownership migrations, \
+          ping-pong scores, invalidation chains, and word-level \
+          footprints, attributed to the owning variable with the \
+          transformation that would fix each line.")
     Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
           $ layout_arg $ top_arg $ json_arg)
 
@@ -263,8 +344,32 @@ let timeline_cmd =
     let layout = Fs_layout.Layout.realize prog plan ~block in
     let tl = Fs_obs.Timeline.create ~nprocs in
     let recorded = Sim.record prog ~nprocs in
-    Fs_replay.Replay.replay recorded.Sim.trace ~layout
-      ~listener:(Fs_obs.Timeline.listener tl);
+    (* a cache rides along so each barrier release can drop one sample of
+       the epoch's miss-class deltas onto a Chrome-trace counter track *)
+    let cache = C.create (C.default_config ~nprocs ~block) in
+    let prev = ref (C.copy_counts (C.counts cache)) in
+    let push_counters () =
+      let now = C.copy_counts (C.counts cache) in
+      let d = C.sub_counts now !prev in
+      prev := now;
+      Fs_obs.Timeline.counter tl ~name:"misses per epoch"
+        ~ts:(Fs_obs.Timeline.time tl)
+        ~values:
+          [ ("cold", float_of_int d.C.cold);
+            ("replacement", float_of_int d.C.repl);
+            ("true sharing", float_of_int d.C.true_sh);
+            ("false sharing", float_of_int d.C.false_sh) ]
+    in
+    let module L = Fs_trace.Listener in
+    let listener =
+      L.combine
+        (Fs_obs.Timeline.listener tl)
+        (L.combine
+           (L.of_sink (C.sink cache))
+           { L.null with barrier_release = push_counters })
+    in
+    Fs_replay.Replay.replay recorded.Sim.trace ~layout ~listener;
+    push_counters ();
     match out with
     | Some "-" -> print_json (Fs_obs.Timeline.to_json tl)
     | out ->
@@ -397,5 +502,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; report_cmd; source_cmd; sim_cmd; speedup_cmd;
-            hotspots_cmd; blame_cmd; timeline_cmd; check_cmd; fig3_cmd;
-            table2_cmd; fig4_cmd; table3_cmd; stats_cmd; exectime_cmd ]))
+            hotspots_cmd; blame_cmd; phases_cmd; hotlines_cmd; timeline_cmd;
+            check_cmd; fig3_cmd; table2_cmd; fig4_cmd; table3_cmd; stats_cmd;
+            exectime_cmd ]))

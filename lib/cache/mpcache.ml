@@ -41,6 +41,28 @@ let false_sharing_rate c =
   let a = accesses c in
   if a = 0 then 0.0 else float_of_int c.false_sh /. float_of_int a
 
+let copy_counts c =
+  { reads = c.reads; writes = c.writes; cold = c.cold; repl = c.repl;
+    true_sh = c.true_sh; false_sh = c.false_sh;
+    invalidations = c.invalidations; upgrades = c.upgrades }
+
+let add_into dst src =
+  dst.reads <- dst.reads + src.reads;
+  dst.writes <- dst.writes + src.writes;
+  dst.cold <- dst.cold + src.cold;
+  dst.repl <- dst.repl + src.repl;
+  dst.true_sh <- dst.true_sh + src.true_sh;
+  dst.false_sh <- dst.false_sh + src.false_sh;
+  dst.invalidations <- dst.invalidations + src.invalidations;
+  dst.upgrades <- dst.upgrades + src.upgrades
+
+let sub_counts a b =
+  { reads = a.reads - b.reads; writes = a.writes - b.writes;
+    cold = a.cold - b.cold; repl = a.repl - b.repl;
+    true_sh = a.true_sh - b.true_sh; false_sh = a.false_sh - b.false_sh;
+    invalidations = a.invalidations - b.invalidations;
+    upgrades = a.upgrades - b.upgrades }
+
 type miss_info = { kind : kind; provider : int }
 
 type outcome =
@@ -85,6 +107,47 @@ type pair = {
   write_misses : int;
 }
 
+(* Mutable lifetime accumulator for one line; [linfo] is the working
+   state, [line] below the exported snapshot. *)
+type linfo = {
+  mutable lreads : int;
+  mutable lwrites : int;
+  mutable reader_mask : int;
+  mutable writer_mask : int;
+  mutable last_w : int;        (* most recent writer, or -1 *)
+  mutable prev_w : int;        (* the writer before that, or -1 *)
+  mutable lmigrations : int;
+  mutable lpingpong : int;
+  mutable run : int;           (* current alternating-writer run, in writes *)
+  mutable lmax_run : int;
+  mutable ichain : int;        (* current invalidating-write streak *)
+  mutable lmax_ichain : int;
+  lword_writers : int array;
+}
+
+type line = {
+  line_block : int;
+  line_reads : int;
+  line_writes : int;
+  writers : int;
+  readers : int;
+  migrations : int;
+  pingpong : int;
+  max_run : int;
+  max_inval_chain : int;
+  written_words : int;
+  shared_words : int;
+  word_writers : int array;
+}
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+let pingpong_score l =
+  if l.line_writes = 0 then 0.0
+  else float_of_int l.migrations /. float_of_int l.line_writes
+
 type t = {
   cfg : config;
   nsets : int;
@@ -94,10 +157,12 @@ type t = {
   per_proc : counts array;
   per_block_tbl : (int, counts) Hashtbl.t option;
   pair_tbl : (int * int * int, flow) Hashtbl.t option;  (* block, src, victim *)
+  line_tbl : (int, linfo) Hashtbl.t option;
   mutable time : int;
 }
 
-let create ?(track_blocks = false) ?(track_pairs = false) (cfg : config) =
+let create ?(track_blocks = false) ?(track_pairs = false)
+    ?(track_lines = false) (cfg : config) =
   if not (Align.is_power_of_two cfg.block) || cfg.block < word_size then
     invalid_arg "Mpcache.create: block must be a power of two >= 4";
   if cfg.assoc <= 0 || cfg.cache_bytes < cfg.block * cfg.assoc then
@@ -114,6 +179,7 @@ let create ?(track_blocks = false) ?(track_pairs = false) (cfg : config) =
     per_proc = Array.init cfg.nprocs (fun _ -> zero_counts ());
     per_block_tbl = (if track_blocks then Some (Hashtbl.create 256) else None);
     pair_tbl = (if track_pairs then Some (Hashtbl.create 256) else None);
+    line_tbl = (if track_lines then Some (Hashtbl.create 256) else None);
     time = 0;
   }
 
@@ -149,6 +215,51 @@ let block_counts t b =
       let c = zero_counts () in
       Hashtbl.add tbl b c;
       Some c)
+
+let linfo_of tbl b words =
+  match Hashtbl.find_opt tbl b with
+  | Some l -> l
+  | None ->
+    let l =
+      { lreads = 0; lwrites = 0; reader_mask = 0; writer_mask = 0;
+        last_w = -1; prev_w = -1; lmigrations = 0; lpingpong = 0;
+        run = 0; lmax_run = 0; ichain = 0; lmax_ichain = 0;
+        lword_writers = Array.make words 0 }
+    in
+    Hashtbl.add tbl b l;
+    l
+
+(* Lifetime bookkeeping for one reference, after the protocol has acted
+   on it ([invalidated] remote copies were destroyed by this write). *)
+let note_line t ~proc ~write ~word ~invalidated b =
+  match t.line_tbl with
+  | None -> ()
+  | Some tbl ->
+    let l = linfo_of tbl b (t.cfg.block / word_size) in
+    if write then begin
+      l.lwrites <- l.lwrites + 1;
+      l.writer_mask <- l.writer_mask lor (1 lsl proc);
+      l.lword_writers.(word) <- l.lword_writers.(word) lor (1 lsl proc);
+      if l.last_w >= 0 && l.last_w <> proc then begin
+        l.lmigrations <- l.lmigrations + 1;
+        if l.prev_w = proc then l.lpingpong <- l.lpingpong + 1;
+        (* a run starts at 2 writes: the previous one and this one *)
+        l.run <- (if l.run = 0 then 2 else l.run + 1);
+        if l.run > l.lmax_run then l.lmax_run <- l.run
+      end
+      else l.run <- 0;
+      l.prev_w <- l.last_w;
+      l.last_w <- proc;
+      if invalidated > 0 then begin
+        l.ichain <- l.ichain + 1;
+        if l.ichain > l.lmax_ichain then l.lmax_ichain <- l.ichain
+      end
+      else l.ichain <- 0
+    end
+    else begin
+      l.lreads <- l.lreads + 1;
+      l.reader_mask <- l.reader_mask lor (1 lsl proc)
+    end
 
 (* Remove [victim]'s copy because a write by [src] invalidated it.
    [cause] distinguishes upgrades (write hits on a Shared copy) from
@@ -325,6 +436,13 @@ let access t ~proc ~write ~addr =
         Miss { info = { kind; provider }; invalidated = 0 }
     end
   in
+  (if t.line_tbl <> None then
+     let invalidated =
+       match outcome with
+       | Hit -> 0
+       | Upgrade { invalidated } | Miss { invalidated; _ } -> invalidated
+     in
+     note_line t ~proc ~write ~word ~invalidated b);
   outcome
 
 let sink t ~proc ~write ~addr = ignore (access t ~proc ~write ~addr)
@@ -333,9 +451,15 @@ let counts t = t.totals
 
 let proc_counts t = t.per_proc
 
+let tracking_off what flag =
+  invalid_arg
+    (Printf.sprintf
+       "Mpcache.%s: cache was created without ~%s:true, nothing was recorded"
+       what flag)
+
 let invalidation_pairs t =
   match t.pair_tbl with
-  | None -> []
+  | None -> tracking_off "invalidation_pairs" "track_pairs"
   | Some tbl ->
     Hashtbl.fold
       (fun (block, src, victim) f acc ->
@@ -347,10 +471,40 @@ let invalidation_pairs t =
 
 let per_block t =
   match t.per_block_tbl with
-  | None -> []
+  | None -> tracking_off "per_block" "track_blocks"
   | Some tbl ->
     Hashtbl.fold (fun b c acc -> (b, c) :: acc) tbl []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let lines t =
+  match t.line_tbl with
+  | None -> tracking_off "lines" "track_lines"
+  | Some tbl ->
+    Hashtbl.fold
+      (fun b (l : linfo) acc ->
+        let written = ref 0 and shared = ref 0 in
+        Array.iter
+          (fun m ->
+            if m <> 0 then begin
+              incr written;
+              if m land (m - 1) <> 0 then incr shared
+            end)
+          l.lword_writers;
+        { line_block = b;
+          line_reads = l.lreads;
+          line_writes = l.lwrites;
+          writers = popcount l.writer_mask;
+          readers = popcount l.reader_mask;
+          migrations = l.lmigrations;
+          pingpong = l.lpingpong;
+          max_run = l.lmax_run;
+          max_inval_chain = l.lmax_ichain;
+          written_words = !written;
+          shared_words = !shared;
+          word_writers = Array.copy l.lword_writers }
+        :: acc)
+      tbl []
+    |> List.sort (fun a b -> compare a.line_block b.line_block)
 
 let state_of t ~proc ~addr =
   let b = addr / t.cfg.block in

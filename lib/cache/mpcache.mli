@@ -53,6 +53,17 @@ val miss_rate : counts -> float
 val false_sharing_rate : counts -> float
 (** False-sharing misses per access. *)
 
+val zero_counts : unit -> counts
+
+val copy_counts : counts -> counts
+
+val add_into : counts -> counts -> unit
+(** [add_into dst src] accumulates [src] into [dst], field by field. *)
+
+val sub_counts : counts -> counts -> counts
+(** [sub_counts a b] is the fresh field-wise difference [a - b] — the
+    delta between two snapshots of a monotone accumulator. *)
+
 type miss_info = {
   kind : kind;
   provider : int;
@@ -83,7 +94,41 @@ type pair = {
   write_misses : int;
 }
 
-val create : ?track_blocks:bool -> ?track_pairs:bool -> config -> t
+(** Lifetime of one cache line, available with [~track_lines:true]: how
+    write ownership of the line moved between processors over the run.
+
+    A {e migration} is a write whose processor differs from the line's
+    previous writer; a {e ping-pong} is the strict A→B→A case where the
+    line bounces straight back.  [max_run] is the length (in consecutive
+    writes) of the longest alternating-writer run — every write in the run
+    by a different processor than the one before — and [max_inval_chain]
+    the longest streak of consecutive writes that each destroyed at least
+    one remote copy.  [word_writers] is the word-level footprint: bit [p]
+    of entry [w] is set when processor [p] wrote word [w]; [shared_words]
+    counts words written by two or more processors, so
+    [writers >= 2 && shared_words = 0] identifies a line whose write
+    traffic is {e pure} false sharing (disjoint word footprints). *)
+type line = {
+  line_block : int;
+  line_reads : int;
+  line_writes : int;
+  writers : int;          (** distinct writing processors *)
+  readers : int;          (** distinct reading processors *)
+  migrations : int;
+  pingpong : int;
+  max_run : int;
+  max_inval_chain : int;
+  written_words : int;
+  shared_words : int;
+  word_writers : int array;
+}
+
+val pingpong_score : line -> float
+(** Migrations per write — the fraction of writes that moved the line's
+    write ownership; 0 for an unwritten or single-writer line. *)
+
+val create :
+  ?track_blocks:bool -> ?track_pairs:bool -> ?track_lines:bool -> config -> t
 val config : t -> config
 
 val access : t -> proc:int -> write:bool -> addr:int -> outcome
@@ -101,15 +146,20 @@ val proc_counts : t -> counts array
     processor lost to remote writes. *)
 
 val per_block : t -> (int * counts) list
-(** Per-block counters, available when created with [~track_blocks:true];
-    empty otherwise.  Sorted by block number.  [invalidations] are
-    attributed to the block whose copies were destroyed. *)
+(** Per-block counters, sorted by block number.  [invalidations] are
+    attributed to the block whose copies were destroyed.
+    @raise Invalid_argument unless created with [~track_blocks:true] —
+    a silent [[]] used to mask forgotten tracking flags. *)
 
 val invalidation_pairs : t -> pair list
-(** Who invalidates whom, per block, available when created with
-    [~track_pairs:true]; empty otherwise.  Sorted by (block, src,
-    victim).  Summing [upgrades + write_misses] over all pairs equals
-    [(counts t).invalidations]. *)
+(** Who invalidates whom, per block, sorted by (block, src, victim).
+    Summing [upgrades + write_misses] over all pairs equals
+    [(counts t).invalidations].
+    @raise Invalid_argument unless created with [~track_pairs:true]. *)
+
+val lines : t -> line list
+(** Per-line lifetime records, sorted by block number.
+    @raise Invalid_argument unless created with [~track_lines:true]. *)
 
 val state_of : t -> proc:int -> addr:int -> [ `Modified | `Shared | `Invalid ]
 (** Protocol state of the block containing [addr] in [proc]'s cache

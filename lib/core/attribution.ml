@@ -4,20 +4,6 @@ module Interp = Fs_interp.Interp
 
 type row = { var : string; counts : Mpcache.counts; blocks : int }
 
-let zero () =
-  { Mpcache.reads = 0; writes = 0; cold = 0; repl = 0; true_sh = 0;
-    false_sh = 0; invalidations = 0; upgrades = 0 }
-
-let add_into (dst : Mpcache.counts) (src : Mpcache.counts) =
-  dst.Mpcache.reads <- dst.Mpcache.reads + src.Mpcache.reads;
-  dst.writes <- dst.writes + src.writes;
-  dst.cold <- dst.cold + src.cold;
-  dst.repl <- dst.repl + src.repl;
-  dst.true_sh <- dst.true_sh + src.true_sh;
-  dst.false_sh <- dst.false_sh + src.false_sh;
-  dst.invalidations <- dst.invalidations + src.invalidations;
-  dst.upgrades <- dst.upgrades + src.upgrades
-
 let pointer_owner = "(indirection pointers)"
 let unmapped_owner = "(unmapped)"
 
@@ -51,6 +37,21 @@ let block_owner prog layout ~block =
            (fun var n (bv, bn) -> if n > bn then (var, n) else (bv, bn))
            tbl (unmapped_owner, 0))
 
+let cell_range prog layout ~block var blk =
+  match List.assoc_opt var prog.Fs_ir.Ast.globals with
+  | None -> (-1, -1)
+  | Some _ ->
+    let vl = Layout.lookup layout var in
+    let lo = ref max_int and hi = ref (-1) in
+    Array.iteri
+      (fun cell a ->
+        if a / block = blk then begin
+          if cell < !lo then lo := cell;
+          if cell > !hi then hi := cell
+        end)
+      vl.Layout.addr;
+    if !hi < 0 then (-1, -1) else (!lo, !hi)
+
 let attribute ?(cache_bytes = 32 * 1024) ?(assoc = 4) prog plan ~nprocs ~block =
   let layout = Layout.realize prog plan ~block in
   let cache =
@@ -69,12 +70,12 @@ let attribute ?(cache_bytes = 32 * 1024) ?(assoc = 4) prog plan ~nprocs ~block =
         match Hashtbl.find_opt per_var var with
         | Some x -> x
         | None ->
-          let x = (zero (), ref 0) in
+          let x = (Mpcache.zero_counts (), ref 0) in
           Hashtbl.add per_var var x;
           x
       in
       incr nblocks;
-      add_into dst c)
+      Mpcache.add_into dst c)
     (Mpcache.per_block cache);
   Hashtbl.fold
     (fun var (counts, nblocks) acc ->

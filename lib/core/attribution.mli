@@ -20,6 +20,17 @@ val block_owner :
     owning the most cells in it — the attribution rule shared with
     {!Blame}. *)
 
+val cell_range :
+  Fs_ir.Ast.program ->
+  Fs_layout.Layout.t ->
+  block:int ->
+  string ->
+  int ->
+  int * int
+(** [cell_range prog layout ~block var blk] is the lowest and highest cell
+    index of [var] mapped into block [blk], or [(-1, -1)] when [var] is a
+    pseudo-variable or owns no cell there. *)
+
 type row = {
   var : string;
       (** a shared global, or ["(indirection pointers)"] for the pointer

@@ -95,21 +95,7 @@ let analyze ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?(top = 10) ?recorded prog
     |> List.sort (fun a b -> compare b.invalidations a.invalidations)
   in
   (* hottest blocks, with the owning variable's cell range *)
-  let cell_range var blk =
-    match List.assoc_opt var prog.Fs_ir.Ast.globals with
-    | None -> (-1, -1)
-    | Some _ ->
-      let vl = Layout.lookup layout var in
-      let lo = ref max_int and hi = ref (-1) in
-      Array.iteri
-        (fun cell a ->
-          if a / block = blk then begin
-            if cell < !lo then lo := cell;
-            if cell > !hi then hi := cell
-          end)
-        vl.Layout.addr;
-      if !hi < 0 then (-1, -1) else (!lo, !hi)
-  in
+  let cell_range = Attribution.cell_range prog layout ~block in
   let hot =
     Mpcache.per_block cache
     |> List.sort (fun (_, a) (_, b) ->

@@ -221,6 +221,85 @@ let transform_report (r : T.report) =
               Json.String (Format.asprintf "%a" Fs_layout.Plan.pp_action a))
             r.plan)) ]
 
+let phases (p : Phases.t) =
+  Json.Obj
+    [ ("procs", Json.Int p.Phases.nprocs);
+      ("block", Json.Int p.block);
+      ("static_phases", Json.Int p.static_phases);
+      ("mapping",
+       Json.String
+         (match p.mapping with Phases.Exact -> "exact" | Folded -> "folded"));
+      ("aggregate", counts p.aggregate);
+      ("epochs",
+       Json.List
+         (List.map
+            (fun (e : Phases.epoch) ->
+              Json.Obj
+                [ ("index", Json.Int e.index);
+                  ("total", counts (Phases.epoch_total e));
+                  ("per_proc",
+                   Json.List
+                     (Array.to_list (Array.map counts e.per_proc)));
+                  ("write_shared",
+                   Json.List
+                     (List.map
+                        (fun (var, mask) ->
+                          Json.Obj
+                            [ ("var", Json.String var);
+                              ("writers",
+                               Json.List
+                                 (List.map
+                                    (fun p -> Json.Int p)
+                                    (Phases.proc_mask_list mask))) ])
+                        e.write_shared)) ])
+            p.epochs));
+      ("violations",
+       Json.List
+         (List.map
+            (fun (v : Phases.violation) ->
+              Json.Obj
+                [ ("epoch", Json.Int v.vepoch);
+                  ("var", Json.String v.vvar);
+                  ("writers",
+                   Json.List
+                     (List.map
+                        (fun p -> Json.Int p)
+                        (Phases.proc_mask_list v.vwriters))) ])
+            p.violations)) ]
+
+let hotlines (h : Hotlines.t) =
+  Json.Obj
+    [ ("procs", Json.Int h.Hotlines.nprocs);
+      ("block", Json.Int h.block);
+      ("total", counts h.total);
+      ("dropped", Json.Int h.dropped);
+      ("lines",
+       Json.List
+         (List.map
+            (fun (x : Hotlines.hot) ->
+              let l = x.line in
+              Json.Obj
+                [ ("block", Json.Int l.Mpcache.line_block);
+                  ("owner", Json.String x.owner);
+                  ("cell_lo", Json.Int x.cell_lo);
+                  ("cell_hi", Json.Int x.cell_hi);
+                  ("counts", counts x.counts);
+                  ("reads", Json.Int l.line_reads);
+                  ("writes", Json.Int l.line_writes);
+                  ("writers", Json.Int l.writers);
+                  ("readers", Json.Int l.readers);
+                  ("migrations", Json.Int l.migrations);
+                  ("pingpong_aba", Json.Int l.pingpong);
+                  ("pingpong_score", Json.float x.score);
+                  ("max_run", Json.Int l.max_run);
+                  ("max_inval_chain", Json.Int l.max_inval_chain);
+                  ("written_words", Json.Int l.written_words);
+                  ("shared_words", Json.Int l.shared_words);
+                  ("verdict",
+                   Json.String (Hotlines.verdict_to_string x.verdict));
+                  ("fix", Json.String x.fix) ])
+            h.hot)) ]
+
 let machine (r : Fs_machine.Ksr.result) =
   let arr a = Json.List (Array.to_list (Array.map (fun n -> Json.Int n) a)) in
   Json.Obj

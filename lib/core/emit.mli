@@ -29,6 +29,13 @@ val sim :
 val attribution : Attribution.row list -> Json.t
 val blame : Blame.t -> Json.t
 
+val phases : Phases.t -> Json.t
+(** Per-epoch totals and per-processor counters, the write-sharing
+    observed in each epoch, and any static cross-check violations. *)
+
+val hotlines : Hotlines.t -> Json.t
+(** Ranked hot lines with their lifetime stats, verdicts, and fixes. *)
+
 val workloads : Fs_workloads.Workload.t list -> Json.t
 
 val transform_report : Fs_transform.Transform.report -> Json.t

@@ -1,0 +1,269 @@
+module Mpcache = Fs_cache.Mpcache
+module Layout = Fs_layout.Layout
+module Cell_trace = Fs_trace.Cell_trace
+module Cell_listener = Fs_trace.Cell_listener
+module Listener = Fs_trace.Listener
+module Nonconcurrency = Fs_analysis.Nonconcurrency
+module Summary = Fs_analysis.Summary
+module Table = Fs_util.Table
+
+type epoch = {
+  index : int;
+  per_proc : Mpcache.counts array;
+  write_shared : (string * int) list;
+}
+
+type violation = { vepoch : int; vvar : string; vwriters : int }
+
+type mapping = Exact | Folded
+
+type t = {
+  nprocs : int;
+  block : int;
+  epochs : epoch list;
+  aggregate : Mpcache.counts;
+  static_phases : int;
+  mapping : mapping;
+  violations : violation list;
+}
+
+let epoch_total e =
+  let total = Mpcache.zero_counts () in
+  Array.iter (Mpcache.add_into total) e.per_proc;
+  total
+
+let proc_mask_list mask =
+  let rec go p acc =
+    if 1 lsl p > mask then List.rev acc
+    else go (p + 1) (if mask land (1 lsl p) <> 0 then p :: acc else acc)
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Segmentation: snapshot the cache's per-processor counters at every
+   barrier release; each epoch is the delta since the previous one.     *)
+
+type seg = {
+  cache : Mpcache.t;
+  mutable prev : Mpcache.counts array;  (* snapshot at the last release *)
+  mutable acc : epoch list;             (* closed epochs, reversed *)
+  mutable next : int;
+}
+
+let seg_create cache =
+  {
+    cache;
+    prev = Array.map Mpcache.copy_counts (Mpcache.proc_counts cache);
+    acc = [];
+    next = 0;
+  }
+
+let seg_close seg ~write_shared =
+  let now = Array.map Mpcache.copy_counts (Mpcache.proc_counts seg.cache) in
+  let per_proc = Array.map2 Mpcache.sub_counts now seg.prev in
+  seg.acc <- { index = seg.next; per_proc; write_shared } :: seg.acc;
+  seg.prev <- now;
+  seg.next <- seg.next + 1
+
+let seg_finish seg ~write_shared =
+  (* the tail of the run after the last barrier is an epoch of its own *)
+  seg_close seg ~write_shared;
+  List.rev seg.acc
+
+let tracker cache =
+  let seg = seg_create cache in
+  let listener =
+    { Listener.null with
+      barrier_release = (fun () -> seg_close seg ~write_shared:[]) }
+  in
+  (listener, fun () -> seg_finish seg ~write_shared:[])
+
+(* ------------------------------------------------------------------ *)
+(* The static prediction: per phase, which variables does the summary
+   analysis consider concurrently write-shared (written by >= 2 process
+   ids)?  Lock words are exempt — their traffic is synchronization.     *)
+
+let rec has_lock = function
+  | Fs_ir.Ast.Scalar Fs_ir.Ast.Tlock -> true
+  | Fs_ir.Ast.Scalar _ -> false
+  | Fs_ir.Ast.Array (ty, _) -> has_lock ty
+  | Fs_ir.Ast.Struct _ -> false
+
+let lock_vars (prog : Fs_ir.Ast.program) =
+  List.filter_map
+    (fun (name, ty) -> if has_lock ty then Some name else None)
+    prog.Fs_ir.Ast.globals
+
+let predicted_write_shared summary =
+  let phases = Summary.phases summary in
+  let nprocs = Summary.nprocs summary in
+  let keys = Summary.keys summary in
+  Array.init phases (fun phase ->
+      let tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun (key : Summary.key) ->
+          for pid = 0 to nprocs - 1 do
+            match Summary.get summary ~phase ~pid key with
+            | Some acc when not (Fs_rsd.Rsd.Set.is_empty acc.Summary.writes) ->
+              Hashtbl.replace tbl key.Summary.var
+                (1 lsl pid
+                 lor Option.value (Hashtbl.find_opt tbl key.Summary.var)
+                       ~default:0)
+            | _ -> ()
+          done)
+        keys;
+      let shared = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun var mask -> if mask land (mask - 1) <> 0 then Hashtbl.replace shared var ())
+        tbl;
+      shared)
+
+let cross_check prog ~nprocs epochs =
+  let nc = Nonconcurrency.analyze prog in
+  let static_phases = Nonconcurrency.phase_count nc in
+  let mapping =
+    if
+      List.for_all (fun d -> d = 0) (Nonconcurrency.barrier_depths nc)
+      && List.length epochs = static_phases
+    then Exact
+    else Folded
+  in
+  let summary = Summary.analyze prog ~nprocs in
+  let predicted = predicted_write_shared summary in
+  let locks = lock_vars prog in
+  let allowed epoch_index var =
+    List.mem var locks
+    ||
+    match mapping with
+    | Exact -> Hashtbl.mem predicted.(epoch_index) var
+    | Folded -> Array.exists (fun tbl -> Hashtbl.mem tbl var) predicted
+  in
+  let violations =
+    List.concat_map
+      (fun e ->
+        List.filter_map
+          (fun (var, writers) ->
+            if allowed e.index var then None
+            else Some { vepoch = e.index; vvar = var; vwriters = writers })
+          e.write_shared)
+      epochs
+  in
+  (static_phases, mapping, violations)
+
+(* ------------------------------------------------------------------ *)
+
+let analyze ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?recorded prog plan
+    ~nprocs ~block =
+  let recorded =
+    match recorded with Some r -> r | None -> Sim.record prog ~nprocs
+  in
+  let layout = Layout.realize prog plan ~block in
+  let cache =
+    Mpcache.create { Mpcache.nprocs; block; cache_bytes; assoc }
+  in
+  let trace = recorded.Sim.trace in
+  let vars = Cell_trace.vars trace in
+  let o = Fs_replay.Replay.oracle layout ~vars in
+  let translated =
+    Fs_replay.Replay.translating o (Listener.of_sink (Mpcache.sink cache))
+  in
+  let seg = seg_create cache in
+  (* per-variable writer bitmask, reset at each epoch boundary *)
+  let writer_masks = Array.make (Array.length vars) 0 in
+  let write_shared_now () =
+    let acc = ref [] in
+    Array.iteri
+      (fun v mask ->
+        if mask land (mask - 1) <> 0 then acc := (vars.(v), mask) :: !acc)
+      writer_masks;
+    List.sort compare !acc
+  in
+  let tap =
+    { Cell_listener.null with
+      access =
+        (fun ~proc ~write ~var ~cell:_ ->
+          if write then
+            writer_masks.(var) <- writer_masks.(var) lor (1 lsl proc));
+      barrier_release =
+        (fun () ->
+          seg_close seg ~write_shared:(write_shared_now ());
+          Array.fill writer_masks 0 (Array.length writer_masks) 0);
+    }
+  in
+  Cell_trace.deliver trace (Cell_listener.combine translated tap);
+  let epochs = seg_finish seg ~write_shared:(write_shared_now ()) in
+  let aggregate = Mpcache.copy_counts (Mpcache.counts cache) in
+  let static_phases, mapping, violations = cross_check prog ~nprocs epochs in
+  { nprocs; block; epochs; aggregate; static_phases; mapping; violations }
+
+let fs_matrix t =
+  let nepochs = List.length t.epochs in
+  let m = Array.make_matrix t.nprocs nepochs 0.0 in
+  List.iter
+    (fun e ->
+      Array.iteri
+        (fun p (c : Mpcache.counts) ->
+          m.(p).(e.index) <- float_of_int c.Mpcache.false_sh)
+        e.per_proc)
+    t.epochs;
+  m
+
+(* ------------------------------------------------------------------ *)
+
+let procs_to_string mask =
+  String.concat ","
+    (List.map (Printf.sprintf "P%d") (proc_mask_list mask))
+
+let render t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "phase-resolved sharing (%d processors, %dB blocks): %d epochs over \
+        %d static phases (%s mapping)\n\n"
+       t.nprocs t.block (List.length t.epochs) t.static_phases
+       (match t.mapping with Exact -> "exact" | Folded -> "folded"));
+  let header =
+    [ "epoch"; "accesses"; "misses"; "cold"; "repl"; "true sh."; "false sh.";
+      "inval"; "write-shared" ]
+  in
+  let body =
+    List.map
+      (fun e ->
+        let c = epoch_total e in
+        let shared =
+          match e.write_shared with
+          | [] -> "-"
+          | vars -> String.concat " " (List.map fst vars)
+        in
+        [ string_of_int e.index;
+          string_of_int (Mpcache.accesses c);
+          string_of_int (Mpcache.misses c);
+          string_of_int c.Mpcache.cold;
+          string_of_int c.repl;
+          string_of_int c.true_sh;
+          string_of_int c.false_sh;
+          string_of_int c.invalidations;
+          shared ])
+      t.epochs
+  in
+  Buffer.add_string buf (Table.render ~header body);
+  Buffer.add_string buf "\nfalse-sharing misses, processor x epoch:\n";
+  Buffer.add_string buf (Fs_obs.Heatmap.render (fs_matrix t));
+  (match t.violations with
+   | [] ->
+     Buffer.add_string buf
+       "\nstatic cross-check: ok — every epoch's write-sharing was \
+        predicted concurrent\n"
+   | vs ->
+     Buffer.add_string buf
+       (Printf.sprintf "\nstatic cross-check: %d VIOLATION(S)\n"
+          (List.length vs));
+     List.iter
+       (fun v ->
+         Buffer.add_string buf
+           (Printf.sprintf
+              "  epoch %d: %s written by %s but not predicted \
+               concurrently write-shared\n"
+              v.vepoch v.vvar (procs_to_string v.vwriters)))
+       vs);
+  Buffer.contents buf

@@ -17,6 +17,7 @@ type t = {
   report : T.report;
   cache : Sim.cache_run;
   machine : Ksr.result option;
+  epochs : Phases.epoch list option;
   metrics : Metrics.t;
   profile : Profile.t;
 }
@@ -61,7 +62,8 @@ let ingest_machine metrics (r : Ksr.result) =
       set "ksr_lock_stall_cycles" lock)
     r.sync_stall
 
-let run ?options ?(machine = false) ?plan ?profile prog ~nprocs ~block =
+let run ?options ?(machine = false) ?(epochs = false) ?plan ?profile prog
+    ~nprocs ~block =
   let profile = match profile with Some p -> p | None -> Profile.create () in
   let metrics = Metrics.create () in
   let rsd_limit, static_profile =
@@ -104,12 +106,18 @@ let run ?options ?(machine = false) ?plan ?profile prog ~nprocs ~block =
   let cache =
     Mpcache.create ~track_blocks:true (Mpcache.default_config ~nprocs ~block)
   in
+  let tracker, close_epochs =
+    if epochs then Phases.tracker cache else (Listener.null, fun () -> [])
+  in
   let listener =
-    Listener.combine (Listener.of_sink (Mpcache.sink cache)) (Metrics.listener metrics)
+    Listener.combine
+      (Listener.of_sink (Mpcache.sink cache))
+      (Listener.combine (Metrics.listener metrics) tracker)
   in
   Profile.time profile "replay+cache"
     ~events:(fun () -> Cell_trace.length recorded.Sim.trace)
     (fun () -> Replay.replay recorded.Sim.trace ~layout ~listener);
+  let epoch_list = if epochs then Some (close_epochs ()) else None in
   let interp = recorded.Sim.interp in
   ingest_cache metrics cache;
   let machine_result =
@@ -138,6 +146,7 @@ let run ?options ?(machine = false) ?plan ?profile prog ~nprocs ~block =
         interp;
       };
     machine = machine_result;
+    epochs = epoch_list;
     metrics;
     profile;
   }
@@ -152,7 +161,18 @@ let to_json t =
        ("counts", Emit.counts t.cache.Sim.counts);
        ("profile", Profile.to_json t.profile);
        ("metrics", Metrics.to_json t.metrics) ]
-     @
-     match t.machine with
-     | None -> []
-     | Some m -> [ ("machine", Emit.machine m) ])
+    @ (match t.epochs with
+       | None -> []
+       | Some es ->
+         [ ("epochs",
+            Json.List
+              (List.map
+                 (fun (e : Phases.epoch) ->
+                   Json.Obj
+                     [ ("index", Json.Int e.Phases.index);
+                       ("total", Emit.counts (Phases.epoch_total e)) ])
+                 es)) ])
+    @
+    match t.machine with
+    | None -> []
+    | Some m -> [ ("machine", Emit.machine m) ])

@@ -13,6 +13,8 @@ type t = {
   report : Fs_transform.Transform.report;
   cache : Sim.cache_run;
   machine : Fs_machine.Ksr.result option;
+  epochs : Phases.epoch list option;
+      (** barrier-delimited per-epoch counters, when requested *)
   metrics : Fs_obs.Metrics.t;
   profile : Fs_obs.Profile.t;
 }
@@ -20,6 +22,7 @@ type t = {
 val run :
   ?options:Fs_transform.Transform.options ->
   ?machine:bool ->
+  ?epochs:bool ->
   ?plan:Fs_layout.Plan.t ->
   ?profile:Fs_obs.Profile.t ->
   Fs_ir.Ast.program ->
@@ -27,7 +30,9 @@ val run :
   block:int ->
   t
 (** [machine] (default [false]) also runs the KSR2 model (a second
-    interpreter pass).  [plan] overrides the compiler's plan for the
+    interpreter pass).  [epochs] (default [false]) segments the cache
+    replay at barrier releases with {!Phases.tracker} and fills in the
+    [epochs] field.  [plan] overrides the compiler's plan for the
     simulated layout (the compiler analysis still runs and is profiled);
     by default the compiler's own plan is simulated.  [profile] lets the
     caller pre-record phases of its own (e.g. parsing) into the same

@@ -31,7 +31,7 @@ let cache_sim ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?(track_blocks = false)
   Replay.replay_to_sink recorded.trace ~layout ~sink:(Mpcache.sink cache);
   {
     counts = Mpcache.counts cache;
-    per_block = Mpcache.per_block cache;
+    per_block = (if track_blocks then Mpcache.per_block cache else []);
     layout_bytes = Layout.size layout;
     interp = recorded.interp;
   }

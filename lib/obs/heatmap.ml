@@ -1,0 +1,78 @@
+(* The palette runs blank -> dense; zero cells always print as '.' so a
+   sparse matrix still shows its extent, and any nonzero cell is visibly
+   distinct from zero even after log scaling. *)
+let palette = [| '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |]
+
+let level ~vmax v =
+  if v <= 0.0 || vmax <= 0.0 then 0
+  else
+    let n = Array.length palette - 1 in
+    let scaled = log (1.0 +. v) /. log (1.0 +. vmax) in
+    max 1 (min n (1 + int_of_float (scaled *. float_of_int (n - 1))))
+
+let render ?(row_label = Printf.sprintf "P%d") ?(col_tick = 5) values =
+  let nrows = Array.length values in
+  if nrows = 0 then ""
+  else begin
+    let ncols = Array.fold_left (fun m r -> max m (Array.length r)) 0 values in
+    let vmax =
+      Array.fold_left
+        (fun m r -> Array.fold_left (fun m v -> if v > m then v else m) m r)
+        0.0 values
+    in
+    let gutter =
+      Array.fold_left
+        (fun m i -> max m (String.length (row_label i)))
+        0
+        (Array.init nrows (fun i -> i))
+    in
+    let buf = Buffer.create (nrows * (ncols + gutter + 4)) in
+    (* column ruler: a tick index every [col_tick] columns *)
+    let ruler = Bytes.make (gutter + 2 + ncols) ' ' in
+    let c = ref 0 in
+    while !c < ncols do
+      let s = string_of_int !c in
+      if gutter + 2 + !c + String.length s <= Bytes.length ruler then
+        Bytes.blit_string s 0 ruler (gutter + 2 + !c) (String.length s);
+      c := !c + max 1 col_tick
+    done;
+    Buffer.add_string buf (Bytes.to_string ruler);
+    Buffer.add_char buf '\n';
+    Array.iteri
+      (fun i row ->
+        let lbl = row_label i in
+        Buffer.add_string buf lbl;
+        Buffer.add_string buf (String.make (gutter - String.length lbl + 2) ' ');
+        for j = 0 to ncols - 1 do
+          let v = if j < Array.length row then row.(j) else 0.0 in
+          Buffer.add_char buf palette.(level ~vmax v)
+        done;
+        Buffer.add_char buf '\n')
+      values;
+    Buffer.add_string buf
+      (Printf.sprintf "%s  ['%c'=0 .. '%c'=%g, log scale]\n"
+         (String.make gutter ' ')
+         palette.(0)
+         palette.(Array.length palette - 1)
+         vmax);
+    Buffer.contents buf
+  end
+
+let bars ?(width = 40) rows =
+  if rows = [] then ""
+  else begin
+    let vmax = List.fold_left (fun m (_, n) -> max m n) 0 rows in
+    let gutter = List.fold_left (fun m (l, _) -> max m (String.length l)) 0 rows in
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun (label, n) ->
+        let w =
+          if vmax = 0 || n <= 0 then 0
+          else max 1 (n * width / vmax)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%-*s  %-*s %d\n" gutter label width
+             (String.make w '#') n))
+      rows;
+    Buffer.contents buf
+  end

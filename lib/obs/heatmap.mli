@@ -1,0 +1,24 @@
+(** ASCII intensity grids and bar charts for terminal forensics output.
+
+    The phase-resolved reports need two shapes no {!Fs_util.Table} covers:
+    a dense processor × epoch grid where each cell is one shaded
+    character (so 32 processors × 40 epochs still fits a terminal), and
+    labeled horizontal bars for histograms.  Intensity is log-scaled —
+    false-sharing counts are heavy-tailed, and a linear ramp would render
+    everything but the hottest cell as blank. *)
+
+val render :
+  ?row_label:(int -> string) ->
+  ?col_tick:int ->
+  float array array ->
+  string
+(** [render values] draws one character per cell, rows top to bottom.
+    Ragged rows are padded as empty.  [row_label] (default [P<i>])
+    prefixes each row; [col_tick] (default 5) spaces the column ruler
+    printed above the grid.  A legend line maps the palette back to the
+    value range.  Empty input renders as an empty string. *)
+
+val bars : ?width:int -> (string * int) list -> string
+(** [bars rows] draws one labeled horizontal bar per (label, count),
+    linearly scaled so the largest count spans [width] (default 40)
+    characters, with the count printed after the bar. *)

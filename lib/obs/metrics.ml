@@ -171,6 +171,21 @@ let to_json t =
                         (Histogram.buckets h))) ]))
        (sorted_entries t))
 
+(* Prometheus label-value escaping: exactly backslash, double quote, and
+   newline (the exposition format's three escapes).  OCaml's [%S] is close
+   but wrong — it also rewrites tabs and non-ASCII bytes to [\ddd] decimal
+   escapes no Prometheus parser understands. *)
+let escape_label v =
+  let buf = Buffer.create (String.length v + 8) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf {|\\|}
+      | '"' -> Buffer.add_string buf {|\"|}
+      | '\n' -> Buffer.add_string buf {|\n|}
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
 let render t =
   let buf = Buffer.create 1024 in
   let label_text labels =
@@ -179,7 +194,9 @@ let render t =
     | labels ->
       "{"
       ^ String.concat ","
-          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+             labels)
       ^ "}"
   in
   List.iter

@@ -48,6 +48,13 @@ let slice t ~name ~ts ~dur ~tid ~args =
 let instant t ~name ~ts ~tid ~scope =
   push t { name; ph = "i"; ts; dur = -1; tid; scope; args = [] }
 
+let time t = Array.fold_left max 0 t.clock
+
+let counter t ~name ~ts ~values =
+  push t
+    { name; ph = "C"; ts; dur = -1; tid = 0; scope = "";
+      args = List.map (fun (k, v) -> (k, Json.float v)) values }
+
 let ok t proc = proc >= 0 && proc < t.nprocs
 
 let listener t =

@@ -29,6 +29,17 @@ val listener : t -> Fs_trace.Listener.t
 val events : t -> int
 (** Number of trace events recorded so far. *)
 
+val time : t -> int
+(** The recorder's current logical time: the furthest per-processor
+    clock.  Barrier releases leave every clock equal, so sampled there it
+    is {e the} global time — where per-epoch counter samples belong. *)
+
+val counter : t -> name:string -> ts:int -> values:(string * float) list -> unit
+(** Append a Chrome counter event ([ph = "C"]): a named track of stacked
+    series sampled at [ts].  Used for the per-epoch miss-class tracks —
+    one sample per barrier release — so Perfetto draws false sharing over
+    the run's phase structure. *)
+
 val to_json : t -> Json.t
 (** The full trace: [{"traceEvents": [...], "displayTimeUnit": "ms"}].
     Includes process/thread-name metadata events. *)

@@ -4,8 +4,8 @@
 module C = Fs_cache.Mpcache
 
 let mk ?(nprocs = 4) ?(block = 16) ?(cache_bytes = 1024) ?(assoc = 2)
-    ?(track_blocks = false) () =
-  C.create ~track_blocks { C.nprocs; block; cache_bytes; assoc }
+    ?(track_blocks = false) ?(track_lines = false) () =
+  C.create ~track_blocks ~track_lines { C.nprocs; block; cache_bytes; assoc }
 
 let rd t p a = C.access t ~proc:p ~write:false ~addr:a
 let wr t p a = C.access t ~proc:p ~write:true ~addr:a
@@ -144,6 +144,74 @@ let test_per_block_tracking () =
   let b0 = List.assoc 0 blocks in
   Alcotest.(check int) "block 0 writes" 2 b0.C.writes
 
+let test_line_tracking () =
+  let t = mk ~track_lines:true () in
+  (* P0 and P1 ping-pong over distinct words of block 0; P2 reads once *)
+  ignore (wr t 0 0);
+  ignore (wr t 1 4);
+  ignore (wr t 0 0);
+  ignore (wr t 1 4);
+  ignore (rd t 2 8);
+  ignore (wr t 3 160);  (* a second, single-writer line *)
+  match C.lines t with
+  | [ l0; l10 ] ->
+    Alcotest.(check int) "block id" 0 l0.C.line_block;
+    Alcotest.(check int) "reads" 1 l0.C.line_reads;
+    Alcotest.(check int) "writes" 4 l0.C.line_writes;
+    Alcotest.(check int) "writers" 2 l0.C.writers;
+    Alcotest.(check int) "readers" 1 l0.C.readers;
+    (* every write after the first changed hands *)
+    Alcotest.(check int) "migrations" 3 l0.C.migrations;
+    (* the last two writes returned to their previous writer: ABA *)
+    Alcotest.(check int) "strict aba ping-pong" 2 l0.C.pingpong;
+    Alcotest.(check int) "longest alternating run" 4 l0.C.max_run;
+    Alcotest.(check (float 1e-9)) "score = migrations/writes" 0.75
+      (C.pingpong_score l0);
+    Alcotest.(check int) "two words written" 2 l0.C.written_words;
+    Alcotest.(check int) "no word has two writers" 0 l0.C.shared_words;
+    Alcotest.(check int) "word 0 writer mask" 0b0001 l0.C.word_writers.(0);
+    Alcotest.(check int) "word 1 writer mask" 0b0010 l0.C.word_writers.(1);
+    Alcotest.(check int) "other line single writer" 1 l10.C.writers;
+    Alcotest.(check int) "other line no migrations" 0 l10.C.migrations;
+    Alcotest.(check (float 1e-9)) "other line score" 0.0 (C.pingpong_score l10)
+  | ls -> Alcotest.fail (Printf.sprintf "expected 2 lines, got %d" (List.length ls))
+
+let test_shared_words () =
+  let t = mk ~track_lines:true () in
+  ignore (wr t 0 0);
+  ignore (wr t 1 0);  (* same word, second writer *)
+  match C.lines t with
+  | [ l ] ->
+    Alcotest.(check int) "one word written" 1 l.C.written_words;
+    Alcotest.(check int) "and it is shared" 1 l.C.shared_words
+  | _ -> Alcotest.fail "expected one line"
+
+let test_tracking_off_raises () =
+  let t = mk () in
+  ignore (wr t 0 0);
+  let raises what f =
+    Alcotest.(check bool) (what ^ " raises when tracking off") true
+      (match f () with _ -> false | exception Invalid_argument _ -> true)
+  in
+  raises "per_block" (fun () -> C.per_block t);
+  raises "invalidation_pairs" (fun () -> C.invalidation_pairs t);
+  raises "lines" (fun () -> C.lines t)
+
+let test_counts_arithmetic () =
+  let t = mk () in
+  ignore (wr t 0 0);
+  ignore (wr t 1 4);
+  ignore (rd t 2 0);
+  let c = C.counts t in
+  let copy = C.copy_counts c in
+  Alcotest.(check bool) "copy equals" true (copy = c);
+  ignore (wr t 3 8);
+  Alcotest.(check bool) "copy is a snapshot" true (copy <> C.counts t);
+  let diff = C.sub_counts (C.counts t) copy in
+  let rebuilt = C.copy_counts copy in
+  C.add_into rebuilt diff;
+  Alcotest.(check bool) "sub then add rebuilds" true (rebuilt = C.counts t)
+
 let test_miss_rates () =
   let t = mk () in
   ignore (rd t 0 0);
@@ -175,5 +243,9 @@ let suite =
     QCheck_alcotest.to_alcotest test_counts_consistency;
     QCheck_alcotest.to_alcotest test_single_writer_no_sharing_misses;
     Alcotest.test_case "per-block tracking" `Quick test_per_block_tracking;
+    Alcotest.test_case "line tracking" `Quick test_line_tracking;
+    Alcotest.test_case "shared words" `Quick test_shared_words;
+    Alcotest.test_case "tracking off raises" `Quick test_tracking_off_raises;
+    Alcotest.test_case "counts arithmetic" `Quick test_counts_arithmetic;
     Alcotest.test_case "miss rates" `Quick test_miss_rates;
     Alcotest.test_case "bad config" `Quick test_bad_config ]

@@ -16,4 +16,5 @@ let () =
       ("trace", Test_trace.suite);
       ("replay", Test_replay.suite);
       ("obs", Test_obs.suite);
+      ("phases", Test_phases.suite);
       ("fuzz", Test_fuzz.suite) ]

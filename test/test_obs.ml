@@ -167,6 +167,53 @@ let test_metrics_listener () =
   Alcotest.(check int) "contended grant" 1
     (value "interp_lock_grants" [ ("contended", "true"); ("proc", "1") ])
 
+(* Prometheus exposition format escapes exactly backslash, double quote,
+   and newline in label values; everything else (tabs, UTF-8) passes
+   through raw.  OCaml's %S would decimal-escape the tab. *)
+let test_prometheus_escaping () =
+  let m = Metrics.create () in
+  let labels = [ ("path", "a\"b\\c\nd\te") ] in
+  Metrics.Counter.incr (Metrics.counter m "weird" ~labels);
+  let text = Metrics.render m in
+  Tutil.check_contains "escaped label" text
+    "weird{path=\"a\\\"b\\\\c\\nd\te\"} 1";
+  (* the JSON side stays raw — its own escaping is the serializer's job *)
+  let j = parse_ok "metrics json" (Json.to_string (Metrics.to_json m)) in
+  match Json.get_list j with
+  | Some [ entry ] ->
+    let v =
+      Option.bind (Json.member "labels" entry) (fun l ->
+          Option.bind (Json.member "path" l) Json.get_string)
+    in
+    Alcotest.(check (option string)) "raw in json" (Some "a\"b\\c\nd\te") v
+  | _ -> Alcotest.fail "expected one metric"
+
+(* ------------------------------------------------------------------ *)
+(* Heatmap                                                             *)
+
+let test_heatmap () =
+  let grid =
+    Fs_obs.Heatmap.render ~col_tick:2
+      [| [| 0.0; 1.0; 1000.0 |]; [| 0.0; 0.0; 0.0 |] |]
+  in
+  (match String.split_on_char '\n' grid with
+   | _ruler :: r0 :: r1 :: _legend ->
+     Tutil.check_contains "row label" r0 "P0";
+     (* zero cells are '.', the max is '@', small nonzero is distinct *)
+     Alcotest.(check char) "zero cell" '.' r0.[String.length r0 - 3];
+     Alcotest.(check char) "max cell" '@' r0.[String.length r0 - 1];
+     Alcotest.(check bool) "small nonzero not blank" true
+       (r0.[String.length r0 - 2] <> '.' && r0.[String.length r0 - 2] <> '@');
+     Alcotest.(check string) "all-zero row" "..."
+       (String.sub r1 (String.length r1 - 3) 3)
+   | _ -> Alcotest.fail "unexpected grid shape");
+  Alcotest.(check string) "empty grid" "" (Fs_obs.Heatmap.render [||]);
+  let bars = Fs_obs.Heatmap.bars ~width:10 [ ("a", 10); ("bb", 5); ("c", 0) ] in
+  Tutil.check_contains "full bar" bars "##########";
+  Tutil.check_contains "half bar" bars "#####";
+  Tutil.check_contains "counts shown" bars "10";
+  Alcotest.(check string) "no rows" "" (Fs_obs.Heatmap.bars [])
+
 (* ------------------------------------------------------------------ *)
 (* Profile                                                             *)
 
@@ -234,6 +281,33 @@ let test_timeline () =
   Alcotest.(check bool) "duration slices" true (Hashtbl.mem phases "X");
   (* the program has one barrier: at least one release instant *)
   Alcotest.(check bool) "barrier instant" true (Hashtbl.mem phases "i")
+
+let test_timeline_counter () =
+  let tl = Timeline.create ~nprocs:2 in
+  Alcotest.(check int) "fresh clock" 0 (Timeline.time tl);
+  Timeline.counter tl ~name:"misses per epoch" ~ts:5
+    ~values:[ ("false sharing", 3.0); ("cold", 1.0) ];
+  let j = parse_ok "counter json" (Json.to_string (Timeline.to_json tl)) in
+  let events =
+    match Option.bind (Json.member "traceEvents" j) Json.get_list with
+    | Some es -> es
+    | None -> Alcotest.fail "no traceEvents"
+  in
+  let counters =
+    List.filter
+      (fun e ->
+        Option.bind (Json.member "ph" e) Json.get_string = Some "C")
+      events
+  in
+  match counters with
+  | [ e ] ->
+    Alcotest.(check int) "ts" 5 (geti "counter" e [ "ts" ]);
+    let v =
+      Option.bind (Json.member "args" e) (fun a ->
+          Option.bind (Json.member "false sharing" a) Json.get_float)
+    in
+    Alcotest.(check bool) "value" true (v = Some 3.0)
+  | cs -> Alcotest.fail (Printf.sprintf "expected 1 counter event, got %d" (List.length cs))
 
 (* ------------------------------------------------------------------ *)
 (* Emitters: every record round-trips through the parser               *)
@@ -439,8 +513,11 @@ let suite =
     Alcotest.test_case "json accessors" `Quick test_json_accessors;
     Alcotest.test_case "metrics instruments" `Quick test_metrics_instruments;
     Alcotest.test_case "metrics listener" `Quick test_metrics_listener;
+    Alcotest.test_case "prometheus escaping" `Quick test_prometheus_escaping;
+    Alcotest.test_case "heatmap" `Quick test_heatmap;
     Alcotest.test_case "profile" `Quick test_profile;
     Alcotest.test_case "timeline chrome trace" `Quick test_timeline;
+    Alcotest.test_case "timeline counter track" `Quick test_timeline_counter;
     Alcotest.test_case "emit sim round-trip" `Quick test_emit_sim_roundtrip;
     Alcotest.test_case "emit records round-trip" `Quick test_emit_records_roundtrip;
     Alcotest.test_case "emit report round-trip" `Quick test_emit_report_roundtrip;

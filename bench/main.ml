@@ -6,8 +6,8 @@
    improvements — and then times the pipeline components with Bechamel.
 
    A single argument selects one piece:
-     fig3 | table2 | fig4 | table3 | stats | exectime | replay | micro |
-     ablation | phases
+     fig3 | table2 | fig4 | table3 | stats | exectime | replay | simspeed |
+     micro | ablation | phases
    plus `quick`, which shrinks the processor sweep for a fast pass,
    `baseline`, which runs the quick pass and seeds bench/BASELINE.json,
    and `check`, which runs the quick pass and fails (exit 1) if any
@@ -174,6 +174,95 @@ let replay_bench ~jobs () =
          ("jobs", Json.Int jobs) ])
 
 (* ------------------------------------------------------------------ *)
+(* The simulator hot path, three ways over the same recorded trace:
+   the engine the flat-array rewrite replaced (bench/legacy_cache.ml:
+   hashtables + int-list LRU sets, driven through the listener path),
+   the live flat-array engine on the same listener path, and the fused
+   packed-replay loop.  legacy -> fused is the rewrite's total win;
+   reference -> fused isolates the per-event unpack + dispatch +
+   outcome-boxing cost the fused loop removes.                         *)
+
+let simspeed () =
+  section "Simulator hot path - fused packed replay vs listener paths \
+           (pverify, unoptimized, 128B)";
+  let w = Ws.find "pverify" in
+  let nprocs = w.W.fig3_procs in
+  (* 4x the experiment scale: a longer trace amortizes per-run setup
+     (cache construction) so the measurement is per-event throughput *)
+  let prog = w.W.build ~nprocs ~scale:(4 * w.W.default_scale) in
+  let recorded = Sim.record prog ~nprocs in
+  let layout = Layout.default prog ~block:128 in
+  let max_addr = Layout.size layout in
+  let events = Fs_trace.Cell_trace.length recorded.Sim.trace in
+  let reps = 10 in
+  let legacy () =
+    let c = Legacy_cache.create (C.default_config ~nprocs ~block:128) in
+    Fs_replay.Replay.replay_to_sink recorded.Sim.trace ~layout
+      ~sink:(Legacy_cache.sink c);
+    Legacy_cache.counts c
+  in
+  let reference () =
+    let c = C.create ~max_addr (C.default_config ~nprocs ~block:128) in
+    Fs_replay.Replay.replay_to_sink recorded.Sim.trace ~layout
+      ~sink:(C.sink c);
+    C.counts c
+  in
+  let fused () =
+    let c = C.create ~max_addr (C.default_config ~nprocs ~block:128) in
+    Fs_replay.Replay.simulate recorded.Sim.trace ~layout ~cache:c;
+    C.counts c
+  in
+  (* identical counts is load-bearing: the throughput comparison is only
+     meaningful because the three engines are interchangeable *)
+  let c_fused = fused () in
+  assert (legacy () = c_fused);
+  assert (reference () = c_fused);
+  (* interleaved trials, min per engine: each engine sees the same
+     machine conditions within a round, and the min is insensitive to
+     GC pauses and scheduler noise on these short runs.  The
+     full_major keeps one engine's garbage from being collected on
+     another engine's clock. *)
+  let t_legacy = ref infinity and t_ref = ref infinity
+  and t_fused = ref infinity in
+  let trial best f =
+    Gc.full_major ();
+    let t = snd (time_it (fun () ->
+        for _ = 1 to reps do ignore (f ()) done))
+    in
+    if t < !best then best := t
+  in
+  for _ = 1 to 4 do
+    trial t_legacy legacy;
+    trial t_ref reference;
+    trial t_fused fused
+  done;
+  let t_legacy = !t_legacy and t_ref = !t_ref and t_fused = !t_fused in
+  let rate t =
+    if t > 0. then float_of_int (events * reps) /. t /. 1e6 else 0.
+  in
+  let speedup num den = if den > 0. then num /. den else 0. in
+  Printf.printf
+    "pre-rewrite engine, listener path: %.3fs  (%.1f Mevents/s)\n\
+     flat-array engine, listener path:  %.3fs  (%.1f Mevents/s)\n\
+     flat-array engine, fused loop:     %.3fs  (%.1f Mevents/s)\n\
+     fused vs pre-rewrite: %.2fx | fused vs listener path: %.2fx \
+     (%d events x%d, identical counts)\n"
+    t_legacy (rate t_legacy) t_ref (rate t_ref) t_fused (rate t_fused)
+    (speedup t_legacy t_fused) (speedup t_ref t_fused) events reps;
+  record "simspeed" ~seconds:(t_legacy +. t_ref +. t_fused)
+    (Json.Obj
+       [ ("events", Json.Int events);
+         ("reps", Json.Int reps);
+         ("legacy_seconds", Json.float t_legacy);
+         ("reference_seconds", Json.float t_ref);
+         ("fused_seconds", Json.float t_fused);
+         ("legacy_mevents_per_s", Json.float (rate t_legacy));
+         ("reference_mevents_per_s", Json.float (rate t_ref));
+         ("fused_mevents_per_s", Json.float (rate t_fused));
+         ("speedup_vs_legacy", Json.float (speedup t_legacy t_fused));
+         ("speedup_vs_reference", Json.float (speedup t_ref t_fused)) ])
+
+(* ------------------------------------------------------------------ *)
 (* Ablations of the design choices DESIGN.md calls out                 *)
 
 let ablation () =
@@ -286,7 +375,7 @@ let phases_bench () =
 
 (* sections whose payloads are wall-clock measurements, not
    deterministic experiment data *)
-let nondeterministic = [ "micro"; "replay"; "tracking_overhead" ]
+let nondeterministic = [ "micro"; "replay"; "tracking_overhead"; "simspeed" ]
 
 let baseline_path () =
   if Sys.file_exists "bench/BASELINE.json" then "bench/BASELINE.json"
@@ -500,6 +589,7 @@ let () =
   if all || gate || pick = "table3" then table3 ~procs ~jobs ();
   if all || gate || pick = "exectime" then exectime ~procs ~jobs ();
   if all || pick = "replay" then replay_bench ~jobs ();
+  if all || gate || pick = "simspeed" then simspeed ();
   if all || gate || pick = "ablation" then ablation ();
   if all || gate || pick = "phases" then phases_bench ();
   if all || pick = "micro" then micro ~quick ();

@@ -70,30 +70,6 @@ type outcome =
   | Upgrade of { invalidated : int }
   | Miss of { info : miss_info; invalidated : int }
 
-(* Why a processor's copy of a block went away. *)
-type lost = Never | Evicted | Invalidated of int
-
-(* Per-processor, per-block bookkeeping; survives loss of the copy. *)
-type entry = {
-  mutable state : int;  (* 0 = I, 1 = S, 2 = M *)
-  mutable lost : lost;
-  mutable last_use : int;
-}
-
-(* Global, per-block bookkeeping. *)
-type binfo = {
-  mutable mask : int;        (* bit p: processor p holds a valid copy *)
-  mutable owner : int;       (* processor with the M copy, or -1 *)
-  mutable last_writer : int; (* most recent writer ever, or -1 *)
-  wproc : int array;         (* per word: last writing processor, or -1 *)
-  wtime : int array;         (* per word: time of that write *)
-}
-
-type pcache = {
-  entries : (int, entry) Hashtbl.t;  (* block -> entry *)
-  sets : int list array;             (* set index -> resident blocks *)
-}
-
 (* One invalidation flow: writes by [src] that destroyed [victim]'s copy
    of a block, split by whether the write hit a Shared copy (upgrade) or
    missed outright. *)
@@ -148,11 +124,55 @@ let pingpong_score l =
   if l.line_writes = 0 then 0.0
   else float_of_int l.migrations /. float_of_int l.line_writes
 
+(* Why a processor's copy of a block went away, packed into one int:
+   [lost_never] before the block was ever held, [lost_evicted] after an
+   LRU eviction, and the (positive) invalidation time after a remote
+   write destroyed the copy.  Times start at 1, so they never collide
+   with the two sentinels — and [lost_never] is 0 so freshly grown
+   storage needs no re-fill. *)
+let lost_never = 0
+let lost_evicted = -1
+
+(* The simulator state is array-dense, indexed by block id over the
+   layout's contiguous arena.  Fields touched by the same protocol step
+   are interleaved so one reference lands on one cache line, not three:
+
+   - per (block, proc) entry state is a (state, lost, last_use, slot)
+     quad at element index [4 * (b * nprocs + p)] — 32 bytes, so two
+     entries per cache line;
+   - per-block coherence state is a (sharer mask, owner, last_writer)
+     triple at [3 * b], and the word-level write history a
+     (writer, time) pair at [2 * (b * words_per_block + w)];
+   - LRU sets are fixed [assoc]-wide slot arrays per (proc, set),
+     updated in place (free slots hold -1); each resident entry's
+     [slot] field caches its absolute index into [slots], making
+     invalidation-time removal O(1).
+
+   Owners and writers are stored as [proc + 1] with 0 meaning none, so
+   every growable array zero-fills and growth is a single blit.
+   Nothing on the access path allocates; the optional tracking tables
+   (per-block counts, blame pairs, line lifetimes) stay hash-based,
+   since they are opt-in and off the untracked hot path. *)
 type t = {
   cfg : config;
   nsets : int;
-  procs : pcache array;
-  blocks : (int, binfo) Hashtbl.t;
+  nprocs : int;             (* = cfg.nprocs, unboxed copy for the hot path *)
+  assoc : int;              (* = cfg.assoc, likewise *)
+  block_shift : int;        (* log2 block *)
+  word_mask : int;          (* block - 1 *)
+  set_mask : int;           (* nsets - 1 when nsets is a power of two, else 0 *)
+  words : int;              (* words per block *)
+  mutable cap : int;        (* block ids currently backed by the arrays *)
+  (* per (block, proc): state (0 = I, 1 = S, 2 = M), lost, last_use,
+     and the absolute [slots] index while resident *)
+  mutable ent : int array;
+  (* per block: sharer mask (bit p: p holds a valid copy), owner + 1,
+     last_writer + 1 *)
+  mutable blk : int array;
+  (* per (block, word): last writing processor + 1, time of that write *)
+  mutable wrd : int array;
+  (* per (proc, set, way), stride nsets * assoc per proc *)
+  slots : int array;          (* resident block id, or -1 *)
   totals : counts;
   per_proc : counts array;
   per_block_tbl : (int, counts) Hashtbl.t option;
@@ -162,19 +182,36 @@ type t = {
 }
 
 let create ?(track_blocks = false) ?(track_pairs = false)
-    ?(track_lines = false) (cfg : config) =
+    ?(track_lines = false) ?max_addr (cfg : config) =
   if not (Align.is_power_of_two cfg.block) || cfg.block < word_size then
     invalid_arg "Mpcache.create: block must be a power of two >= 4";
   if cfg.assoc <= 0 || cfg.cache_bytes < cfg.block * cfg.assoc then
     invalid_arg "Mpcache.create: cache too small for one set";
   let nsets = cfg.cache_bytes / (cfg.block * cfg.assoc) in
+  let log2 n =
+    let rec go s n = if n <= 1 then s else go (s + 1) (n lsr 1) in
+    go 0 n
+  in
+  let words = cfg.block / word_size in
+  let cap =
+    match max_addr with
+    | Some a when a > 0 -> ((a - 1) / cfg.block) + 1
+    | _ -> 1024
+  in
   {
     cfg;
     nsets;
-    procs =
-      Array.init cfg.nprocs (fun _ ->
-          { entries = Hashtbl.create 512; sets = Array.make nsets [] });
-    blocks = Hashtbl.create 1024;
+    nprocs = cfg.nprocs;
+    assoc = cfg.assoc;
+    block_shift = log2 cfg.block;
+    word_mask = cfg.block - 1;
+    set_mask = (if Align.is_power_of_two nsets then nsets - 1 else 0);
+    words;
+    cap;
+    ent = Array.make (cap * cfg.nprocs * 4) 0;
+    blk = Array.make (cap * 3) 0;
+    wrd = Array.make (cap * words * 2) 0;
+    slots = Array.make (cfg.nprocs * nsets * cfg.assoc) (-1);
     totals = zero_counts ();
     per_proc = Array.init cfg.nprocs (fun _ -> zero_counts ());
     per_block_tbl = (if track_blocks then Some (Hashtbl.create 256) else None);
@@ -185,25 +222,27 @@ let create ?(track_blocks = false) ?(track_pairs = false)
 
 let config t = t.cfg
 
-let entry_of pc b =
-  match Hashtbl.find_opt pc.entries b with
-  | Some e -> e
-  | None ->
-    let e = { state = 0; lost = Never; last_use = 0 } in
-    Hashtbl.add pc.entries b e;
-    e
+(* Double the backing arrays until block id [b] fits; strides are fixed
+   and zero means "empty" everywhere, so old contents move with a single
+   blit per array. *)
+let grow t b =
+  let cap = ref t.cap in
+  while b >= !cap do
+    cap := !cap * 2
+  done;
+  let cap = !cap in
+  let extend stride old =
+    let bigger = Array.make (cap * stride) 0 in
+    Array.blit old 0 bigger 0 (t.cap * stride);
+    bigger
+  in
+  t.ent <- extend (t.nprocs * 4) t.ent;
+  t.blk <- extend 3 t.blk;
+  t.wrd <- extend (t.words * 2) t.wrd;
+  t.cap <- cap
 
-let binfo_of t b =
-  match Hashtbl.find_opt t.blocks b with
-  | Some bi -> bi
-  | None ->
-    let words = t.cfg.block / word_size in
-    let bi =
-      { mask = 0; owner = -1; last_writer = -1;
-        wproc = Array.make words (-1); wtime = Array.make words 0 }
-    in
-    Hashtbl.add t.blocks b bi;
-    bi
+let set_index t b =
+  if t.set_mask <> 0 then b land t.set_mask else b mod t.nsets
 
 let block_counts t b =
   match t.per_block_tbl with
@@ -235,7 +274,7 @@ let note_line t ~proc ~write ~word ~invalidated b =
   match t.line_tbl with
   | None -> ()
   | Some tbl ->
-    let l = linfo_of tbl b (t.cfg.block / word_size) in
+    let l = linfo_of tbl b t.words in
     if write then begin
       l.lwrites <- l.lwrites + 1;
       l.writer_mask <- l.writer_mask lor (1 lsl proc);
@@ -263,17 +302,20 @@ let note_line t ~proc ~write ~word ~invalidated b =
 
 (* Remove [victim]'s copy because a write by [src] invalidated it.
    [cause] distinguishes upgrades (write hits on a Shared copy) from
-   outright write misses, for the blame matrix. *)
-let invalidate t bi b ~src ~victim ~cause =
-  let pc = t.procs.(victim) in
-  let e = entry_of pc b in
-  e.state <- 0;
-  e.lost <- Invalidated t.time;
-  bi.mask <- bi.mask land lnot (1 lsl victim);
-  if bi.owner = victim then bi.owner <- -1;
-  let set = b mod t.nsets in
-  pc.sets.(set) <- List.filter (fun b' -> b' <> b) pc.sets.(set);
-  t.totals.invalidations <- t.totals.invalidations + 1;
+   outright write misses, for the blame matrix.  The victim holds a
+   valid copy (it is in the sharer mask), so its cached slot index is
+   current and the LRU removal is a single store. *)
+let invalidate t b ~src ~victim ~cause =
+  let e = ((b * t.nprocs) + victim) * 4 in
+  Array.unsafe_set t.ent e 0;
+  Array.unsafe_set t.ent (e + 1) t.time;
+  let b3 = b * 3 in
+  let m = Array.unsafe_get t.blk b3 in
+  Array.unsafe_set t.blk b3 (m land lnot (1 lsl victim));
+  if Array.unsafe_get t.blk (b3 + 1) = victim + 1 then
+    Array.unsafe_set t.blk (b3 + 1) 0;
+  Array.unsafe_set t.slots (Array.unsafe_get t.ent (e + 3)) (-1);
+  (* the caller batches [totals.invalidations] over all victims *)
   let c = t.per_proc.(victim) in
   c.invalidations <- c.invalidations + 1;
   (match t.per_block_tbl with
@@ -301,61 +343,79 @@ let invalidate t bi b ~src ~victim ~cause =
      | `Upgrade -> f.by_upgrade <- f.by_upgrade + 1
      | `Wmiss -> f.by_miss <- f.by_miss + 1)
 
-let invalidate_others t bi b ~keep ~cause =
-  let mask = bi.mask land lnot (1 lsl keep) in
+let invalidate_others t b ~keep ~cause =
+  let mask = t.blk.(b * 3) land lnot (1 lsl keep) in
+  (* walk the sharer mask, stopping after its highest set bit *)
   let n = ref 0 in
-  if mask <> 0 then
-    for q = 0 to t.cfg.nprocs - 1 do
-      if mask land (1 lsl q) <> 0 then begin
-        invalidate t bi b ~src:keep ~victim:q ~cause;
-        incr n
-      end
-    done;
+  let m = ref mask in
+  let q = ref 0 in
+  while !m <> 0 do
+    if !m land 1 <> 0 then begin
+      invalidate t b ~src:keep ~victim:!q ~cause;
+      incr n
+    end;
+    m := !m lsr 1;
+    incr q
+  done;
+  if !n > 0 then t.totals.invalidations <- t.totals.invalidations + !n;
   !n
 
-(* Make room in [proc]'s set for block [b] and insert it. *)
+(* Make room in [proc]'s set for block [b] and insert it.  The LRU victim
+   is unique: [last_use] times are distinct access times, so the scan
+   order cannot change which block is evicted. *)
 let install t ~proc b =
-  let pc = t.procs.(proc) in
-  let set = b mod t.nsets in
-  let resident = pc.sets.(set) in
-  if List.length resident >= t.cfg.assoc then begin
-    let victim =
-      List.fold_left
-        (fun best b' ->
-          let e' = Hashtbl.find pc.entries b' in
-          match best with
-          | None -> Some (b', e'.last_use)
-          | Some (_, lu) when e'.last_use < lu -> Some (b', e'.last_use)
-          | some -> some)
-        None resident
-    in
-    match victim with
-    | None -> ()
-    | Some (vb, _) ->
-      let ve = Hashtbl.find pc.entries vb in
-      ve.state <- 0;
-      ve.lost <- Evicted;
-      let vbi = binfo_of t vb in
-      vbi.mask <- vbi.mask land lnot (1 lsl proc);
-      if vbi.owner = proc then vbi.owner <- -1;
-      pc.sets.(set) <- List.filter (fun b' -> b' <> vb) pc.sets.(set)
-  end;
-  pc.sets.(set) <- b :: pc.sets.(set)
+  let base = ((proc * t.nsets) + set_index t b) * t.assoc in
+  let free = ref (-1) in
+  let victim_i = ref (-1) in
+  let victim_lu = ref max_int in
+  for i = 0 to t.assoc - 1 do
+    let b' = Array.unsafe_get t.slots (base + i) in
+    if b' < 0 then begin
+      if !free < 0 then free := i
+    end
+    else begin
+      let lu = Array.unsafe_get t.ent ((((b' * t.nprocs) + proc) * 4) + 2) in
+      if lu < !victim_lu then begin
+        victim_lu := lu;
+        victim_i := i
+      end
+    end
+  done;
+  let si =
+    if !free >= 0 then base + !free
+    else begin
+      let vb = Array.unsafe_get t.slots (base + !victim_i) in
+      let ve = ((vb * t.nprocs) + proc) * 4 in
+      Array.unsafe_set t.ent ve 0;
+      Array.unsafe_set t.ent (ve + 1) lost_evicted;
+      let vb3 = vb * 3 in
+      t.blk.(vb3) <- t.blk.(vb3) land lnot (1 lsl proc);
+      if t.blk.(vb3 + 1) = proc + 1 then t.blk.(vb3 + 1) <- 0;
+      base + !victim_i
+    end
+  in
+  Array.unsafe_set t.slots si b;
+  Array.unsafe_set t.ent ((((b * t.nprocs) + proc) * 4) + 3) si
 
-let classify_miss bi ~proc ~word e =
-  match e.lost with
-  | Never -> Cold
-  | Evicted -> Replacement
-  | Invalidated t_inv ->
-    if bi.wproc.(word) >= 0 && bi.wproc.(word) <> proc && bi.wtime.(word) >= t_inv
-    then True_sharing
+(* [e] is the entry triple's base index, [w2] the word pair's. *)
+let classify_miss t ~proc ~w2 e =
+  let lost = Array.unsafe_get t.ent (e + 1) in
+  if lost = lost_never then Cold
+  else if lost = lost_evicted then Replacement
+  else
+    (* invalidated at time [lost] *)
+    let wp = Array.unsafe_get t.wrd w2 - 1 in
+    if wp >= 0 && wp <> proc && Array.unsafe_get t.wrd (w2 + 1) >= lost then
+      True_sharing
     else False_sharing
 
-let provider_of bi =
-  if bi.owner >= 0 then bi.owner
-  else if bi.last_writer >= 0 && bi.mask land (1 lsl bi.last_writer) <> 0 then
-    bi.last_writer
-  else -1
+let provider_of t b3 =
+  let o = Array.unsafe_get t.blk (b3 + 1) - 1 in
+  if o >= 0 then o
+  else
+    let lw = Array.unsafe_get t.blk (b3 + 2) - 1 in
+    if lw >= 0 && Array.unsafe_get t.blk b3 land (1 lsl lw) <> 0 then lw
+    else -1
 
 let bump_kind c = function
   | Cold -> c.cold <- c.cold + 1
@@ -363,89 +423,136 @@ let bump_kind c = function
   | True_sharing -> c.true_sh <- c.true_sh + 1
   | False_sharing -> c.false_sh <- c.false_sh + 1
 
-let access t ~proc ~write ~addr =
+(* The raw protocol step.  Returns the outcome packed into an int —
+   bits 0-2 a code (0 hit, 1 upgrade, 2-5 a miss of that [kind]),
+   bits 3-11 [provider + 1], bits 12+ the invalidation count — so the
+   fused replay loop pays no allocation; {!access} below re-boxes it. *)
+let kind_code = function
+  | Cold -> 2
+  | Replacement -> 3
+  | True_sharing -> 4
+  | False_sharing -> 5
+
+let access_raw t ~proc ~write ~addr =
+  (* one range check up front licenses the unsafe array accesses below:
+     every index is then [b * stride + k] with [b < cap] (after [grow]),
+     [proc < nprocs], [word < words] by construction *)
+  if proc < 0 || proc >= t.nprocs || addr < 0 then
+    invalid_arg "Mpcache.access: processor id or address out of range";
   t.time <- t.time + 1;
-  let b = addr / t.cfg.block in
-  let word = addr mod t.cfg.block / word_size in
-  let pc = t.procs.(proc) in
-  let e = entry_of pc b in
-  let bi = binfo_of t b in
-  let bc = block_counts t b in
-  let count f =
-    f t.totals;
-    f t.per_proc.(proc);
-    Option.iter f bc
+  let b = addr lsr t.block_shift in
+  if b >= t.cap then grow t b;
+  let e = ((b * t.nprocs) + proc) * 4 in
+  (* short-circuit keeps the untracked hot path free of the call *)
+  let bc =
+    match t.per_block_tbl with None -> None | Some _ -> block_counts t b
   in
-  if write then count (fun c -> c.writes <- c.writes + 1)
-  else count (fun c -> c.reads <- c.reads + 1);
-  let note_write () =
-    bi.wproc.(word) <- proc;
-    bi.wtime.(word) <- t.time;
-    bi.last_writer <- proc
-  in
-  let outcome =
+  let pp = Array.unsafe_get t.per_proc proc in
+  (if write then begin
+     t.totals.writes <- t.totals.writes + 1;
+     pp.writes <- pp.writes + 1;
+     match bc with Some c -> c.writes <- c.writes + 1 | None -> ()
+   end
+   else begin
+     t.totals.reads <- t.totals.reads + 1;
+     pp.reads <- pp.reads + 1;
+     match bc with Some c -> c.reads <- c.reads + 1 | None -> ()
+   end);
+  let raw =
     if write then begin
-      match e.state with
+      let w2 = ((b * t.words) + ((addr land t.word_mask) lsr 2)) * 2 in
+      let b3 = b * 3 in
+      let note_write () =
+        Array.unsafe_set t.wrd w2 (proc + 1);
+        Array.unsafe_set t.wrd (w2 + 1) t.time;
+        Array.unsafe_set t.blk (b3 + 2) (proc + 1)
+      in
+      match Array.unsafe_get t.ent e with
       | 2 ->
-        e.last_use <- t.time;
+        Array.unsafe_set t.ent (e + 2) t.time;
         note_write ();
-        Hit
+        0
       | 1 ->
         (* write hit on a shared copy: upgrade, invalidating other sharers *)
-        let invalidated = invalidate_others t bi b ~keep:proc ~cause:`Upgrade in
-        e.state <- 2;
-        e.last_use <- t.time;
-        bi.owner <- proc;
+        let invalidated = invalidate_others t b ~keep:proc ~cause:`Upgrade in
+        Array.unsafe_set t.ent e 2;
+        Array.unsafe_set t.ent (e + 2) t.time;
+        Array.unsafe_set t.blk (b3 + 1) (proc + 1);
         note_write ();
-        count (fun c -> c.upgrades <- c.upgrades + 1);
-        Upgrade { invalidated }
+        t.totals.upgrades <- t.totals.upgrades + 1;
+        pp.upgrades <- pp.upgrades + 1;
+        (match bc with Some c -> c.upgrades <- c.upgrades + 1 | None -> ());
+        1 lor (invalidated lsl 12)
       | _ ->
-        let kind = classify_miss bi ~proc ~word e in
-        let provider = provider_of bi in
-        let invalidated = invalidate_others t bi b ~keep:proc ~cause:`Wmiss in
+        let kind = classify_miss t ~proc ~w2 e in
+        let provider = provider_of t b3 in
+        let invalidated = invalidate_others t b ~keep:proc ~cause:`Wmiss in
         install t ~proc b;
-        e.state <- 2;
-        e.lost <- Never;
-        e.last_use <- t.time;
-        bi.mask <- bi.mask lor (1 lsl proc);
-        bi.owner <- proc;
+        Array.unsafe_set t.ent e 2;
+        Array.unsafe_set t.ent (e + 1) lost_never;
+        Array.unsafe_set t.ent (e + 2) t.time;
+        Array.unsafe_set t.blk b3 (Array.unsafe_get t.blk b3 lor (1 lsl proc));
+        Array.unsafe_set t.blk (b3 + 1) (proc + 1);
         note_write ();
-        count (fun c -> bump_kind c kind);
-        Miss { info = { kind; provider }; invalidated }
+        bump_kind t.totals kind;
+        bump_kind pp kind;
+        (match bc with Some c -> bump_kind c kind | None -> ());
+        kind_code kind lor ((provider + 1) lsl 3) lor (invalidated lsl 12)
     end
     else begin
-      match e.state with
+      match Array.unsafe_get t.ent e with
       | 1 | 2 ->
-        e.last_use <- t.time;
-        Hit
+        Array.unsafe_set t.ent (e + 2) t.time;
+        0
       | _ ->
-        let kind = classify_miss bi ~proc ~word e in
-        let provider = provider_of bi in
+        let w2 = ((b * t.words) + ((addr land t.word_mask) lsr 2)) * 2 in
+        let b3 = b * 3 in
+        let kind = classify_miss t ~proc ~w2 e in
+        let provider = provider_of t b3 in
         (* a modified copy elsewhere is downgraded to shared *)
-        if bi.owner >= 0 then begin
-          let oe = entry_of t.procs.(bi.owner) b in
-          oe.state <- 1;
-          bi.owner <- -1
+        let o = Array.unsafe_get t.blk (b3 + 1) - 1 in
+        if o >= 0 then begin
+          Array.unsafe_set t.ent (((b * t.nprocs) + o) * 4) 1;
+          Array.unsafe_set t.blk (b3 + 1) 0
         end;
         install t ~proc b;
-        e.state <- 1;
-        e.lost <- Never;
-        e.last_use <- t.time;
-        bi.mask <- bi.mask lor (1 lsl proc);
-        count (fun c -> bump_kind c kind);
-        Miss { info = { kind; provider }; invalidated = 0 }
+        Array.unsafe_set t.ent e 1;
+        Array.unsafe_set t.ent (e + 1) lost_never;
+        Array.unsafe_set t.ent (e + 2) t.time;
+        Array.unsafe_set t.blk b3 (Array.unsafe_get t.blk b3 lor (1 lsl proc));
+        bump_kind t.totals kind;
+        bump_kind pp kind;
+        (match bc with Some c -> bump_kind c kind | None -> ());
+        kind_code kind lor ((provider + 1) lsl 3)
     end
   in
-  (if t.line_tbl <> None then
-     let invalidated =
-       match outcome with
-       | Hit -> 0
-       | Upgrade { invalidated } | Miss { invalidated; _ } -> invalidated
-     in
-     note_line t ~proc ~write ~word ~invalidated b);
-  outcome
+  (match t.line_tbl with
+   | None -> ()
+   | Some _ ->
+     note_line t ~proc ~write
+       ~word:((addr land t.word_mask) lsr 2)
+       ~invalidated:(raw lsr 12) b);
+  raw
 
-let sink t ~proc ~write ~addr = ignore (access t ~proc ~write ~addr)
+let touch t ~proc ~write ~addr = ignore (access_raw t ~proc ~write ~addr : int)
+
+let kind_of_code = function
+  | 2 -> Cold
+  | 3 -> Replacement
+  | 4 -> True_sharing
+  | _ -> False_sharing
+
+let access t ~proc ~write ~addr =
+  let raw = access_raw t ~proc ~write ~addr in
+  match raw land 7 with
+  | 0 -> Hit
+  | 1 -> Upgrade { invalidated = raw lsr 12 }
+  | code ->
+    Miss
+      { info = { kind = kind_of_code code; provider = ((raw lsr 3) land 0x1ff) - 1 };
+        invalidated = raw lsr 12 }
+
+let sink t ~proc ~write ~addr = touch t ~proc ~write ~addr
 
 let counts t = t.totals
 
@@ -507,8 +614,10 @@ let lines t =
     |> List.sort (fun a b -> compare a.line_block b.line_block)
 
 let state_of t ~proc ~addr =
-  let b = addr / t.cfg.block in
-  match Hashtbl.find_opt t.procs.(proc).entries b with
-  | Some { state = 2; _ } -> `Modified
-  | Some { state = 1; _ } -> `Shared
-  | Some _ | None -> `Invalid
+  let b = addr lsr t.block_shift in
+  if b >= t.cap then `Invalid
+  else
+    match t.ent.(((b * t.nprocs) + proc) * 4) with
+    | 2 -> `Modified
+    | 1 -> `Shared
+    | _ -> `Invalid

@@ -128,11 +128,28 @@ val pingpong_score : line -> float
     write ownership; 0 for an unwritten or single-writer line. *)
 
 val create :
-  ?track_blocks:bool -> ?track_pairs:bool -> ?track_lines:bool -> config -> t
+  ?track_blocks:bool ->
+  ?track_pairs:bool ->
+  ?track_lines:bool ->
+  ?max_addr:int ->
+  config ->
+  t
+(** The simulator state is array-dense, indexed by block id over the
+    address arena.  [max_addr] presizes the arrays for an arena of that
+    many bytes (pass {!Fs_layout.Layout.size} of the replayed layout);
+    without it the arrays start small and grow by doubling as higher
+    addresses appear.  Either way the per-reference path is
+    allocation-free unless a tracking flag is on. *)
+
 val config : t -> config
 
 val access : t -> proc:int -> write:bool -> addr:int -> outcome
 (** Simulate one reference. *)
+
+val touch : t -> proc:int -> write:bool -> addr:int -> unit
+(** Exactly {!access} minus the boxed [outcome] — the entry point of the
+    fused replay loop, which needs the counters but not the per-reference
+    result.  Allocation-free when no tracking flag is on. *)
 
 val sink : t -> Fs_trace.Sink.t
 (** Feed the simulator from an interpreter run, ignoring outcomes. *)

@@ -55,7 +55,7 @@ let cell_range prog layout ~block var blk =
 let attribute ?(cache_bytes = 32 * 1024) ?(assoc = 4) prog plan ~nprocs ~block =
   let layout = Layout.realize prog plan ~block in
   let cache =
-    Mpcache.create ~track_blocks:true
+    Mpcache.create ~track_blocks:true ~max_addr:(Layout.size layout)
       { Mpcache.nprocs; block; cache_bytes; assoc }
   in
   let _ =

@@ -102,6 +102,7 @@ let analyze ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?(top = 10) ?recorded prog
   let layout = Layout.realize prog plan ~block in
   let cache =
     Mpcache.create ~track_blocks:true ~track_lines:true
+      ~max_addr:(Layout.size layout)
       { Mpcache.nprocs; block; cache_bytes; assoc }
   in
   Fs_replay.Replay.replay_to_sink recorded.Sim.trace ~layout

@@ -159,7 +159,8 @@ let analyze ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?recorded prog plan
   in
   let layout = Layout.realize prog plan ~block in
   let cache =
-    Mpcache.create { Mpcache.nprocs; block; cache_bytes; assoc }
+    Mpcache.create ~max_addr:(Layout.size layout)
+      { Mpcache.nprocs; block; cache_bytes; assoc }
   in
   let trace = recorded.Sim.trace in
   let vars = Cell_trace.vars trace in

@@ -104,7 +104,8 @@ let run ?options ?(machine = false) ?(epochs = false) ?plan ?profile prog
       (fun () -> Sim.record prog ~nprocs)
   in
   let cache =
-    Mpcache.create ~track_blocks:true (Mpcache.default_config ~nprocs ~block)
+    Mpcache.create ~track_blocks:true ~max_addr:(Layout.size layout)
+      (Mpcache.default_config ~nprocs ~block)
   in
   let tracker, close_epochs =
     if epochs then Phases.tracker cache else (Listener.null, fun () -> [])

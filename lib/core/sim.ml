@@ -25,10 +25,15 @@ let cache_sim ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?(track_blocks = false)
   in
   let layout = Layout.realize prog plan ~block in
   let cache =
-    Mpcache.create ~track_blocks
+    Mpcache.create ~track_blocks ~max_addr:(Layout.size layout)
       { Mpcache.nprocs; block; cache_bytes; assoc }
   in
-  Replay.replay_to_sink recorded.trace ~layout ~sink:(Mpcache.sink cache);
+  (* untracked runs take the fused packed-replay loop; with per-block
+     tracking on, the reference listener path keeps the hot loop honest
+     (and is what epoch/line consumers layer their taps onto) *)
+  if track_blocks then
+    Replay.replay_to_sink recorded.trace ~layout ~sink:(Mpcache.sink cache)
+  else Replay.simulate recorded.trace ~layout ~cache;
   {
     counts = Mpcache.counts cache;
     per_block = (if track_blocks then Mpcache.per_block cache else []);

@@ -3,6 +3,7 @@ module Cell_event = Fs_trace.Cell_event
 module Cell_trace = Fs_trace.Cell_trace
 module Cell_listener = Fs_trace.Cell_listener
 module Listener = Fs_trace.Listener
+module Mpcache = Fs_cache.Mpcache
 
 let vars_of prog =
   Array.of_list (List.map fst prog.Fs_ir.Ast.globals)
@@ -58,3 +59,47 @@ let replay trace ~layout ~listener =
 
 let replay_to_sink trace ~layout ~sink =
   replay trace ~layout ~listener:(Listener.of_sink sink)
+
+(* ------------------------------------------------------------------ *)
+(* The fused hot path: packed trace -> address oracle -> cache, with no
+   event unpacking, no listener dispatch, and no per-event allocation.
+   Only Access events reach the cache — exactly what the listener path
+   delivers through [Listener.of_sink], where every other hook is a
+   no-op — so the two paths produce identical counts (property-tested
+   over every workload). *)
+
+let simulate trace ~layout ~cache =
+  let o = oracle layout ~vars:(Cell_trace.vars trace) in
+  let addr = o.addr and extra = o.extra in
+  let data = Cell_trace.unsafe_data trace in
+  let n = Cell_trace.length trace in
+  (* only indirection layouts inject pointer cells; when none did, the
+     whole per-event pointer-read check can be dropped from the loop *)
+  let has_extra = Array.exists (fun ex -> Array.length ex > 0) extra in
+  if has_extra then
+    for i = 0 to n - 1 do
+      let packed = Array.unsafe_get data i in
+      if Cell_event.packed_is_access packed then begin
+        let proc = Cell_event.packed_proc packed in
+        let cell = Cell_event.packed_cell packed in
+        let var = Cell_event.packed_var packed in
+        let ex = extra.(var) in
+        (* an indirection layout interposes a pointer cell: the read of
+           the pointer happens before the data reference it redirects *)
+        if Array.length ex > 0 && ex.(cell) >= 0 then
+          Mpcache.touch cache ~proc ~write:false ~addr:ex.(cell);
+        Mpcache.touch cache ~proc
+          ~write:(Cell_event.packed_write packed)
+          ~addr:addr.(var).(cell)
+      end
+    done
+  else
+    for i = 0 to n - 1 do
+      let packed = Array.unsafe_get data i in
+      if Cell_event.packed_is_access packed then
+        Mpcache.touch cache
+          ~proc:(Cell_event.packed_proc packed)
+          ~write:(Cell_event.packed_write packed)
+          ~addr:addr.(Cell_event.packed_var packed).(Cell_event.packed_cell
+                                                       packed)
+    done

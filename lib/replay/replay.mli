@@ -41,3 +41,16 @@ val replay_to_sink :
   layout:Fs_layout.Layout.t ->
   sink:Fs_trace.Sink.t ->
   unit
+
+val simulate :
+  Fs_trace.Cell_trace.t ->
+  layout:Fs_layout.Layout.t ->
+  cache:Fs_cache.Mpcache.t ->
+  unit
+(** The fused simulator hot path: iterate the packed event stream
+    directly, decode each access inline, map it through the oracle's flat
+    arrays, and feed {!Fs_cache.Mpcache.touch} — no per-event variant
+    allocation and no listener dispatch.  Produces counts identical to
+    [replay_to_sink _ ~sink:(Mpcache.sink cache)] (the reference path,
+    which remains the route for tracking/epoch consumers that need the
+    full listener event stream). *)

@@ -64,6 +64,17 @@ let pack = function
     tag_lock_grant lor (proc lsl 4) lor (var lsl 12)
     lor ((from + 1) lsl 20) lor (cell lsl 29)
 
+(* Field extractors over the packed form, for consumers that cannot
+   afford [unpack]'s variant allocation per event (the fused replay
+   loop).  They must mirror the bit layout above exactly; the pack/unpack
+   round-trip property test pins them down. *)
+let[@inline] packed_tag packed = packed land 7
+let[@inline] packed_is_access packed = packed land 7 = tag_access
+let[@inline] packed_proc packed = (packed lsr 4) land 0xff
+let[@inline] packed_var packed = (packed lsr 12) land 0xff
+let[@inline] packed_write packed = packed land 8 <> 0
+let[@inline] packed_cell packed = packed lsr 20
+
 let unpack packed =
   let proc = (packed lsr 4) land 0xff in
   let var = (packed lsr 12) land 0xff in

@@ -27,6 +27,20 @@ val pack : t -> int
 
 val unpack : int -> t
 
+(** {1 Allocation-free field access}
+
+    Extractors over the packed int, for hot loops that cannot afford
+    [unpack]'s per-event variant allocation.  [packed_proc] and
+    [packed_var] are meaningful for every tag but [Barrier_release];
+    [packed_write] and [packed_cell] only when [packed_is_access]. *)
+
+val packed_tag : int -> int
+val packed_is_access : int -> bool
+val packed_proc : int -> int
+val packed_var : int -> int
+val packed_write : int -> bool
+val packed_cell : int -> int
+
 val max_proc : int
 val max_var : int
 val max_cell : int

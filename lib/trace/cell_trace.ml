@@ -1,27 +1,27 @@
 type t = {
   vars : string array;
+  ids : (string, int) Hashtbl.t;  (* name -> variable id, built once *)
   nprocs : int;
   mutable data : int array;
   mutable len : int;
 }
 
+let id_table vars =
+  let ids = Hashtbl.create (Array.length vars) in
+  Array.iteri (fun i name -> if not (Hashtbl.mem ids name) then Hashtbl.add ids name i) vars;
+  ids
+
 let create ~vars ~nprocs =
   if nprocs <= 0 then invalid_arg "Cell_trace.create: nprocs must be positive";
   if Array.length vars > Cell_event.max_var + 1 then
     invalid_arg "Cell_trace.create: too many variables";
-  { vars; nprocs; data = Array.make 1024 0; len = 0 }
+  { vars; ids = id_table vars; nprocs; data = Array.make 1024 0; len = 0 }
 
 let vars t = t.vars
 let nprocs t = t.nprocs
 let length t = t.len
 
-let var_id t name =
-  let rec go i =
-    if i >= Array.length t.vars then None
-    else if t.vars.(i) = name then Some i
-    else go (i + 1)
-  in
-  go 0
+let var_id t name = Hashtbl.find_opt t.ids name
 
 let push t packed =
   if t.len = Array.length t.data then begin
@@ -59,6 +59,8 @@ let iter_packed f t =
   for i = 0 to t.len - 1 do
     f t.data.(i)
   done
+
+let unsafe_data t = t.data
 
 let iter f t = iter_packed (fun packed -> f (Cell_event.unpack packed)) t
 
@@ -124,8 +126,22 @@ let read_channel ic =
   in
   let len = r64 () in
   if len < 0 then corrupt "bad length %d" len;
-  let data = Array.init (max len 1) (fun i -> if i < len then r64 () else 0) in
-  { vars; nprocs; data; len }
+  (* the event section is one bulk read: a single [really_input] of
+     [len * 8] bytes decoded in place, instead of one 8-byte read per
+     event — truncation still surfaces as [Corrupt] *)
+  let data = Array.make (max len 1) 0 in
+  if len > 0 then begin
+    let raw =
+      try Bytes.create (len * 8)
+      with Invalid_argument _ -> corrupt "bad length %d" len
+    in
+    (try really_input ic raw 0 (len * 8)
+     with End_of_file -> corrupt "truncated trace");
+    for i = 0 to len - 1 do
+      data.(i) <- Int64.to_int (Bytes.get_int64_le raw (i * 8))
+    done
+  end;
+  { vars; ids = id_table vars; nprocs; data; len }
 
 let write_file t path =
   let tmp = path ^ ".tmp" in

@@ -32,6 +32,12 @@ val iter_packed : (int -> unit) -> t -> unit
 val deliver : t -> Cell_listener.t -> unit
 (** Re-deliver the recorded stream, in order. *)
 
+val unsafe_data : t -> int array
+(** The backing array of packed events.  Only indices
+    [0 .. length t - 1] hold events (the array over-allocates for
+    growth), and the array must not be mutated; it is exposed so the
+    fused replay loop can iterate without a per-event closure call. *)
+
 val equal : t -> t -> bool
 
 (** {1 Capture to disk}

@@ -3,15 +3,11 @@ let default_jobs () = Domain.recommended_domain_count ()
 let map ?jobs f xs =
   let arr = Array.of_list xs in
   let n = Array.length arr in
-  (* clamp to the core count: oversubscribing OCaml 5 domains serializes
-     on the stop-the-world minor GC and only adds overhead *)
-  let jobs =
-    max 1
-      (min
-         (min (match jobs with Some j -> j | None -> default_jobs ())
-            (default_jobs ()))
-         n)
-  in
+  (* clamp once to [1, min (core count) n]: oversubscribing OCaml 5
+     domains serializes on the stop-the-world minor GC and only adds
+     overhead, and more domains than tasks would sit idle *)
+  let cores = default_jobs () in
+  let jobs = max 1 (min (Option.value jobs ~default:cores) (min cores n)) in
   if jobs <= 1 || n <= 1 then List.map f xs
   else begin
     let results = Array.make n None in

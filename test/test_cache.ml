@@ -222,6 +222,30 @@ let test_miss_rates () =
   Alcotest.(check (float 1e-9)) "miss rate" 0.25 (C.miss_rate c);
   Alcotest.(check (float 1e-9)) "fs rate" 0.0 (C.false_sharing_rate c)
 
+let test_touch_matches_access () =
+  (* touch is access minus the boxed outcome; drive the same reference
+     stream through both entry points, with and without a max_addr hint,
+     and compare every counter — exercising the growth path on the
+     unhinted cache (addresses run far past the initial arena) *)
+  let ops =
+    List.init 4000 (fun k -> (k mod 4, k land 3 = 0, 4 * (k * 37 mod 40_000)))
+  in
+  let a = mk () in
+  let b = mk () in
+  let c = C.create ~max_addr:160_000 { C.nprocs = 4; block = 16; cache_bytes = 1024; assoc = 2 } in
+  List.iter
+    (fun (p, w, addr) ->
+      ignore (C.access a ~proc:p ~write:w ~addr);
+      C.touch b ~proc:p ~write:w ~addr;
+      C.touch c ~proc:p ~write:w ~addr)
+    ops;
+  Alcotest.(check bool) "touch = access" true (C.counts a = C.counts b);
+  Alcotest.(check bool) "presized = grown" true (C.counts a = C.counts c);
+  Alcotest.(check bool) "per-proc agree" true (C.proc_counts a = C.proc_counts c);
+  (* an address beyond anything ever touched reads as Invalid *)
+  Alcotest.(check bool) "unseen block invalid" true
+    (C.state_of a ~proc:0 ~addr:10_000_000 = `Invalid)
+
 let test_bad_config () =
   Alcotest.(check bool) "non-power block rejected" true
     (match mk ~block:24 () with
@@ -248,4 +272,5 @@ let suite =
     Alcotest.test_case "tracking off raises" `Quick test_tracking_off_raises;
     Alcotest.test_case "counts arithmetic" `Quick test_counts_arithmetic;
     Alcotest.test_case "miss rates" `Quick test_miss_rates;
+    Alcotest.test_case "touch matches access" `Quick test_touch_matches_access;
     Alcotest.test_case "bad config" `Quick test_bad_config ]

@@ -106,6 +106,70 @@ let test_pointer_loads_injected () =
     (replayed > !traced)
 
 (* ------------------------------------------------------------------ *)
+(* The fused engine: Replay.simulate must be count-identical to the
+   reference listener path — globally, per processor, and per block —
+   for every workload, both the unoptimized and the compiler layout,
+   and a small and a large block size. *)
+
+let test_fused_equivalence () =
+  let nprocs = 4 and scale = 1 in
+  let cfg block = Fs_cache.Mpcache.default_config ~nprocs ~block in
+  List.iter
+    (fun (w : W.t) ->
+      let prog = w.build ~nprocs ~scale in
+      let trace, _ = Interp.record prog ~nprocs in
+      List.iter
+        (fun version ->
+          let plan = E.plan_for w version prog ~nprocs ~scale in
+          List.iter
+            (fun block ->
+              let layout = Layout.realize prog plan ~block in
+              let max_addr = Layout.size layout in
+              let reference =
+                Fs_cache.Mpcache.create ~track_blocks:true ~max_addr
+                  (cfg block)
+              in
+              Replay.replay_to_sink trace ~layout
+                ~sink:(Fs_cache.Mpcache.sink reference);
+              let fused =
+                Fs_cache.Mpcache.create ~track_blocks:true ~max_addr
+                  (cfg block)
+              in
+              Replay.simulate trace ~layout ~cache:fused;
+              let what =
+                Printf.sprintf "%s/%s b=%d" w.name
+                  (W.version_to_string version) block
+              in
+              Alcotest.(check bool) (what ^ ": global counts") true
+                (Fs_cache.Mpcache.counts reference
+                = Fs_cache.Mpcache.counts fused);
+              Alcotest.(check bool) (what ^ ": per-proc counts") true
+                (Fs_cache.Mpcache.proc_counts reference
+                = Fs_cache.Mpcache.proc_counts fused);
+              Alcotest.(check bool) (what ^ ": per-block counts") true
+                (Fs_cache.Mpcache.per_block reference
+                = Fs_cache.Mpcache.per_block fused))
+            [ 16; 128 ])
+        [ W.N; W.C ])
+    Ws.all
+
+(* Without a ~max_addr hint the cache's flat arrays grow on demand; the
+   counts must not depend on the presizing. *)
+let test_fused_growth () =
+  let w = Ws.find "topopt" in
+  let nprocs = 4 in
+  let prog = w.W.build ~nprocs ~scale:1 in
+  let trace, _ = Interp.record prog ~nprocs in
+  let layout = Layout.default prog ~block:16 in
+  let cfg = Fs_cache.Mpcache.default_config ~nprocs ~block:16 in
+  let hinted = Fs_cache.Mpcache.create ~max_addr:(Layout.size layout) cfg in
+  Replay.simulate trace ~layout ~cache:hinted;
+  let grown = Fs_cache.Mpcache.create cfg in
+  Replay.simulate trace ~layout ~cache:grown;
+  Alcotest.(check bool) "growable arrays match presized" true
+    (Fs_cache.Mpcache.counts hinted = Fs_cache.Mpcache.counts grown)
+
+(* ------------------------------------------------------------------ *)
 (* Packing and disk round-trips                                         *)
 
 let event = Alcotest.testable Cell_event.pp ( = )
@@ -189,6 +253,36 @@ let test_disk_roundtrip () =
    | exception Cell_trace.Corrupt _ -> ());
   Sys.remove path
 
+(* The boundary sizes of the disk format: a trace with no events at all,
+   and a trace of exactly one event (the [max len 1] backing-array
+   allocation in [read_channel]). *)
+let test_disk_roundtrip_edges () =
+  let roundtrip what t =
+    let path = Filename.temp_file "fstrace" ".fstrace" in
+    Cell_trace.write_file t path;
+    let back = Cell_trace.read_file path in
+    Sys.remove path;
+    Alcotest.(check bool) (what ^ " survives disk") true
+      (Cell_trace.equal t back);
+    Alcotest.(check int) (what ^ " length") (Cell_trace.length t)
+      (Cell_trace.length back);
+    back
+  in
+  let empty = Cell_trace.create ~vars:[| "a"; "b" |] ~nprocs:2 in
+  let back = roundtrip "empty trace" empty in
+  Alcotest.(check int) "empty trace has no events" 0 (Cell_trace.length back);
+  Alcotest.(check (option int)) "var table survives empty trace" (Some 1)
+    (Cell_trace.var_id back "b");
+  let one = Cell_trace.create ~vars:[| "x" |] ~nprocs:1 in
+  let r = Cell_trace.recorder one in
+  r.Fs_trace.Cell_listener.access ~proc:0 ~write:true ~var:0 ~cell:7;
+  let back = roundtrip "one-event trace" one in
+  Alcotest.check
+    (Alcotest.testable Cell_event.pp ( = ))
+    "the one event survives"
+    (Cell_event.Access { proc = 0; write = true; var = 0; cell = 7 })
+    (Cell_trace.get back 0)
+
 (* ------------------------------------------------------------------ *)
 (* The trace memo                                                       *)
 
@@ -270,7 +364,19 @@ let test_par_map () =
   (match Par.map ~jobs:4 (fun x -> if x = 41 then failwith "boom" else x) xs with
    | (_ : int list) -> Alcotest.fail "expected failure to propagate"
    | exception Failure msg -> Alcotest.(check string) "error surfaced" "boom" msg);
-  Alcotest.(check (list int)) "empty" [] (Par.map ~jobs:4 f [])
+  Alcotest.(check (list int)) "empty" [] (Par.map ~jobs:4 f []);
+  (* clamp edges: 0 means sequential, 1 is sequential, and a request far
+     above both the core count and the task count is clamped, not an
+     error — all three produce the same ordered results *)
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "clamped at jobs=%d" jobs)
+        expect
+        (Par.map ~jobs f xs))
+    [ 0; 1; 100_000 ];
+  Alcotest.(check (list int)) "jobs above n on a short list" [ f 1; f 2 ]
+    (Par.map ~jobs:64 f [ 1; 2 ])
 
 (* The experiment drivers return identical results whatever the job
    count — the determinism guarantee behind the --jobs flag. *)
@@ -309,9 +415,14 @@ let suite =
       test_equivalence;
     Alcotest.test_case "pointer loads injected at replay" `Quick
       test_pointer_loads_injected;
+    Alcotest.test_case "fused engine count equivalence (all benchmarks)" `Quick
+      test_fused_equivalence;
+    Alcotest.test_case "fused engine growable arrays" `Quick test_fused_growth;
     Alcotest.test_case "event packing" `Quick test_pack_roundtrip;
     QCheck_alcotest.to_alcotest prop_pack_roundtrip;
     Alcotest.test_case "trace disk round-trip" `Quick test_disk_roundtrip;
+    Alcotest.test_case "trace disk round-trip edges" `Quick
+      test_disk_roundtrip_edges;
     Alcotest.test_case "memo sharing" `Quick test_memo_sharing;
     Alcotest.test_case "memo eviction" `Quick test_memo_eviction;
     Alcotest.test_case "memo capture dir" `Quick test_memo_capture_dir;

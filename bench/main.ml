@@ -306,6 +306,19 @@ let ablation () =
           rows))
 
 (* ------------------------------------------------------------------ *)
+(* Feedback repair: the profile-guided refinement loop                 *)
+
+let repair_bench ~jobs () =
+  section "Feedback repair - N/C/P/F comparison (compiler and programmer \
+           plans refined to fixpoint; 16B and 128B blocks)";
+  let rows, dt =
+    time_it (fun () -> Fs_feedback.Repair_experiments.table ~jobs ())
+  in
+  print_string (Fs_feedback.Repair_experiments.render rows);
+  record "repair" ~seconds:dt (Fs_feedback.Repair_experiments.to_json rows);
+  Printf.printf "(%.1fs)\n" dt
+
+(* ------------------------------------------------------------------ *)
 (* Phase-resolved sharing: per-epoch profiles + tracking overhead      *)
 
 let phases_bench () =
@@ -591,6 +604,7 @@ let () =
   if all || pick = "replay" then replay_bench ~jobs ();
   if all || gate || pick = "simspeed" then simspeed ();
   if all || gate || pick = "ablation" then ablation ();
+  if all || gate || pick = "repair" then repair_bench ~jobs ();
   if all || gate || pick = "phases" then phases_bench ();
   if all || pick = "micro" then micro ~quick ();
   write_results ~quick ~jobs ~seconds:(Unix.gettimeofday () -. t0);

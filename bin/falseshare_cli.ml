@@ -25,24 +25,24 @@ module W = Fs_workloads.Workload
 module Ws = Fs_workloads.Workloads
 module Json = Fs_obs.Json
 
+let wconv =
+  Arg.conv
+    ( (fun s ->
+        match Ws.find s with
+        | w -> Ok w
+        | exception Not_found ->
+          let names = List.map (fun w -> w.W.name) Ws.all in
+          let hint =
+            match Fs_util.Strdist.suggest s names with
+            | [] -> "run `falseshare list` for the benchmark suite"
+            | near ->
+              Printf.sprintf "did you mean %s?"
+                (String.concat " or " (List.map (Printf.sprintf "%S") near))
+          in
+          Error (`Msg (Printf.sprintf "unknown workload %S (%s)" s hint))),
+      fun fmt w -> Format.pp_print_string fmt w.W.name )
+
 let workload_arg =
-  let wconv =
-    Arg.conv
-      ( (fun s ->
-          match Ws.find s with
-          | w -> Ok w
-          | exception Not_found ->
-            let names = List.map (fun w -> w.W.name) Ws.all in
-            let hint =
-              match Fs_util.Strdist.suggest s names with
-              | [] -> "run `falseshare list` for the benchmark suite"
-              | near ->
-                Printf.sprintf "did you mean %s?"
-                  (String.concat " or " (List.map (Printf.sprintf "%S") near))
-            in
-            Error (`Msg (Printf.sprintf "unknown workload %S (%s)" s hint))),
-        fun fmt w -> Format.pp_print_string fmt w.W.name )
-  in
   Arg.(required & pos 0 (some wconv) None & info [] ~docv:"WORKLOAD")
 
 let nprocs_arg =
@@ -329,6 +329,54 @@ let hotlines_cmd =
     Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
           $ layout_arg $ top_arg $ json_arg)
 
+(* --- repair --- *)
+
+let repair_cmd =
+  let workload_opt_arg =
+    Arg.(value & pos 0 (some wconv) None & info [] ~docv:"WORKLOAD")
+  in
+  (* the natural starting point is the compiler's layout: repair is the
+     feedback pass that cleans up what the static analysis left behind *)
+  let layout_arg =
+    Arg.(value
+         & opt (enum [ ("unoptimized", `U); ("compiler", `C); ("programmer", `P) ]) `C
+         & info [ "layout" ] ~docv:"V"
+             ~doc:"Starting layout to refine: $(b,unoptimized), \
+                   $(b,compiler) (default), or $(b,programmer).")
+  in
+  let iters_arg =
+    Arg.(value
+         & opt int Fs_feedback.Repair.default_options.max_iters
+         & info [ "max-iters" ] ~docv:"N"
+             ~doc:"Cap on accepted repair iterations.")
+  in
+  let run w nprocs scale block version max_iters jobs json =
+    match w with
+    | Some w ->
+      let scale = scale_of w scale in
+      let prog = w.W.build ~nprocs ~scale in
+      let plan = plan_of w version prog ~nprocs ~scale in
+      let options = { Fs_feedback.Repair.default_options with max_iters } in
+      let r = Fs_feedback.Repair.refine ~options prog plan ~nprocs ~block in
+      if json then print_json (Fs_feedback.Repair.to_json r)
+      else print_string (Fs_feedback.Repair.render r)
+    | None ->
+      (* no workload: the suite-wide N/C/P/F comparison *)
+      let rows = Fs_feedback.Repair_experiments.table ~jobs () in
+      if json then print_json (Fs_feedback.Repair_experiments.to_json rows)
+      else print_string (Fs_feedback.Repair_experiments.render rows)
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Profile-guided layout repair: replay the recorded execution \
+          under the starting layout, extract repair candidates from the \
+          hot-line forensics, apply the best one, and iterate to a \
+          fixpoint.  With a workload, narrate the refinement; without \
+          one, print the suite-wide N/C/P/F comparison.")
+    Term.(const run $ workload_opt_arg $ nprocs_arg $ scale_arg $ block_arg
+          $ layout_arg $ iters_arg $ jobs_arg $ json_arg)
+
 (* --- timeline --- *)
 
 let timeline_cmd =
@@ -498,10 +546,24 @@ let () =
      (reproduction of Jeremiassen & Eggers, PPoPP 1995)."
   in
   let info = Cmd.info "falseshare" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ list_cmd; report_cmd; source_cmd; sim_cmd; speedup_cmd;
-            hotspots_cmd; blame_cmd; phases_cmd; hotlines_cmd; timeline_cmd;
-            check_cmd; fig3_cmd; table2_cmd; fig4_cmd; table3_cmd; stats_cmd;
-            exectime_cmd ]))
+  let cmds =
+    [ list_cmd; report_cmd; source_cmd; sim_cmd; speedup_cmd; hotspots_cmd;
+      blame_cmd; phases_cmd; hotlines_cmd; repair_cmd; timeline_cmd;
+      check_cmd; fig3_cmd; table2_cmd; fig4_cmd; table3_cmd; stats_cmd;
+      exectime_cmd ]
+  in
+  (* same near-miss courtesy the workload argument gets: a mistyped
+     subcommand gets a suggestion, not just cmdliner's usage dump *)
+  let names = List.map Cmd.name cmds in
+  (match Array.to_list Sys.argv with
+   | _ :: arg :: _
+     when String.length arg > 0 && arg.[0] <> '-' && not (List.mem arg names)
+     -> (
+     match Fs_util.Strdist.suggest arg names with
+     | [] -> ()
+     | near ->
+       Printf.eprintf "falseshare: unknown command %S, did you mean %s?\n" arg
+         (String.concat " or " (List.map (Printf.sprintf "%S") near));
+       exit 124)
+   | _ -> ());
+  exit (Cmd.eval (Cmd.group info cmds))

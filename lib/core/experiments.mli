@@ -18,6 +18,11 @@ val plan_for :
     (workload, version, nprocs, scale); [prog] must be the workload's
     build at that configuration. *)
 
+val recorded_of : Trace_memo.entry -> Sim.recorded
+(** View a memoized trace as a replayable execution — the glue every
+    driver (and the feedback layer above this library) uses between
+    {!Trace_memo.get_all} and {!Sim.cache_sim}. *)
+
 (** {1 Figure 3} — total miss rates split into false sharing and other
     misses, unoptimized vs compiler-transformed, per block size. *)
 

@@ -47,26 +47,11 @@ let classify (l : Mpcache.line) (c : Mpcache.counts) =
     else if t >= 2 * f then Truly_shared
     else Mixed
 
-let decision_name : Fs_transform.Transform.decision -> string option = function
-  | Fs_transform.Transform.Keep -> None
-  | Group { axis } -> Some (Printf.sprintf "group & transpose (axis %d)" axis)
-  | Regroup { ways; chunked } ->
-    Some
-      (Printf.sprintf "regroup %d-way %s" ways
-         (if chunked then "chunked" else "interleaved"))
-  | Indirection { field } -> Some (Printf.sprintf "indirection on .%s" field)
-  | Pad { element } ->
-    Some (if element then "pad & align each element" else "pad & align")
-
 (* What the planner decided for [var], if it decided anything.  Several
    summary keys (struct fields) can share one variable; the first
-   non-Keep decision wins. *)
-let planned_fix entries var =
-  List.find_map
-    (fun (e : Fs_transform.Transform.entry) ->
-      if e.key.Fs_analysis.Summary.var = var then decision_name e.decision
-      else None)
-    entries
+   non-Keep decision wins (the planner's own arbitration rule). *)
+let planned_fix report var =
+  Fs_transform.Transform.(decision_label (decision_for report var))
 
 (* Fallback when the planner kept the layout: read the fix off the
    word-level footprint.  Dynamically partitioned data — distinct
@@ -82,13 +67,13 @@ let dynamic_fix verdict (l : Mpcache.line) =
   | Truly_shared -> "none — the communication is real"
   | Private_line -> "none — single writer"
 
-let verdict_and_fix entries var (l : Mpcache.line) (c : Mpcache.counts) =
+let verdict_and_fix report var (l : Mpcache.line) (c : Mpcache.counts) =
   let verdict = classify l c in
   let fix =
     match verdict with
     | Truly_shared | Private_line -> dynamic_fix verdict l
     | Falsely_shared | Mixed -> (
-      match planned_fix entries var with
+      match planned_fix report var with
       | Some f -> f
       | None -> dynamic_fix verdict l)
   in
@@ -110,7 +95,7 @@ let analyze ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?(top = 10) ?recorded prog
   let owner = Attribution.block_owner prog layout ~block in
   let cell_range = Attribution.cell_range prog layout ~block in
   let per_block = Mpcache.per_block cache in
-  let entries = (Fs_transform.Transform.plan prog ~nprocs).entries in
+  let report = Fs_transform.Transform.plan prog ~nprocs in
   let ranked =
     Mpcache.lines cache
     |> List.map (fun (l : Mpcache.line) ->
@@ -133,7 +118,7 @@ let analyze ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?(top = 10) ?recorded prog
     |> List.map (fun ((l : Mpcache.line), counts) ->
            let var = owner l.line_block in
            let cell_lo, cell_hi = cell_range var l.line_block in
-           let verdict, fix = verdict_and_fix entries var l counts in
+           let verdict, fix = verdict_and_fix report var l counts in
            { line = l; counts; owner = var; cell_lo; cell_hi;
              score = Mpcache.pingpong_score l; verdict; fix })
   in

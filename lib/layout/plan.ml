@@ -32,33 +32,78 @@ let pp fmt t =
       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
       pp_action fmt t
 
+let claimed_vars = function
+  | Group_transpose { vars; _ } -> vars
+  | Indirect { var; _ } | Pad_align { var; _ } | Regroup { var; _ } -> [ var ]
+  | Pad_locks -> []
+
 let transformed_vars t =
   let seen = Hashtbl.create 8 in
   let keep v = if Hashtbl.mem seen v then false else (Hashtbl.add seen v (); true) in
-  List.concat_map
-    (function
-      | Group_transpose { vars; _ } -> List.filter keep vars
-      | Indirect { var; _ } | Pad_align { var; _ } | Regroup { var; _ } ->
-        List.filter keep [ var ]
-      | Pad_locks -> [])
-    t
+  List.concat_map (fun a -> List.filter keep (claimed_vars a)) t
 
 exception Plan_error of string
 
 let err fmt = Format.kasprintf (fun s -> raise (Plan_error s)) fmt
 
+type conflict = {
+  cvar : string;
+  in_base : action;
+  in_delta : action;
+}
+
+let conflicts base delta =
+  let claimed = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun v -> if not (Hashtbl.mem claimed v) then Hashtbl.add claimed v a)
+        (claimed_vars a))
+    base;
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun v ->
+          Option.map
+            (fun b -> { cvar = v; in_base = b; in_delta = a })
+            (Hashtbl.find_opt claimed v))
+        (claimed_vars a))
+    delta
+
+let merge base delta =
+  (match conflicts base delta with
+   | [] -> ()
+   | cs ->
+     err "plan merge: %s"
+       (String.concat "; "
+          (List.map
+             (fun c ->
+               Format.asprintf
+                 "variable %s claimed by both [%a] and [%a]" c.cvar pp_action
+                 c.in_base pp_action c.in_delta)
+             cs)));
+  let have_locks = List.mem Pad_locks base in
+  base @ List.filter (fun a -> not (a = Pad_locks && have_locks)) delta
+
 let validate p t =
   let claimed = Hashtbl.create 8 in
+  let current = ref Pad_locks in
   let claim v =
-    if Hashtbl.mem claimed v then err "variable %s claimed by two actions" v;
-    Hashtbl.add claimed v ()
+    (match Hashtbl.find_opt claimed v with
+     | Some prev ->
+       err "variable %s claimed by two actions: [%a] and [%a]" v pp_action prev
+         pp_action !current
+     | None -> ());
+    Hashtbl.add claimed v !current
   in
   let global v =
     match List.assoc_opt v p.Ast.globals with
     | Some ty -> ty
     | None -> err "plan names unknown global %s" v
   in
-  let check = function
+  let check a =
+    current := a;
+    match a with
     | Group_transpose { vars; pdv_axis } ->
       if vars = [] then err "empty group&transpose";
       let extent v =

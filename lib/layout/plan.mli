@@ -53,5 +53,27 @@ val validate : Fs_ir.Ast.program -> t -> unit
 (** Checks the plan against the program: named variables exist,
     [Group_transpose] targets are rectangular scalar array nests with a
     common extent along the PDV axis, [Indirect] targets are arrays of
-    structs with the named field, and no variable is claimed by two actions.
+    structs with the named field, and no variable is claimed by two actions
+    (the error names both offending actions).
     @raise Plan_error on violations. *)
+
+val claimed_vars : action -> string list
+(** Variables an action claims the layout of ([] for [Pad_locks]). *)
+
+(** A variable claimed by an action of both plans being merged. *)
+type conflict = {
+  cvar : string;
+  in_base : action;
+  in_delta : action;
+}
+
+val conflicts : t -> t -> conflict list
+(** [conflicts base delta] — every variable claimed by an action on each
+    side, in delta order.  [Pad_locks] on both sides is not a conflict
+    (it is idempotent and deduplicated by {!merge}). *)
+
+val merge : t -> t -> t
+(** [merge base delta] appends the delta's actions to the base plan.
+    A second [Pad_locks] is dropped rather than duplicated.
+    @raise Plan_error when {!conflicts} is non-empty, naming each
+    variable and both actions that claim it. *)

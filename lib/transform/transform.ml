@@ -484,6 +484,27 @@ let plan ?(options = default_options) prog ~nprocs =
   Plan.validate prog plan;
   { entries; plan; summary }
 
+let entries_for r var =
+  List.filter (fun e -> e.key.Summary.var = var) r.entries
+
+let decision_for r var =
+  match
+    List.find_opt (fun e -> e.decision <> Keep) (entries_for r var)
+  with
+  | Some e -> e.decision
+  | None -> Keep
+
+let decision_label = function
+  | Keep -> None
+  | Group { axis } -> Some (Printf.sprintf "group & transpose (axis %d)" axis)
+  | Regroup { ways; chunked } ->
+    Some
+      (Printf.sprintf "regroup %d-way %s" ways
+         (if chunked then "chunked" else "interleaved"))
+  | Indirection { field } -> Some (Printf.sprintf "indirection on .%s" field)
+  | Pad { element } ->
+    Some (if element then "pad & align each element" else "pad & align")
+
 let pp_decision fmt = function
   | Keep -> Format.pp_print_string fmt "keep"
   | Group { axis } -> Format.fprintf fmt "group&transpose(axis %d)" axis

@@ -63,4 +63,19 @@ val plan : ?options:options -> Fs_ir.Ast.program -> nprocs:int -> report
 (** Run the full analysis and heuristics.  The returned plan validates
     against the program. *)
 
+val entries_for : report -> string -> entry list
+(** The planner's per-variable classification: every summary entry whose
+    key names [var], in report order (struct fields contribute one entry
+    each).  This is the hook dynamic consumers — hot-line forensics, the
+    feedback repair loop — use to ask what the static analysis thought of
+    a variable and why. *)
+
+val decision_for : report -> string -> decision
+(** The planner's effective decision for [var]: the first non-[Keep]
+    decision among {!entries_for} (mirroring the per-variable arbitration
+    that builds the plan), or [Keep]. *)
+
+val decision_label : decision -> string option
+(** Human-readable name of a transformation decision; [None] for [Keep]. *)
+
 val pp_report : Format.formatter -> report -> unit

@@ -174,6 +174,51 @@ let test_transformed_vars () =
   Alcotest.(check (list string)) "claimed vars" [ "vec"; "flat"; "s1" ]
     (Plan.transformed_vars plan)
 
+let test_merge () =
+  let base =
+    [ Plan.Group_transpose { vars = [ "mat" ]; pdv_axis = 1 };
+      Plan.Pad_locks ]
+  in
+  (* disjoint delta: appended, with pad-locks deduplicated *)
+  let delta =
+    [ Plan.Pad_align { var = "s1"; element = false }; Plan.Pad_locks ]
+  in
+  let merged = Plan.merge base delta in
+  Alcotest.(check int) "pad-locks deduplicated" 3 (List.length merged);
+  Plan.validate prog merged;
+  Alcotest.(check (list string)) "claims union" [ "mat"; "s1" ]
+    (Plan.transformed_vars merged);
+  (* the empty delta is a no-op *)
+  Alcotest.(check bool) "empty delta" true (Plan.merge base [] = base)
+
+let test_merge_conflicts () =
+  let base = [ Plan.Pad_align { var = "vec"; element = false } ] in
+  let delta = [ Plan.Regroup { var = "vec"; ways = 2; chunked = true } ] in
+  (match Plan.conflicts base delta with
+   | [ c ] ->
+     Alcotest.(check string) "conflicting var" "vec" c.Plan.cvar;
+     Alcotest.(check bool) "base action" true
+       (c.Plan.in_base = List.hd base);
+     Alcotest.(check bool) "delta action" true
+       (c.Plan.in_delta = List.hd delta)
+   | cs ->
+     Alcotest.fail
+       (Printf.sprintf "expected one conflict, got %d" (List.length cs)));
+  (* merge refuses, naming the variable and both actions *)
+  (match Plan.merge base delta with
+   | _ -> Alcotest.fail "expected Plan_error"
+   | exception Plan.Plan_error msg ->
+     Tutil.check_contains "merge error names the variable" msg "vec";
+     Tutil.check_contains "merge error names the base action" msg "pad&align";
+     Tutil.check_contains "merge error names the delta action" msg "regroup");
+  (* a group-transpose claim conflicts through any of its vars *)
+  let base = [ Plan.Group_transpose { vars = [ "vec"; "flat" ]; pdv_axis = 0 } ] in
+  let delta = [ Plan.Pad_align { var = "flat"; element = true } ] in
+  Alcotest.(check int) "group claim conflicts" 1
+    (List.length (Plan.conflicts base delta));
+  Alcotest.(check int) "no conflict the other way" 0
+    (List.length (Plan.conflicts delta [ Plan.Pad_align { var = "s2"; element = false } ]))
+
 (* Random plans never produce overlapping layouts. *)
 let plan_gen =
   QCheck.Gen.(
@@ -234,4 +279,6 @@ let suite =
     Alcotest.test_case "regroup chunked" `Quick test_regroup_chunked;
     Alcotest.test_case "plan validation" `Quick test_plan_validation;
     Alcotest.test_case "transformed vars" `Quick test_transformed_vars;
+    Alcotest.test_case "plan merge" `Quick test_merge;
+    Alcotest.test_case "plan merge conflicts" `Quick test_merge_conflicts;
     QCheck_alcotest.to_alcotest test_disjoint_prop ]

@@ -17,4 +17,5 @@ let () =
       ("replay", Test_replay.suite);
       ("obs", Test_obs.suite);
       ("phases", Test_phases.suite);
+      ("feedback", Test_feedback.suite);
       ("fuzz", Test_fuzz.suite) ]

@@ -9,10 +9,12 @@
    falseshare phases  <workload> [...]  -- per-epoch sharing profile
    falseshare hotlines <workload> [...] -- hot-line lifetimes + fixes
    falseshare timeline <workload> [...] -- Chrome-trace timeline export
+   falseshare profile <workload> [...]  -- span tree + pool + flight digest
    falseshare fig3 | table2 | fig4 | table3 | stats | exectime
                                         -- reproduce the paper's evaluation
 
-   Every subcommand takes --json to emit machine-readable output. *)
+   Every subcommand takes --json to emit machine-readable output, and
+   --metrics-out/--spans-out to export the run's telemetry. *)
 
 open Cmdliner
 module E = Falseshare.Experiments
@@ -74,6 +76,69 @@ let scale_of w = function Some s -> s | None -> w.W.default_scale
 
 let print_json j = Json.to_channel ~compact:false stdout j
 
+(* --- telemetry plumbing ------------------------------------------- *)
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write this run's metrics in Prometheus text exposition \
+                 format to $(docv) on exit (\"-\" for stdout).  Includes \
+                 domain-pool fan-out instrumentation and per-command \
+                 timings.")
+
+let spans_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "spans-out" ] ~docv:"FILE"
+           ~doc:"Write this run's causal span tree as nested JSON to \
+                 $(docv) on exit.")
+
+(* Every subcommand runs inside one telemetry scope: the process-global
+   metrics registry fed by the domain pool's observer, an ambient span
+   recorder rooted at the subcommand name, and the optional exports —
+   flushed on success, on an exception, and (via [at_exit]) on an early
+   [exit], so a failed run still leaves its telemetry behind. *)
+let with_telemetry ~cmd ~metrics_out ~spans_out f =
+  let reg = Fs_obs.Metrics.global () in
+  Fs_util.Par.set_observer (Some (Fs_obs.Pool.ingest reg));
+  let recorder = Fs_obs.Span.create () in
+  Fs_obs.Span.set_current (Some recorder);
+  let seconds =
+    Fs_obs.Metrics.histogram reg "cli_command_seconds"
+      ~labels:[ ("command", cmd) ]
+      ~help:"Wall-clock seconds per CLI subcommand"
+  in
+  let t0 = Unix.gettimeofday () in
+  let finished = ref false in
+  let finish () =
+    if not !finished then begin
+      finished := true;
+      Fs_obs.Metrics.Histogram.observe seconds (Unix.gettimeofday () -. t0);
+      Fs_obs.Span.set_current None;
+      Fs_util.Par.set_observer None;
+      (match metrics_out with
+       | None -> ()
+       | Some "-" -> print_string (Fs_obs.Metrics.render reg)
+       | Some path -> Fs_obs.Metrics.write_file reg path);
+      match spans_out with
+      | None -> ()
+      | Some path -> Fs_obs.Span.write_file recorder path
+    end
+  in
+  at_exit finish;
+  match Fs_obs.Span.with_ recorder cmd f with
+  | v -> finish (); v
+  | exception e -> finish (); raise e
+
+(* Wrap a subcommand term in the telemetry scope.  The inner term must
+   evaluate to a thunk (each [run] takes a trailing [()]), so the
+   subcommand body runs inside [with_telemetry] rather than during term
+   evaluation. *)
+let telemetrize cmd_name thunk_term =
+  let wrap metrics_out spans_out thunk =
+    with_telemetry ~cmd:cmd_name ~metrics_out ~spans_out thunk
+  in
+  Term.(const wrap $ metrics_out_arg $ spans_out_arg $ thunk_term)
+
 let plan_of w version prog ~nprocs ~scale =
   match version with
   | `U -> []
@@ -83,7 +148,7 @@ let plan_of w version prog ~nprocs ~scale =
 (* --- list --- *)
 
 let list_cmd =
-  let run json =
+  let run json () =
     if json then print_json (Emit.workloads Ws.all)
     else begin
       let header = [ "name"; "description"; "versions"; "orig. LoC" ] in
@@ -104,12 +169,12 @@ let list_cmd =
     end
   in
   Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite (Table 1).")
-    Term.(const run $ json_arg)
+    (telemetrize "list" Term.(const run $ json_arg))
 
 (* --- report --- *)
 
 let report_cmd =
-  let run w nprocs scale block json =
+  let run w nprocs scale block json () =
     let prog = w.W.build ~nprocs ~scale:(scale_of w scale) in
     let r = Pipeline.run prog ~nprocs ~block in
     if json then print_json (Json.Obj [ ("report", Emit.transform_report r.Pipeline.report);
@@ -126,12 +191,14 @@ let report_cmd =
        ~doc:
          "Run the compile-time analysis and print its decisions, with a \
           wall-clock profile of every pipeline phase.")
-    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg $ json_arg)
+    (telemetrize "report"
+       Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
+             $ json_arg))
 
 (* --- source --- *)
 
 let source_cmd =
-  let run w nprocs scale json =
+  let run w nprocs scale json () =
     let prog = w.W.build ~nprocs ~scale:(scale_of w scale) in
     let src = Fs_ir.Pp.program_to_string prog in
     if json then
@@ -140,7 +207,8 @@ let source_cmd =
     else print_string src
   in
   Cmd.v (Cmd.info "source" ~doc:"Print a benchmark's ParC source.")
-    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ json_arg)
+    (telemetrize "source"
+       Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ json_arg))
 
 (* --- sim --- *)
 
@@ -154,7 +222,7 @@ let sim_versions w prog ~nprocs ~scale =
     (if List.mem W.N w.W.versions then w.W.versions else W.N :: w.W.versions)
 
 let sim_cmd =
-  let run w nprocs scale block jobs json =
+  let run w nprocs scale block jobs json () =
     let scale = scale_of w scale in
     let prog = w.W.build ~nprocs ~scale in
     let versions = sim_versions w prog ~nprocs ~scale in
@@ -187,8 +255,9 @@ let sim_cmd =
        ~doc:
          "Trace-driven cache simulation of a benchmark: the execution is \
           interpreted once and replayed under each version's layout.")
-    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
-          $ jobs_arg $ json_arg)
+    (telemetrize "sim"
+       Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
+             $ jobs_arg $ json_arg))
 
 (* --- speedup --- *)
 
@@ -197,19 +266,20 @@ let speedup_cmd =
     Arg.(value & opt (list int) [ 1; 2; 4; 8; 12; 16; 24; 32 ]
          & info [ "procs-list" ] ~docv:"P,P,..." ~doc:"Processor counts to sweep.")
   in
-  let run w procs jobs json =
+  let run w procs jobs json () =
     let series = E.speedups ~procs ~names:[ w.W.name ] ~jobs () in
     if json then print_json (Emit.series series)
     else print_string (E.render_series series)
   in
   Cmd.v
     (Cmd.info "speedup" ~doc:"KSR2-model scalability curves for one benchmark.")
-    Term.(const run $ workload_arg $ procs_arg $ jobs_arg $ json_arg)
+    (telemetrize "speedup"
+       Term.(const run $ workload_arg $ procs_arg $ jobs_arg $ json_arg))
 
 (* --- hotspots --- *)
 
 let hotspots_cmd =
-  let run w nprocs scale block version json =
+  let run w nprocs scale block version json () =
     let scale = scale_of w scale in
     let prog = w.W.build ~nprocs ~scale in
     let plan = plan_of w version prog ~nprocs ~scale in
@@ -222,7 +292,9 @@ let hotspots_cmd =
        ~doc:
          "Attribute simulated misses back to the shared data structures — \
           the dynamic counterpart of the compiler's static report.")
-    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg $ layout_arg $ json_arg)
+    (telemetrize "hotspots"
+       Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
+             $ layout_arg $ json_arg))
 
 (* --- blame --- *)
 
@@ -237,7 +309,7 @@ let blame_cmd =
              ~doc:"Also segment the run at barrier releases and append the \
                    per-epoch sharing profile.")
   in
-  let run w nprocs scale block version top epochs json =
+  let run w nprocs scale block version top epochs json () =
     let scale = scale_of w scale in
     let prog = w.W.build ~nprocs ~scale in
     let plan = plan_of w version prog ~nprocs ~scale in
@@ -270,13 +342,14 @@ let blame_cmd =
           processor's writes invalidate which processor's cached copies \
           (split by upgrade vs. write miss), plus the hottest blocks with \
           their owning variable and cell ranges.")
-    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
-          $ layout_arg $ top_arg $ epochs_arg $ json_arg)
+    (telemetrize "blame"
+       Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
+             $ layout_arg $ top_arg $ epochs_arg $ json_arg))
 
 (* --- phases --- *)
 
 let phases_cmd =
-  let run w nprocs scale block version json =
+  let run w nprocs scale block version json () =
     let scale = scale_of w scale in
     let prog = w.W.build ~nprocs ~scale in
     let plan = plan_of w version prog ~nprocs ~scale in
@@ -291,8 +364,9 @@ let phases_cmd =
           barrier-delimited epochs, report each epoch's miss-class \
           counters and observed write-sharing, and cross-check the \
           dynamic epochs against the static non-concurrency phases.")
-    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
-          $ layout_arg $ json_arg)
+    (telemetrize "phases"
+       Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
+             $ layout_arg $ json_arg))
 
 (* --- hotlines --- *)
 
@@ -311,7 +385,7 @@ let hotlines_cmd =
              ~doc:"Which layout: $(b,unoptimized), $(b,compiler) (default), \
                    or $(b,programmer).")
   in
-  let run w nprocs scale block version top json =
+  let run w nprocs scale block version top json () =
     let scale = scale_of w scale in
     let prog = w.W.build ~nprocs ~scale in
     let plan = plan_of w version prog ~nprocs ~scale in
@@ -326,8 +400,9 @@ let hotlines_cmd =
           ping-pong scores, invalidation chains, and word-level \
           footprints, attributed to the owning variable with the \
           transformation that would fix each line.")
-    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
-          $ layout_arg $ top_arg $ json_arg)
+    (telemetrize "hotlines"
+       Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
+             $ layout_arg $ top_arg $ json_arg))
 
 (* --- repair --- *)
 
@@ -350,7 +425,7 @@ let repair_cmd =
          & info [ "max-iters" ] ~docv:"N"
              ~doc:"Cap on accepted repair iterations.")
   in
-  let run w nprocs scale block version max_iters jobs json =
+  let run w nprocs scale block version max_iters jobs json () =
     match w with
     | Some w ->
       let scale = scale_of w scale in
@@ -374,8 +449,9 @@ let repair_cmd =
           hot-line forensics, apply the best one, and iterate to a \
           fixpoint.  With a workload, narrate the refinement; without \
           one, print the suite-wide N/C/P/F comparison.")
-    Term.(const run $ workload_opt_arg $ nprocs_arg $ scale_arg $ block_arg
-          $ layout_arg $ iters_arg $ jobs_arg $ json_arg)
+    (telemetrize "repair"
+       Term.(const run $ workload_opt_arg $ nprocs_arg $ scale_arg $ block_arg
+             $ layout_arg $ iters_arg $ jobs_arg $ json_arg))
 
 (* --- timeline --- *)
 
@@ -385,7 +461,7 @@ let timeline_cmd =
          & info [ "o"; "output" ] ~docv:"FILE"
              ~doc:"Output file; \"-\" for stdout.  Default: <workload>.trace.json.")
   in
-  let run w nprocs scale block version out =
+  let run w nprocs scale block version out () =
     let scale = scale_of w scale in
     let prog = w.W.build ~nprocs ~scale in
     let plan = plan_of w version prog ~nprocs ~scale in
@@ -434,8 +510,9 @@ let timeline_cmd =
          "Record a benchmark run's per-processor timeline — work segments, \
           barrier waits, lock convoys — as Chrome trace-event JSON for \
           Perfetto.")
-    Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
-          $ layout_arg $ out_arg)
+    (telemetrize "timeline"
+       Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
+             $ layout_arg $ out_arg))
 
 (* --- check (.parc sources) --- *)
 
@@ -447,7 +524,7 @@ let check_cmd =
     Arg.(value & opt (some int) None
          & info [ "run" ] ~docv:"P" ~doc:"Also execute with P processes.")
   in
-  let run file procs json =
+  let run file procs json () =
     let ic = open_in file in
     let n = in_channel_length ic in
     let src = really_input_string ic n in
@@ -500,15 +577,102 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Parse and validate a ParC source file.")
-    Term.(const run $ file_arg $ procs_for_run $ json_arg)
+    (telemetrize "check" Term.(const run $ file_arg $ procs_for_run $ json_arg))
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let interval_arg =
+    Arg.(value & opt int 4096
+         & info [ "flight-interval" ] ~docv:"N"
+             ~doc:"Packed events between flight-recorder samples.")
+  in
+  let blocks = [ 8; 16; 32; 64; 128; 256 ] in
+  let run w nprocs scale jobs interval json () =
+    let scale = scale_of w scale in
+    (* the ambient recorder was installed by the telemetry scope; grab it
+       so the report can render the tree this very command grew *)
+    let recorder =
+      match Fs_obs.Span.current () with Some r -> r | None -> assert false
+    in
+    let prog =
+      Fs_obs.Span.timed "build" (fun () -> w.W.build ~nprocs ~scale)
+    in
+    let plan =
+      Fs_obs.Span.timed "plan" (fun () -> Sim.compiler_plan prog ~nprocs)
+    in
+    let recorded =
+      Fs_obs.Span.timed "record" (fun () -> Sim.record prog ~nprocs)
+    in
+    (* the block sweep exercises the domain pool; its stats become the
+       per-worker summary *)
+    let sweep, pool =
+      Fs_obs.Span.timed "block-sweep"
+        ~attrs:[ ("jobs", string_of_int jobs) ]
+        (fun () ->
+          Fs_util.Par.map_with_stats ~jobs
+            (fun block ->
+              (block, (Sim.cache_sim ~recorded prog plan ~nprocs ~block).Sim.counts))
+            blocks)
+    in
+    (* one flight-instrumented fused replay at the paper's block size *)
+    let flight = Fs_replay.Flight.create ~interval () in
+    let frun =
+      Fs_obs.Span.timed "flight-replay"
+        ~attrs:[ ("interval", string_of_int interval) ]
+        (fun () ->
+          Sim.cache_sim ~flight ~recorded prog plan ~nprocs ~block:128)
+    in
+    ignore frun;
+    if json then
+      print_json
+        (Json.Obj
+           [ ("workload", Json.String w.W.name);
+             ("nprocs", Json.Int nprocs);
+             ("scale", Json.Int scale);
+             ("spans", Fs_obs.Span.to_json recorder);
+             ("pool", Fs_obs.Pool.to_json pool);
+             ("flight", Fs_replay.Flight.to_json flight);
+             ("sweep",
+              Json.List
+                (List.map
+                   (fun (block, (c : C.counts)) ->
+                     Json.Obj
+                       [ ("block", Json.Int block);
+                         ("misses", Json.Int (C.misses c));
+                         ("false_sharing", Json.Int c.C.false_sh) ])
+                   sweep)) ])
+    else begin
+      Printf.printf "profile: %s (P=%d, scale=%d, --jobs %d)\n\n" w.W.name
+        nprocs scale jobs;
+      print_endline "spans:";
+      print_string (Fs_obs.Span.render recorder);
+      print_newline ();
+      print_endline "domain pool (block sweep):";
+      print_string (Fs_util.Par.render_stats pool);
+      print_newline ();
+      print_string (Fs_replay.Flight.render flight)
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile one workload end to end: causal span tree of every \
+          pipeline stage, per-worker domain-pool summary of a cache-block \
+          sweep, and a flight-recorder digest of the fused replay hot \
+          loop.")
+    (telemetrize "profile"
+       Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ jobs_arg
+             $ interval_arg $ json_arg))
 
 (* --- paper reproductions --- *)
 
 let paper_cmd name doc ~text ~json =
-  let run jobs use_json =
+  let run jobs use_json () =
     if use_json then print_json (json ~jobs) else print_string (text ~jobs)
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ jobs_arg $ json_arg)
+  Cmd.v (Cmd.info name ~doc)
+    (telemetrize name Term.(const run $ jobs_arg $ json_arg))
 
 let fig3_cmd =
   paper_cmd "fig3" "Reproduce Figure 3 (miss rates before/after)."
@@ -549,8 +713,8 @@ let () =
   let cmds =
     [ list_cmd; report_cmd; source_cmd; sim_cmd; speedup_cmd; hotspots_cmd;
       blame_cmd; phases_cmd; hotlines_cmd; repair_cmd; timeline_cmd;
-      check_cmd; fig3_cmd; table2_cmd; fig4_cmd; table3_cmd; stats_cmd;
-      exectime_cmd ]
+      profile_cmd; check_cmd; fig3_cmd; table2_cmd; fig4_cmd; table3_cmd;
+      stats_cmd; exectime_cmd ]
   in
   (* same near-miss courtesy the workload argument gets: a mistyped
      subcommand gets a suggestion, not just cmdliner's usage dump *)

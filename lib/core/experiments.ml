@@ -4,6 +4,7 @@ module Plan = Fs_layout.Plan
 module Mpcache = Fs_cache.Mpcache
 module Table = Fs_util.Table
 module Par = Fs_util.Par
+module Span = Fs_obs.Span
 
 type version = Workload.version
 
@@ -68,6 +69,10 @@ let cell_of_counts (c : Mpcache.counts) =
   }
 
 let figure3 ?(blocks = [ 16; 128 ]) ?scale_override ?jobs () =
+  Span.timed "figure3"
+    ~attrs:
+      [ ("blocks", String.concat "," (List.map string_of_int blocks)) ]
+  @@ fun () ->
   let ws = Workloads.simulated () in
   let configs =
     List.map
@@ -145,6 +150,7 @@ let family = function
   | Plan.Pad_locks -> `Locks
 
 let table2 ?(blocks = [ 8; 16; 32; 64; 128; 256 ]) ?jobs () =
+  Span.timed "table2" @@ fun () ->
   let ws = Workloads.simulated () in
   let configs =
     List.map
@@ -255,6 +261,9 @@ let cycles_cache : (string * version * int * int, int) Hashtbl.t =
 let cycles_lock = Mutex.create ()
 
 let cycles_table ?jobs (triples : (Workload.t * version * int) list) =
+  Span.timed "cycles-table"
+    ~attrs:[ ("runs", string_of_int (List.length triples)) ]
+  @@ fun () ->
   let seen = Hashtbl.create 64 in
   let deduped =
     List.filter
@@ -314,6 +323,7 @@ let cycles_table ?jobs (triples : (Workload.t * version * int) list) =
   fun (w : Workload.t) version nprocs -> Hashtbl.find table (w.name, version, nprocs)
 
 let speedups ?(procs = default_procs) ?names ?jobs () =
+  Span.timed "speedups" @@ fun () ->
   let selected =
     match names with
     | None -> Workloads.all
@@ -385,6 +395,7 @@ type table3_row = {
 }
 
 let table3 ?procs ?series ?jobs () =
+  Span.timed "table3" @@ fun () ->
   let series = match series with Some s -> s | None -> speedups ?procs ?jobs () in
   let names = List.map (fun (w : Workload.t) -> w.name) Workloads.all in
   List.map
@@ -433,6 +444,7 @@ type stats = {
 }
 
 let text_stats ?jobs () =
+  Span.timed "stats" @@ fun () ->
   let rows128 = figure3 ~blocks:[ 128 ] ?jobs () in
   let rows64 = figure3 ~blocks:[ 64 ] ?jobs () in
   let sum f rows = List.fold_left (fun acc r -> acc + f r) 0 rows in
@@ -474,6 +486,7 @@ let render_stats s =
 type exec_row = { name : string; improvement : float; at_procs : int }
 
 let exec_time_improvements ?(procs = default_procs) ?jobs () =
+  Span.timed "exec-time" @@ fun () ->
   let ws = Workloads.simulated () in
   let n_cycles =
     cycles_table ?jobs

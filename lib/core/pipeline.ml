@@ -11,6 +11,7 @@ module Cell_trace = Fs_trace.Cell_trace
 module Listener = Fs_trace.Listener
 module Metrics = Fs_obs.Metrics
 module Profile = Fs_obs.Profile
+module Span = Fs_obs.Span
 module Json = Fs_obs.Json
 
 type t = {
@@ -64,6 +65,10 @@ let ingest_machine metrics (r : Ksr.result) =
 
 let run ?options ?(machine = false) ?(epochs = false) ?plan ?profile prog
     ~nprocs ~block =
+  Span.timed "pipeline"
+    ~attrs:
+      [ ("nprocs", string_of_int nprocs); ("block", string_of_int block) ]
+  @@ fun () ->
   let profile = match profile with Some p -> p | None -> Profile.create () in
   let metrics = Metrics.create () in
   let rsd_limit, static_profile =
@@ -72,36 +77,46 @@ let run ?options ?(machine = false) ?(epochs = false) ?plan ?profile prog
     | None -> (T.default_options.rsd_limit, T.default_options.profile)
   in
   (* the analyses are timed stage by stage; the transform pass re-runs them
-     internally, so its entry reflects the full planning cost *)
-  ignore
-    (Profile.time profile "pdv"
-       ~events:(fun _ -> List.length prog.Fs_ir.Ast.funcs)
-       (fun () -> Pdv.analyze prog));
-  ignore
-    (Profile.time profile "non-concurrency"
-       ~events:Nonconcurrency.phase_count
-       (fun () -> Nonconcurrency.analyze prog));
-  ignore
-    (Profile.time profile "summary"
-       ~events:(fun s -> List.length (Summary.keys s))
-       (fun () -> Summary.analyze ~rsd_limit ~profile:static_profile prog ~nprocs));
+     internally, so its entry reflects the full planning cost.  Each stage
+     also opens an ambient span, so a telemetry-enabled caller sees the
+     same names as the profile, arranged causally. *)
+  Span.timed "pdv" (fun () ->
+      ignore
+        (Profile.time profile "pdv"
+           ~events:(fun _ -> List.length prog.Fs_ir.Ast.funcs)
+           (fun () -> Pdv.analyze prog)));
+  Span.timed "non-concurrency" (fun () ->
+      ignore
+        (Profile.time profile "non-concurrency"
+           ~events:Nonconcurrency.phase_count
+           (fun () -> Nonconcurrency.analyze prog)));
+  Span.timed "summary" (fun () ->
+      ignore
+        (Profile.time profile "summary"
+           ~events:(fun s -> List.length (Summary.keys s))
+           (fun () ->
+             Summary.analyze ~rsd_limit ~profile:static_profile prog ~nprocs)));
   let report =
-    Profile.time profile "transform"
-      ~events:(fun (r : T.report) -> List.length r.plan)
-      (fun () -> T.plan ?options prog ~nprocs)
+    Span.timed "transform" (fun () ->
+        Profile.time profile "transform"
+          ~events:(fun (r : T.report) -> List.length r.plan)
+          (fun () -> T.plan ?options prog ~nprocs))
   in
+  Span.note "plan_actions" (string_of_int (List.length report.T.plan));
   let plan = Option.value plan ~default:report.T.plan in
   let layout =
-    Profile.time profile "layout" ~events:Layout.size (fun () ->
-        Layout.realize prog plan ~block)
+    Span.timed "layout" (fun () ->
+        Profile.time profile "layout" ~events:Layout.size (fun () ->
+            Layout.realize prog plan ~block))
   in
   (* interpret once, layout-free; the cache and machine runs below both
      replay the same trace under their own layouts *)
   let recorded =
-    Profile.time profile "interp"
-      ~events:(fun (r : Sim.recorded) ->
-        Array.fold_left ( + ) 0 r.interp.Interp.accesses)
-      (fun () -> Sim.record prog ~nprocs)
+    Span.timed "interp" (fun () ->
+        Profile.time profile "interp"
+          ~events:(fun (r : Sim.recorded) ->
+            Array.fold_left ( + ) 0 r.interp.Interp.accesses)
+          (fun () -> Sim.record prog ~nprocs))
   in
   let cache =
     Mpcache.create ~track_blocks:true ~max_addr:(Layout.size layout)
@@ -115,9 +130,12 @@ let run ?options ?(machine = false) ?(epochs = false) ?plan ?profile prog
       (Listener.of_sink (Mpcache.sink cache))
       (Listener.combine (Metrics.listener metrics) tracker)
   in
-  Profile.time profile "replay+cache"
-    ~events:(fun () -> Cell_trace.length recorded.Sim.trace)
-    (fun () -> Replay.replay recorded.Sim.trace ~layout ~listener);
+  Span.timed "replay+cache"
+    ~attrs:[ ("events", string_of_int (Cell_trace.length recorded.Sim.trace)) ]
+    (fun () ->
+      Profile.time profile "replay+cache"
+        ~events:(fun () -> Cell_trace.length recorded.Sim.trace)
+        (fun () -> Replay.replay recorded.Sim.trace ~layout ~listener));
   let epoch_list = if epochs then Some (close_epochs ()) else None in
   let interp = recorded.Sim.interp in
   ingest_cache metrics cache;
@@ -125,16 +143,18 @@ let run ?options ?(machine = false) ?(epochs = false) ?plan ?profile prog
     if not machine then None
     else
       Some
-        (Profile.time profile "machine"
-           ~events:(fun (r : Ksr.result) -> r.Ksr.cycles)
-           (fun () ->
-             let m = Ksr.create (Ksr.default_config ~nprocs) in
-             let mlayout =
-               Layout.realize prog plan ~block:(Ksr.default_config ~nprocs).Ksr.block
-             in
-             Replay.replay recorded.Sim.trace ~layout:mlayout
-               ~listener:(Ksr.listener m);
-             Ksr.finish m))
+        (Span.timed "machine" (fun () ->
+             Profile.time profile "machine"
+               ~events:(fun (r : Ksr.result) -> r.Ksr.cycles)
+               (fun () ->
+                 let m = Ksr.create (Ksr.default_config ~nprocs) in
+                 let mlayout =
+                   Layout.realize prog plan
+                     ~block:(Ksr.default_config ~nprocs).Ksr.block
+                 in
+                 Replay.replay recorded.Sim.trace ~layout:mlayout
+                   ~listener:(Ksr.listener m);
+                 Ksr.finish m)))
   in
   Option.iter (ingest_machine metrics) machine_result;
   {

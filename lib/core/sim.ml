@@ -19,7 +19,7 @@ type cache_run = {
 }
 
 let cache_sim ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?(track_blocks = false)
-    ?recorded prog plan ~nprocs ~block =
+    ?flight ?recorded prog plan ~nprocs ~block =
   let recorded =
     match recorded with Some r -> r | None -> record prog ~nprocs
   in
@@ -33,7 +33,7 @@ let cache_sim ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?(track_blocks = false)
      (and is what epoch/line consumers layer their taps onto) *)
   if track_blocks then
     Replay.replay_to_sink recorded.trace ~layout ~sink:(Mpcache.sink cache)
-  else Replay.simulate recorded.trace ~layout ~cache;
+  else Replay.simulate ?flight recorded.trace ~layout ~cache;
   {
     counts = Mpcache.counts cache;
     per_block = (if track_blocks then Mpcache.per_block cache else []);

@@ -32,6 +32,7 @@ val cache_sim :
   ?cache_bytes:int ->
   ?assoc:int ->
   ?track_blocks:bool ->
+  ?flight:Fs_replay.Flight.t ->
   ?recorded:recorded ->
   Fs_ir.Ast.program ->
   Fs_layout.Plan.t ->
@@ -40,7 +41,9 @@ val cache_sim :
   cache_run
 (** Trace-driven simulation of the paper's Section 4 architecture
     (32 KB 4-way L1 per processor unless overridden, infinite L2).
-    [recorded] must come from the same program at the same [nprocs]. *)
+    [recorded] must come from the same program at the same [nprocs].
+    [flight] attaches a {!Fs_replay.Flight} recorder to the fused replay
+    loop (untracked runs only — the tracked listener path ignores it). *)
 
 type timed_run = {
   machine : Fs_machine.Ksr.result;

@@ -80,6 +80,12 @@ let result_of_trace trace =
   }
 
 let compute dir (w : Workload.t) k =
+  Fs_obs.Span.timed "record"
+    ~attrs:
+      [ ("workload", k.workload);
+        ("nprocs", string_of_int k.nprocs);
+        ("scale", string_of_int k.scale) ]
+  @@ fun () ->
   let prog = w.Workload.build ~nprocs:k.nprocs ~scale:k.scale in
   let from_disk =
     match dir with
@@ -95,8 +101,11 @@ let compute dir (w : Workload.t) k =
         | exception (Cell_trace.Corrupt _ | Sys_error _) -> None)
   in
   match from_disk with
-  | Some e -> (e, true)
+  | Some e ->
+    Fs_obs.Span.note "source" "disk";
+    (e, true)
   | None ->
+    Fs_obs.Span.note "source" "interp";
     let trace, interp = Interp.record prog ~nprocs:k.nprocs in
     (match dir with
      | Some d when Sys.file_exists d -> Cell_trace.write_file trace (path_of d k)

@@ -419,6 +419,12 @@ let removed_fraction t =
   else float_of_int (fs0 - t.final.Mpcache.false_sh) /. float_of_int fs0
 
 let refine ?(options = default_options) ?recorded prog plan0 ~nprocs ~block =
+  Fs_obs.Span.timed "refine"
+    ~attrs:
+      [ ("nprocs", string_of_int nprocs);
+        ("block", string_of_int block);
+        ("max_iters", string_of_int options.max_iters) ]
+  @@ fun () ->
   Plan.validate prog plan0;
   let recorded =
     match recorded with Some r -> r | None -> Sim.record prog ~nprocs
@@ -436,50 +442,62 @@ let refine ?(options = default_options) ?recorded prog plan0 ~nprocs ~block =
     else if naccepted >= options.max_iters then
       (plan, c, List.rev iters, Iteration_cap)
     else begin
-      let h =
-        Hotlines.analyze ~cache_bytes:options.cache_bytes ~assoc:options.assoc
-          ~top:options.top ~recorded prog plan ~nprocs ~block
-      in
-      match extract ~options prog plan h with
-      | [] -> (plan, c, List.rev iters, Exhausted)
-      | cands -> (
-        (* try candidates best-first against the accept gate: false sharing
-           must strictly drop and total misses must not rise *)
-        let pick =
-          List.find_map
-            (fun cand ->
-              match
-                try Some (apply plan cand) with Plan.Plan_error _ -> None
-              with
-              | None -> None
-              | Some plan' ->
-                let c' = eval plan' in
-                if
-                  c'.Mpcache.false_sh < c.Mpcache.false_sh
-                  && Mpcache.misses c' <= Mpcache.misses c
-                then Some (cand, plan', c')
-                else None)
-            cands
+      (* each iteration is its own span; the recursion happens outside it
+         so successive iterations are siblings under "refine", not an
+         ever-deepening nest *)
+      let outcome =
+        Fs_obs.Span.timed "iteration"
+          ~attrs:[ ("index", string_of_int (naccepted + 1)) ]
+        @@ fun () ->
+        let h =
+          Hotlines.analyze ~cache_bytes:options.cache_bytes ~assoc:options.assoc
+            ~top:options.top ~recorded prog plan ~nprocs ~block
         in
-        match pick with
-        | None ->
-          let it =
-            { index = naccepted + 1; considered = cands; applied = None;
-              fs_before = c.Mpcache.false_sh; fs_after = c.Mpcache.false_sh;
-              misses_before = Mpcache.misses c;
-              misses_after = Mpcache.misses c }
+        match extract ~options prog plan h with
+        | [] -> `Stop (plan, c, List.rev iters, Exhausted)
+        | cands -> (
+          (* try candidates best-first against the accept gate: false sharing
+             must strictly drop and total misses must not rise *)
+          let pick =
+            List.find_map
+              (fun cand ->
+                match
+                  try Some (apply plan cand) with Plan.Plan_error _ -> None
+                with
+                | None -> None
+                | Some plan' ->
+                  let c' = eval plan' in
+                  if
+                    c'.Mpcache.false_sh < c.Mpcache.false_sh
+                    && Mpcache.misses c' <= Mpcache.misses c
+                  then Some (cand, plan', c')
+                  else None)
+              cands
           in
-          (plan, c, List.rev (it :: iters), No_gain)
-        | Some (cand, plan', c') ->
-          let it =
-            { index = naccepted + 1; considered = cands; applied = Some cand;
-              fs_before = c.Mpcache.false_sh; fs_after = c'.Mpcache.false_sh;
-              misses_before = Mpcache.misses c;
-              misses_after = Mpcache.misses c' }
-          in
-          if c.Mpcache.false_sh - c'.Mpcache.false_sh < options.min_fs_gain
-          then (plan', c', List.rev (it :: iters), No_gain)
-          else loop plan' c' (naccepted + 1) (it :: iters))
+          Fs_obs.Span.note "candidates" (string_of_int (List.length cands));
+          match pick with
+          | None ->
+            let it =
+              { index = naccepted + 1; considered = cands; applied = None;
+                fs_before = c.Mpcache.false_sh; fs_after = c.Mpcache.false_sh;
+                misses_before = Mpcache.misses c;
+                misses_after = Mpcache.misses c }
+            in
+            `Stop (plan, c, List.rev (it :: iters), No_gain)
+          | Some (cand, plan', c') ->
+            let it =
+              { index = naccepted + 1; considered = cands; applied = Some cand;
+                fs_before = c.Mpcache.false_sh; fs_after = c'.Mpcache.false_sh;
+                misses_before = Mpcache.misses c;
+                misses_after = Mpcache.misses c' }
+            in
+            if c.Mpcache.false_sh - c'.Mpcache.false_sh < options.min_fs_gain
+            then `Stop (plan', c', List.rev (it :: iters), No_gain)
+            else `Continue (plan', c', naccepted + 1, it :: iters))
+      in
+      match outcome with
+      | `Stop r -> r
+      | `Continue (plan', c', n', iters') -> loop plan' c' n' iters'
     end
   in
   let plan, final, iterations, stop = loop plan0 c0 0 [] in

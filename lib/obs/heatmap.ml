@@ -49,8 +49,11 @@ let render ?(row_label = Printf.sprintf "P%d") ?(col_tick = 5) values =
         done;
         Buffer.add_char buf '\n')
       values;
+    (* fixed two-decimal formatting: %g would switch to scientific
+       notation (and width) with the data's magnitude, which breaks
+       golden-output diffs of the forensics reports *)
     Buffer.add_string buf
-      (Printf.sprintf "%s  ['%c'=0 .. '%c'=%g, log scale]\n"
+      (Printf.sprintf "%s  ['%c'=0.00 .. '%c'=%.2f, log scale]\n"
          (String.make gutter ' ')
          palette.(0)
          palette.(Array.length palette - 1)

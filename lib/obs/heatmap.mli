@@ -16,7 +16,10 @@ val render :
     Ragged rows are padded as empty.  [row_label] (default [P<i>])
     prefixes each row; [col_tick] (default 5) spaces the column ruler
     printed above the grid.  A legend line maps the palette back to the
-    value range.  Empty input renders as an empty string. *)
+    value range in fixed two-decimal formatting (never scientific
+    notation, so report output diffs stably).  An all-zero grid renders
+    every cell as ['.'] with a [0.00] legend.  Empty input renders as an
+    empty string. *)
 
 val bars : ?width:int -> (string * int) list -> string
 (** [bars rows] draws one labeled horizontal bar per (label, count),

@@ -12,6 +12,7 @@ module Gauge = struct
   type t = { mutable v : float }
 
   let set t v = t.v <- v
+  let add t d = t.v <- t.v +. d
   let value t = t.v
 end
 
@@ -37,6 +38,19 @@ module Histogram = struct
   let count t = t.total
   let sum t = t.sum
 
+  (* merge pre-bucketed observations (the domain pool keeps fixed-bucket
+     counts rather than one float per task); [counts] are per-bucket,
+     not cumulative, and must match this histogram's bucket count *)
+  let absorb t ~counts ~sum =
+    if Array.length counts <> Array.length t.counts then
+      invalid_arg "Metrics.Histogram.absorb: bucket count mismatch";
+    Array.iteri
+      (fun i c ->
+        t.counts.(i) <- t.counts.(i) + c;
+        t.total <- t.total + c)
+      counts;
+    t.sum <- t.sum +. sum
+
   let buckets t =
     let acc = ref 0 in
     let finite =
@@ -59,14 +73,23 @@ type key = { name : string; labels : labels }
 
 type t = {
   tbl : (key, instrument) Hashtbl.t;
+  help : (string, string) Hashtbl.t;  (* per metric name; first wins *)
   mutable order : key list;  (* registration order, reversed *)
 }
 
-let create () = { tbl = Hashtbl.create 64; order = [] }
+let create () = { tbl = Hashtbl.create 64; help = Hashtbl.create 16; order = [] }
+
+(* the process-global registry long-lived front ends accumulate into
+   (pool fan-outs, CLI command timings) for [--metrics-out] *)
+let global_registry = lazy (create ())
+let global () = Lazy.force global_registry
 
 let canon labels = List.sort compare labels
 
-let register t name labels make select =
+let register t name labels help make select =
+  (match help with
+   | Some h when not (Hashtbl.mem t.help name) -> Hashtbl.add t.help name h
+   | _ -> ());
   let key = { name; labels = canon labels } in
   match Hashtbl.find_opt t.tbl key with
   | Some inst -> select inst
@@ -78,21 +101,21 @@ let register t name labels make select =
 
 let type_error name = invalid_arg ("Metrics: " ^ name ^ " registered with another type")
 
-let counter t ?(labels = []) name =
-  register t name labels
+let counter t ?(labels = []) ?help name =
+  register t name labels help
     (fun () -> Icounter { Counter.n = 0 })
     (function Icounter c -> c | _ -> type_error name)
 
-let gauge t ?(labels = []) name =
-  register t name labels
+let gauge t ?(labels = []) ?help name =
+  register t name labels help
     (fun () -> Igauge { Gauge.v = 0.0 })
     (function Igauge g -> g | _ -> type_error name)
 
 let default_buckets = [ 1.; 10.; 100.; 1_000.; 10_000.; 100_000.; 1_000_000. ]
 
-let histogram t ?(labels = []) ?(buckets = default_buckets) name =
+let histogram t ?(labels = []) ?help ?(buckets = default_buckets) name =
   let bounds = Array.of_list buckets in
-  register t name labels
+  register t name labels help
     (fun () ->
       Ihist
         { Histogram.bounds; counts = Array.make (Array.length bounds + 1) 0;
@@ -186,6 +209,25 @@ let escape_label v =
     v;
   Buffer.contents buf
 
+(* HELP text escaping: the exposition format escapes exactly backslash
+   and newline there (label values additionally escape the quote). *)
+let escape_help v =
+  let buf = Buffer.create (String.length v + 8) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf {|\\|}
+      | '\n' -> Buffer.add_string buf {|\n|}
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* Prometheus float formatting: %g matches what client libraries emit
+   (1e+06 and friends parse fine), but +Inf must be spelled that way *)
+let prom_float v =
+  if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else Printf.sprintf "%g" v
+
 let render t =
   let buf = Buffer.create 1024 in
   let label_text labels =
@@ -199,19 +241,56 @@ let render t =
              labels)
       ^ "}"
   in
+  (* the exposition format groups a metric's series under one # HELP and
+     # TYPE header; sorted_entries already collates label sets by name *)
+  let last_name = ref None in
+  let header name inst =
+    if !last_name <> Some name then begin
+      last_name := Some name;
+      (match Hashtbl.find_opt t.help name with
+       | Some h ->
+         Buffer.add_string buf
+           (Printf.sprintf "# HELP %s %s\n" name (escape_help h))
+       | None -> ());
+      let ty =
+        match inst with
+        | Icounter _ -> "counter"
+        | Igauge _ -> "gauge"
+        | Ihist _ -> "histogram"
+      in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name ty)
+    end
+  in
   List.iter
     (fun ({ name; labels }, inst) ->
+      header name inst;
       match inst with
       | Icounter c ->
         Buffer.add_string buf
           (Printf.sprintf "%s%s %d\n" name (label_text labels) (Counter.value c))
       | Igauge g ->
         Buffer.add_string buf
-          (Printf.sprintf "%s%s %g\n" name (label_text labels) (Gauge.value g))
+          (Printf.sprintf "%s%s %s\n" name (label_text labels)
+             (prom_float (Gauge.value g)))
       | Ihist h ->
+        List.iter
+          (fun (le, cum) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" name
+                 (label_text (labels @ [ ("le", prom_float le) ]))
+                 cum))
+          (Histogram.buckets h);
         Buffer.add_string buf
-          (Printf.sprintf "%s_count%s %d\n" name (label_text labels) (Histogram.count h));
+          (Printf.sprintf "%s_sum%s %s\n" name (label_text labels)
+             (prom_float (Histogram.sum h)));
         Buffer.add_string buf
-          (Printf.sprintf "%s_sum%s %g\n" name (label_text labels) (Histogram.sum h)))
+          (Printf.sprintf "%s_count%s %d\n" name (label_text labels)
+             (Histogram.count h)))
     (sorted_entries t);
   Buffer.contents buf
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render t))

@@ -14,6 +14,11 @@ type t
 
 val create : unit -> t
 
+val global : unit -> t
+(** The process-global registry.  Long-lived front ends (the CLI, the
+    bench harness) accumulate cross-cutting telemetry here — pool
+    fan-out stats, command timings — and dump it with [--metrics-out]. *)
+
 type labels = (string * string) list
 
 module Counter : sig
@@ -28,6 +33,7 @@ module Gauge : sig
   type t
 
   val set : t -> float -> unit
+  val add : t -> float -> unit
   val value : t -> float
 end
 
@@ -42,15 +48,27 @@ module Histogram : sig
   val buckets : t -> (float * int) list
   (** Upper bound of each bucket (the last is [infinity]) with the
       {e cumulative} count of observations at or below it. *)
+
+  val absorb : t -> counts:int array -> sum:float -> unit
+  (** Merge pre-bucketed observations: [counts] are {e per-bucket} (not
+      cumulative) counts, one per finite bound plus the overflow bucket,
+      and [sum] is the sum of the underlying observations.  Used to fold
+      the domain pool's fixed-bucket task histograms into a registry.
+      @raise Invalid_argument if the bucket counts don't line up. *)
 end
 
-val counter : t -> ?labels:labels -> string -> Counter.t
-val gauge : t -> ?labels:labels -> string -> Gauge.t
+val counter : t -> ?labels:labels -> ?help:string -> string -> Counter.t
+val gauge : t -> ?labels:labels -> ?help:string -> string -> Gauge.t
 
-val histogram : t -> ?labels:labels -> ?buckets:float list -> string -> Histogram.t
+val histogram :
+  t -> ?labels:labels -> ?help:string -> ?buckets:float list -> string ->
+  Histogram.t
 (** [buckets] are the finite upper bounds, sorted ascending; a catch-all
     [infinity] bucket is appended.  Defaults to powers of ten from 1 to
-    1e6.  The bucket list of an existing histogram is not changed. *)
+    1e6.  The bucket list of an existing histogram is not changed.
+
+    For all three: [help] sets the metric's [# HELP] text; the first
+    registration to supply one wins. *)
 
 val listener : t -> Fs_trace.Listener.t
 (** Instrument an interpreter run: counts work units and accesses per
@@ -64,5 +82,12 @@ val to_json : t -> Json.t
     sorted by name then labels. *)
 
 val render : t -> string
-(** One metric per line, Prometheus-flavored:
-    [name{k="v",...} value]. *)
+(** The Prometheus text exposition format: series grouped per metric
+    under [# HELP] (when registered) and [# TYPE] headers; histograms
+    emit the cumulative [_bucket{le="..."}] series ending at
+    [le="+Inf"], then [_sum] and [_count].  Label values escape
+    backslash, double quote, and newline; HELP text escapes backslash
+    and newline. *)
+
+val write_file : t -> string -> unit
+(** Write {!render} to a file. *)

@@ -1,0 +1,70 @@
+module Par = Fs_util.Par
+
+let worker_label w = [ ("worker", string_of_int w) ]
+
+let bounds_list = Array.to_list Par.bucket_bounds
+
+let ingest reg (s : Par.stats) =
+  Metrics.Counter.incr
+    (Metrics.counter reg "pool_maps_total"
+       ~help:"Domain-pool fan-outs executed");
+  Metrics.Counter.add
+    (Metrics.counter reg "pool_tasks_total" ~help:"Tasks run on the domain pool")
+    s.Par.task_count;
+  Metrics.Gauge.set
+    (Metrics.gauge reg "pool_jobs" ~help:"Degree of parallelism of the last fan-out")
+    (float_of_int s.Par.jobs);
+  Metrics.Gauge.add
+    (Metrics.gauge reg "pool_wall_seconds"
+       ~help:"Wall-clock seconds spent inside fan-outs")
+    s.Par.wall_s;
+  Array.iter
+    (fun (w : Par.worker_stats) ->
+      let labels = worker_label w.Par.worker in
+      Metrics.Counter.add
+        (Metrics.counter reg ~labels "pool_worker_tasks_total"
+           ~help:"Tasks claimed per worker")
+        w.Par.tasks;
+      Metrics.Gauge.add
+        (Metrics.gauge reg ~labels "pool_worker_busy_seconds"
+           ~help:"Seconds each worker spent running tasks")
+        w.Par.busy_s;
+      Metrics.Gauge.add
+        (Metrics.gauge reg ~labels "pool_worker_wait_seconds"
+           ~help:"Seconds each worker spent waiting (claim latency + idle tail)")
+        w.Par.wait_s;
+      Metrics.Gauge.set
+        (Metrics.gauge reg ~labels "pool_worker_utilization"
+           ~help:"Busy share of the last fan-out's wall-clock, per worker")
+        (Par.utilization s w);
+      Metrics.Histogram.absorb
+        (Metrics.histogram reg "pool_task_run_seconds" ~buckets:bounds_list
+           ~help:"Per-task run time on the domain pool")
+        ~counts:w.Par.run_hist ~sum:w.Par.busy_s;
+      Metrics.Histogram.absorb
+        (Metrics.histogram reg "pool_task_wait_seconds" ~buckets:bounds_list
+           ~help:"Per-claim wait time on the domain pool")
+        ~counts:w.Par.wait_hist ~sum:w.Par.wait_s)
+    s.Par.workers
+
+let worker_to_json s (w : Par.worker_stats) =
+  Json.Obj
+    [ ("worker", Json.Int w.Par.worker);
+      ("tasks", Json.Int w.Par.tasks);
+      ("busy_s", Json.float w.Par.busy_s);
+      ("wait_s", Json.float w.Par.wait_s);
+      ("utilization", Json.float (Par.utilization s w));
+      ("run_hist",
+       Json.List (Array.to_list (Array.map (fun n -> Json.Int n) w.Par.run_hist)));
+      ("wait_hist",
+       Json.List (Array.to_list (Array.map (fun n -> Json.Int n) w.Par.wait_hist))) ]
+
+let to_json (s : Par.stats) =
+  Json.Obj
+    [ ("jobs", Json.Int s.Par.jobs);
+      ("tasks", Json.Int s.Par.task_count);
+      ("wall_s", Json.float s.Par.wall_s);
+      ("bucket_bounds_s",
+       Json.List (List.map (fun b -> Json.float b) bounds_list));
+      ("workers",
+       Json.List (Array.to_list (Array.map (worker_to_json s) s.Par.workers))) ]

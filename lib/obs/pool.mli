@@ -1,0 +1,20 @@
+(** The bridge from {!Fs_util.Par}'s pool measurements into the
+    telemetry layer: fold fan-out stats into a {!Metrics} registry (so
+    the Prometheus surface gains per-worker task counts, busy/wait
+    gauges, utilization, and run/wait-time histograms), or serialize
+    them as JSON.
+
+    Typical wiring, done once per process:
+    {[ Fs_util.Par.set_observer
+         (Some (Fs_obs.Pool.ingest (Fs_obs.Metrics.global ()))) ]} *)
+
+val ingest : Metrics.t -> Fs_util.Par.stats -> unit
+(** Accumulate one fan-out's measurements: counters and busy/wait
+    seconds add up across fan-outs, [pool_jobs] and per-worker
+    utilization reflect the latest one, and the per-task run/wait
+    histograms absorb the pool's fixed-bucket counts. *)
+
+val to_json : Fs_util.Par.stats -> Json.t
+(** [{"jobs", "tasks", "wall_s", "bucket_bounds_s", "workers": [...]}]
+    with per-worker tasks, busy/wait seconds, utilization, and raw
+    histogram bucket counts. *)

@@ -34,6 +34,17 @@ val time : t -> int
     clock.  Barrier releases leave every clock equal, so sampled there it
     is {e the} global time — where per-epoch counter samples belong. *)
 
+val slice :
+  t ->
+  name:string ->
+  ts:int ->
+  dur:int ->
+  tid:int ->
+  args:(string * Json.t) list ->
+  unit
+(** Append a duration event ([ph = "X"]) directly — the escape hatch for
+    recorders that are not interpreter listeners (the {!Span} export). *)
+
 val counter : t -> name:string -> ts:int -> values:(string * float) list -> unit
 (** Append a Chrome counter event ([ph = "C"]): a named track of stacked
     series sampled at [ts].  Used for the per-epoch miss-class tracks —

@@ -1,0 +1,208 @@
+module C = Fs_cache.Mpcache
+module Json = Fs_obs.Json
+
+(* Parallel arrays rather than a record ring: taking a sample writes a
+   handful of unboxed ints/floats and allocates nothing, so sampling
+   never perturbs the loop it is observing through the GC. *)
+type t = {
+  interval : int;
+  cap : int;
+  at_event : int array;
+  wall : float array;
+  reads : int array;
+  writes : int array;
+  cold : int array;
+  repl : int array;
+  true_sh : int array;
+  false_sh : int array;
+  cur_block : int array;
+  mutable taken : int;  (* samples ever taken; the ring keeps the last cap *)
+  mutable t0 : float;
+}
+
+let create ?(capacity = 256) ?(interval = 4096) () =
+  if capacity <= 0 then invalid_arg "Flight.create: capacity must be positive";
+  if interval <= 0 then invalid_arg "Flight.create: interval must be positive";
+  {
+    interval;
+    cap = capacity;
+    at_event = Array.make capacity 0;
+    wall = Array.make capacity 0.0;
+    reads = Array.make capacity 0;
+    writes = Array.make capacity 0;
+    cold = Array.make capacity 0;
+    repl = Array.make capacity 0;
+    true_sh = Array.make capacity 0;
+    false_sh = Array.make capacity 0;
+    cur_block = Array.make capacity 0;
+    taken = 0;
+    t0 = 0.0;
+  }
+
+let interval t = t.interval
+
+let start t =
+  t.taken <- 0;
+  t.t0 <- Unix.gettimeofday ()
+
+let sample t ~at_event ~counts ~block =
+  let i = t.taken mod t.cap in
+  t.at_event.(i) <- at_event;
+  t.wall.(i) <- Unix.gettimeofday () -. t.t0;
+  t.reads.(i) <- counts.C.reads;
+  t.writes.(i) <- counts.C.writes;
+  t.cold.(i) <- counts.C.cold;
+  t.repl.(i) <- counts.C.repl;
+  t.true_sh.(i) <- counts.C.true_sh;
+  t.false_sh.(i) <- counts.C.false_sh;
+  t.cur_block.(i) <- block;
+  t.taken <- t.taken + 1
+
+(* ------------------------------------------------------------------ *)
+
+type sample = {
+  s_event : int;
+  s_wall : float;
+  s_reads : int;
+  s_writes : int;
+  s_cold : int;
+  s_repl : int;
+  s_true_sh : int;
+  s_false_sh : int;
+  s_block : int;
+}
+
+let retained t = min t.taken t.cap
+
+let samples t =
+  let n = retained t in
+  let first = t.taken - n in
+  List.init n (fun k ->
+      let i = (first + k) mod t.cap in
+      {
+        s_event = t.at_event.(i);
+        s_wall = t.wall.(i);
+        s_reads = t.reads.(i);
+        s_writes = t.writes.(i);
+        s_cold = t.cold.(i);
+        s_repl = t.repl.(i);
+        s_true_sh = t.true_sh.(i);
+        s_false_sh = t.false_sh.(i);
+        s_block = t.cur_block.(i);
+      })
+
+type digest = {
+  d_interval : int;
+  d_taken : int;
+  d_retained : int;
+  d_events : int;       (* event index of the last sample *)
+  d_wall : float;       (* wall seconds at the last sample *)
+  d_rate : float;       (* Mevents/s over the whole recording *)
+  d_peak_rate : float;  (* max Mevents/s between consecutive samples *)
+  d_cold : int;
+  d_repl : int;
+  d_true_sh : int;
+  d_false_sh : int;
+  d_hot_block : int;    (* most frequent current block, -1 if no samples *)
+  d_hot_share : float;
+}
+
+let digest t =
+  match samples t with
+  | [] ->
+    { d_interval = t.interval; d_taken = 0; d_retained = 0; d_events = 0;
+      d_wall = 0.0; d_rate = 0.0; d_peak_rate = 0.0; d_cold = 0; d_repl = 0;
+      d_true_sh = 0; d_false_sh = 0; d_hot_block = -1; d_hot_share = 0.0 }
+  | first :: _ as ss ->
+    let last = List.nth ss (List.length ss - 1) in
+    let rate ev dt = if dt > 0.0 then float_of_int ev /. dt /. 1e6 else 0.0 in
+    let peak = ref (rate (first.s_event + 1) first.s_wall) in
+    let rec scan = function
+      | a :: (b :: _ as rest) ->
+        let r = rate (b.s_event - a.s_event) (b.s_wall -. a.s_wall) in
+        if r > !peak then peak := r;
+        scan rest
+      | _ -> ()
+    in
+    scan ss;
+    let freq = Hashtbl.create 64 in
+    List.iter
+      (fun s ->
+        Hashtbl.replace freq s.s_block
+          (1 + Option.value ~default:0 (Hashtbl.find_opt freq s.s_block)))
+      ss;
+    let hot_block, hot_n =
+      Hashtbl.fold
+        (fun b n ((_, bn) as best) -> if n > bn then (b, n) else best)
+        freq (-1, 0)
+    in
+    {
+      d_interval = t.interval;
+      d_taken = t.taken;
+      d_retained = List.length ss;
+      d_events = last.s_event;
+      d_wall = last.s_wall;
+      d_rate = rate last.s_event last.s_wall;
+      d_peak_rate = !peak;
+      d_cold = last.s_cold;
+      d_repl = last.s_repl;
+      d_true_sh = last.s_true_sh;
+      d_false_sh = last.s_false_sh;
+      d_hot_block = hot_block;
+      d_hot_share = float_of_int hot_n /. float_of_int (List.length ss);
+    }
+
+let render t =
+  let d = digest t in
+  if d.d_taken = 0 then "flight recorder: no samples (trace shorter than one interval)\n"
+  else begin
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "flight recorder: %d sample(s) every %d events (%d retained), \
+          %d events in %.3fs — %.1f Mevents/s (peak %.1f)\n"
+         d.d_taken t.interval d.d_retained d.d_events d.d_wall d.d_rate
+         d.d_peak_rate);
+    Buffer.add_string buf
+      (Printf.sprintf "hottest sampled block: 0x%x (%s of samples)\n"
+         d.d_hot_block
+         (Fs_util.Table.pct d.d_hot_share));
+    Buffer.add_string buf "miss mix at last sample:\n";
+    Buffer.add_string buf
+      (Fs_obs.Heatmap.bars
+         [ ("cold", d.d_cold); ("replacement", d.d_repl);
+           ("true sharing", d.d_true_sh); ("false sharing", d.d_false_sh) ]);
+    Buffer.contents buf
+  end
+
+let sample_to_json s =
+  Json.Obj
+    [ ("event", Json.Int s.s_event);
+      ("wall_s", Json.float s.s_wall);
+      ("reads", Json.Int s.s_reads);
+      ("writes", Json.Int s.s_writes);
+      ("cold", Json.Int s.s_cold);
+      ("replacement", Json.Int s.s_repl);
+      ("true_sharing", Json.Int s.s_true_sh);
+      ("false_sharing", Json.Int s.s_false_sh);
+      ("block", Json.Int s.s_block) ]
+
+let to_json t =
+  let d = digest t in
+  Json.Obj
+    [ ("interval", Json.Int d.d_interval);
+      ("samples_taken", Json.Int d.d_taken);
+      ("samples_retained", Json.Int d.d_retained);
+      ("events", Json.Int d.d_events);
+      ("wall_s", Json.float d.d_wall);
+      ("mevents_per_s", Json.float d.d_rate);
+      ("peak_mevents_per_s", Json.float d.d_peak_rate);
+      ("miss_mix",
+       Json.Obj
+         [ ("cold", Json.Int d.d_cold);
+           ("replacement", Json.Int d.d_repl);
+           ("true_sharing", Json.Int d.d_true_sh);
+           ("false_sharing", Json.Int d.d_false_sh) ]);
+      ("hot_block", Json.Int d.d_hot_block);
+      ("hot_block_share", Json.float d.d_hot_share);
+      ("samples", Json.List (List.map sample_to_json (samples t))) ]

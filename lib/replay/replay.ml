@@ -68,7 +68,83 @@ let replay_to_sink trace ~layout ~sink =
    no-op — so the two paths produce identical counts (property-tested
    over every workload). *)
 
-let simulate trace ~layout ~cache =
+(* The instrumented twin of the fused loop below.  It is a separate body
+   (not a [match] inside the loop) so the recorder-disabled path pays
+   nothing: no flight means the original loops run untouched.  The event
+   stream is walked in interval-sized chunks — the inner loops are the
+   original bodies verbatim, and all sampling work (an allocation-free
+   ring deposit, plus a backward scan for the most recent access to
+   attribute a current block) happens once per chunk boundary, so the
+   per-event cost of the recorder is exactly zero. *)
+let simulate_recorded trace ~layout ~cache ~(flight : Flight.t) =
+  let o = oracle layout ~vars:(Cell_trace.vars trace) in
+  let addr = o.addr and extra = o.extra in
+  let data = Cell_trace.unsafe_data trace in
+  let n = Cell_trace.length trace in
+  let has_extra = Array.exists (fun ex -> Array.length ex > 0) extra in
+  let bshift =
+    (* block size is a power of two (enforced by Mpcache) *)
+    let b = (Mpcache.config cache).Mpcache.block in
+    let s = ref 0 in
+    while 1 lsl !s < b do incr s done;
+    !s
+  in
+  let counts = Mpcache.counts cache in
+  let interval = Flight.interval flight in
+  (* the data address of the most recent access at or before event [i];
+     0 when no access has happened yet.  Off the hot path: called once
+     per sample, and the scan almost always stops within a few events. *)
+  let last_access_addr i =
+    let rec find i =
+      if i < 0 then 0
+      else
+        let packed = Array.unsafe_get data i in
+        if Cell_event.packed_is_access packed then
+          addr.(Cell_event.packed_var packed).(Cell_event.packed_cell packed)
+        else find (i - 1)
+    in
+    find i
+  in
+  Flight.start flight;
+  let lo = ref 0 in
+  while !lo < n do
+    let hi = min n (!lo + interval) in
+    if has_extra then
+      for i = !lo to hi - 1 do
+        let packed = Array.unsafe_get data i in
+        if Cell_event.packed_is_access packed then begin
+          let proc = Cell_event.packed_proc packed in
+          let cell = Cell_event.packed_cell packed in
+          let var = Cell_event.packed_var packed in
+          let ex = extra.(var) in
+          if Array.length ex > 0 && ex.(cell) >= 0 then
+            Mpcache.touch cache ~proc ~write:false ~addr:ex.(cell);
+          Mpcache.touch cache ~proc
+            ~write:(Cell_event.packed_write packed)
+            ~addr:addr.(var).(cell)
+        end
+      done
+    else
+      for i = !lo to hi - 1 do
+        let packed = Array.unsafe_get data i in
+        if Cell_event.packed_is_access packed then
+          Mpcache.touch cache
+            ~proc:(Cell_event.packed_proc packed)
+            ~write:(Cell_event.packed_write packed)
+            ~addr:addr.(Cell_event.packed_var packed).(Cell_event.packed_cell
+                                                         packed)
+      done;
+    lo := hi;
+    (* the final partial chunk also deposits a sample, so short traces
+       still record their end state *)
+    Flight.sample flight ~at_event:(hi - 1) ~counts
+      ~block:(last_access_addr (hi - 1) lsr bshift)
+  done
+
+let simulate ?flight trace ~layout ~cache =
+  match flight with
+  | Some fr -> simulate_recorded trace ~layout ~cache ~flight:fr
+  | None ->
   let o = oracle layout ~vars:(Cell_trace.vars trace) in
   let addr = o.addr and extra = o.extra in
   let data = Cell_trace.unsafe_data trace in

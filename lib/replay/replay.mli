@@ -43,6 +43,7 @@ val replay_to_sink :
   unit
 
 val simulate :
+  ?flight:Flight.t ->
   Fs_trace.Cell_trace.t ->
   layout:Fs_layout.Layout.t ->
   cache:Fs_cache.Mpcache.t ->
@@ -53,4 +54,11 @@ val simulate :
     allocation and no listener dispatch.  Produces counts identical to
     [replay_to_sink _ ~sink:(Mpcache.sink cache)] (the reference path,
     which remains the route for tracking/epoch consumers that need the
-    full listener event stream). *)
+    full listener event stream).
+
+    Passing [?flight] runs an instrumented twin of the loop that deposits
+    one allocation-free sample into the {!Flight} ring every
+    [Flight.interval] packed events (live cumulative counts, wall offset,
+    block of the most recent access).  Cache counts are identical with or
+    without a recorder; when [flight] is absent the original
+    uninstrumented loop runs — the disabled path costs nothing. *)

@@ -16,6 +16,7 @@ let () =
       ("trace", Test_trace.suite);
       ("replay", Test_replay.suite);
       ("obs", Test_obs.suite);
+      ("telemetry", Test_telemetry.suite);
       ("phases", Test_phases.suite);
       ("feedback", Test_feedback.suite);
       ("fuzz", Test_fuzz.suite) ]

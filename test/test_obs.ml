@@ -189,6 +189,215 @@ let test_prometheus_escaping () =
   | _ -> Alcotest.fail "expected one metric"
 
 (* ------------------------------------------------------------------ *)
+(* Prometheus text exposition: a hand-written checker of the format's
+   structural rules, then a value round-trip through it.  The checker is
+   independent of the renderer — it re-parses the text from scratch — so
+   a renderer bug can't hide behind its own output. *)
+
+type parsed_sample = { ps_name : string; ps_labels : (string * string) list;
+                       ps_value : string }
+
+let parse_exposition what text =
+  let fail msg = Alcotest.fail (Printf.sprintf "%s: %s" what msg) in
+  let types = Hashtbl.create 8 in
+  let helps = Hashtbl.create 8 in
+  let samples = ref [] in
+  let parse_labels s =
+    (* k1="v1",k2="v2" — label values in these tests contain no escapes *)
+    if s = "" then []
+    else
+      List.map
+        (fun kv ->
+          match String.index_opt kv '=' with
+          | Some i ->
+            let k = String.sub kv 0 i in
+            let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+            let n = String.length v in
+            if n < 2 || v.[0] <> '"' || v.[n - 1] <> '"' then
+              fail ("unquoted label value in " ^ s);
+            (k, String.sub v 1 (n - 2))
+          | None -> fail ("bad label pair " ^ kv))
+        (String.split_on_char ',' s)
+  in
+  (* the metric a sample line belongs to: its own name, or — for the
+     histogram series — the name with _bucket/_sum/_count stripped *)
+  let base_of name =
+    if Hashtbl.mem types name then name
+    else
+      let try_suffix sfx =
+        let n = String.length name and m = String.length sfx in
+        if n > m && String.sub name (n - m) m = sfx then begin
+          let b = String.sub name 0 (n - m) in
+          if Hashtbl.find_opt types b = Some "histogram" then Some b else None
+        end
+        else None
+      in
+      match List.find_map try_suffix [ "_bucket"; "_sum"; "_count" ] with
+      | Some b -> b
+      | None -> fail ("sample " ^ name ^ " has no preceding # TYPE")
+  in
+  List.iter
+    (fun line ->
+      if line = "" then ()
+      else if String.length line > 1 && line.[0] = '#' then begin
+        match String.split_on_char ' ' line with
+        | "#" :: "HELP" :: name :: _ :: _ ->
+          if Hashtbl.mem types name then fail ("HELP after TYPE for " ^ name);
+          Hashtbl.replace helps name ()
+        | "#" :: "TYPE" :: name :: [ ty ] ->
+          if not (List.mem ty [ "counter"; "gauge"; "histogram" ]) then
+            fail ("unknown type " ^ ty);
+          if Hashtbl.mem types name then fail ("duplicate TYPE for " ^ name);
+          Hashtbl.replace types name ty
+        | _ -> fail ("malformed comment line: " ^ line)
+      end
+      else begin
+        match String.rindex_opt line ' ' with
+        | None -> fail ("malformed sample line: " ^ line)
+        | Some sp ->
+          let head = String.sub line 0 sp in
+          let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+          let name, labels =
+            match String.index_opt head '{' with
+            | None -> (head, [])
+            | Some lb ->
+              if head.[String.length head - 1] <> '}' then
+                fail ("unterminated label set: " ^ head);
+              ( String.sub head 0 lb,
+                parse_labels
+                  (String.sub head (lb + 1) (String.length head - lb - 2)) )
+          in
+          ignore (base_of name);
+          samples := { ps_name = name; ps_labels = labels; ps_value = value }
+                     :: !samples
+      end)
+    (String.split_on_char '\n' text);
+  (types, helps, List.rev !samples)
+
+let find_sample what samples name labels =
+  match
+    List.find_opt
+      (fun s ->
+        s.ps_name = name
+        && List.sort compare s.ps_labels = List.sort compare labels)
+      samples
+  with
+  | Some s -> s.ps_value
+  | None ->
+    Alcotest.fail
+      (Printf.sprintf "%s: no sample %s{%s}" what name
+         (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)))
+
+(* the structural rules of one histogram's series under one label set *)
+let check_histogram what samples name labels =
+  let le_of s = List.assoc "le" s.ps_labels in
+  let others s = List.remove_assoc "le" s.ps_labels in
+  let buckets =
+    List.filter
+      (fun s ->
+        s.ps_name = name ^ "_bucket"
+        && List.mem_assoc "le" s.ps_labels
+        && List.sort compare (others s) = List.sort compare labels)
+      samples
+  in
+  if buckets = [] then Alcotest.fail (what ^ ": no _bucket series");
+  let les = List.map le_of buckets in
+  (match List.rev les with
+   | "+Inf" :: _ -> ()
+   | _ -> Alcotest.fail (what ^ ": last bucket is not le=\"+Inf\""));
+  let numeric =
+    List.map
+      (fun le -> if le = "+Inf" then infinity else float_of_string le)
+      les
+  in
+  if List.sort compare numeric <> numeric then
+    Alcotest.fail (what ^ ": bucket bounds not ascending");
+  let cums = List.map (fun s -> int_of_string s.ps_value) buckets in
+  if List.sort compare cums <> cums then
+    Alcotest.fail (what ^ ": cumulative counts decrease");
+  let count =
+    int_of_string (find_sample what samples (name ^ "_count") labels)
+  in
+  Alcotest.(check int) (what ^ ": +Inf bucket = _count") count
+    (List.nth cums (List.length cums - 1));
+  ignore (float_of_string (find_sample what samples (name ^ "_sum") labels))
+
+let test_prometheus_exposition () =
+  let m = Metrics.create () in
+  let c =
+    Metrics.counter m "rt_hits" ~help:"Round-trip hits"
+      ~labels:[ ("proc", "0") ]
+  in
+  Metrics.Counter.add c 7;
+  Metrics.Counter.add (Metrics.counter m "rt_hits" ~labels:[ ("proc", "1") ]) 3;
+  Metrics.Gauge.set (Metrics.gauge m "rt_temp" ~help:"A gauge") 1.5;
+  let h = Metrics.histogram m "rt_lat" ~help:"A histogram" ~buckets:[ 0.1; 1.; 10. ] in
+  List.iter (Metrics.Histogram.observe h) [ 0.05; 0.5; 5.; 50. ];
+  let text = Metrics.render m in
+  let types, helps, samples = parse_exposition "exposition" text in
+  (* headers present with the right types, HELP before TYPE (checked by
+     the parser), help only where registered *)
+  Alcotest.(check (option string)) "counter type" (Some "counter")
+    (Hashtbl.find_opt types "rt_hits");
+  Alcotest.(check (option string)) "gauge type" (Some "gauge")
+    (Hashtbl.find_opt types "rt_temp");
+  Alcotest.(check (option string)) "histogram type" (Some "histogram")
+    (Hashtbl.find_opt types "rt_lat");
+  Alcotest.(check bool) "help recorded" true (Hashtbl.mem helps "rt_hits");
+  (* value round-trip *)
+  Alcotest.(check string) "counter 0" "7"
+    (find_sample "rt" samples "rt_hits" [ ("proc", "0") ]);
+  Alcotest.(check string) "counter 1" "3"
+    (find_sample "rt" samples "rt_hits" [ ("proc", "1") ]);
+  Alcotest.(check bool) "gauge" true
+    (float_of_string (find_sample "rt" samples "rt_temp" []) = 1.5);
+  check_histogram "rt_lat" samples "rt_lat" [];
+  Alcotest.(check string) "hist count" "4"
+    (find_sample "rt" samples "rt_lat_count" []);
+  Alcotest.(check bool) "hist sum" true
+    (float_of_string (find_sample "rt" samples "rt_lat_sum" []) = 55.55);
+  Alcotest.(check string) "first bucket" "1"
+    (find_sample "rt" samples "rt_lat_bucket" [ ("le", "0.1") ]);
+  Alcotest.(check string) "+Inf bucket" "4"
+    (find_sample "rt" samples "rt_lat_bucket" [ ("le", "+Inf") ]);
+  (* labeled histograms keep their labels alongside le *)
+  let hl =
+    Metrics.histogram m "rt_lab" ~buckets:[ 1. ] ~labels:[ ("worker", "2") ]
+  in
+  Metrics.Histogram.observe hl 0.5;
+  let _, _, samples = parse_exposition "exposition" (Metrics.render m) in
+  check_histogram "rt_lab" samples "rt_lab" [ ("worker", "2") ]
+
+let test_histogram_edges () =
+  (* an empty registry renders as the empty exposition *)
+  Alcotest.(check string) "empty registry" "" (Metrics.render (Metrics.create ()));
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "edge" ~buckets:[ 1.; 10. ] in
+  (* a negative observation lands in the first bucket and drags the sum
+     negative — never dropped, never a crash *)
+  Metrics.Histogram.observe h (-5.);
+  (match Metrics.Histogram.buckets h with
+   | [ (1., 1); (10., 1); (_, 1) ] -> ()
+   | _ -> Alcotest.fail "negative observation not in first bucket");
+  Alcotest.(check bool) "negative sum" true (Metrics.Histogram.sum h = -5.);
+  (* an observation exactly on a bucket bound is inclusive (le semantics) *)
+  Metrics.Histogram.observe h 1.0;
+  (match Metrics.Histogram.buckets h with
+   | (1., 2) :: _ -> ()
+   | _ -> Alcotest.fail "exact bound not inclusive");
+  (* absorb with mismatched bucket shape is a programming error *)
+  (match Metrics.Histogram.absorb h ~counts:[| 1; 2 |] ~sum:3. with
+   | () -> Alcotest.fail "absorb accepted mismatched buckets"
+   | exception Invalid_argument _ -> ());
+  (* matched absorb adds per-bucket counts and the sum *)
+  Metrics.Histogram.absorb h ~counts:[| 1; 0; 2 |] ~sum:30.;
+  Alcotest.(check int) "absorbed count" 5 (Metrics.Histogram.count h);
+  Alcotest.(check bool) "absorbed sum" true (Metrics.Histogram.sum h = 26.);
+  (* the negative-sum histogram still renders a valid exposition *)
+  let _, _, samples = parse_exposition "edges" (Metrics.render m) in
+  check_histogram "edge" samples "edge" []
+
+(* ------------------------------------------------------------------ *)
 (* Heatmap                                                             *)
 
 let test_heatmap () =
@@ -213,6 +422,28 @@ let test_heatmap () =
   Tutil.check_contains "half bar" bars "#####";
   Tutil.check_contains "counts shown" bars "10";
   Alcotest.(check string) "no rows" "" (Fs_obs.Heatmap.bars [])
+
+let test_heatmap_edges () =
+  (* a single-cell grid: the one value is the maximum, so it renders as
+     the densest glyph and the legend pins the range to it *)
+  let one = Fs_obs.Heatmap.render [| [| 5.0 |] |] in
+  (match String.split_on_char '\n' one with
+   | _ruler :: row :: legend :: _ ->
+     Alcotest.(check char) "single cell is max glyph" '@'
+       row.[String.length row - 1];
+     Tutil.check_contains "legend upper bound" legend "=5.00"
+   | _ -> Alcotest.fail "unexpected single-cell shape");
+  (* an all-zero grid: every cell '.', and the legend's fixed format
+     shows the degenerate 0.00 range rather than dividing by it *)
+  let zero = Fs_obs.Heatmap.render [| [| 0.0; 0.0 |]; [| 0.0; 0.0 |] |] in
+  (match String.split_on_char '\n' zero with
+   | _ruler :: r0 :: r1 :: legend :: _ ->
+     Alcotest.(check string) "zero row 0" ".."
+       (String.sub r0 (String.length r0 - 2) 2);
+     Alcotest.(check string) "zero row 1" ".."
+       (String.sub r1 (String.length r1 - 2) 2);
+     Tutil.check_contains "zero legend" legend "'@'=0.00"
+   | _ -> Alcotest.fail "unexpected all-zero shape")
 
 (* ------------------------------------------------------------------ *)
 (* Profile                                                             *)
@@ -514,7 +745,10 @@ let suite =
     Alcotest.test_case "metrics instruments" `Quick test_metrics_instruments;
     Alcotest.test_case "metrics listener" `Quick test_metrics_listener;
     Alcotest.test_case "prometheus escaping" `Quick test_prometheus_escaping;
+    Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
+    Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
     Alcotest.test_case "heatmap" `Quick test_heatmap;
+    Alcotest.test_case "heatmap edges" `Quick test_heatmap_edges;
     Alcotest.test_case "profile" `Quick test_profile;
     Alcotest.test_case "timeline chrome trace" `Quick test_timeline;
     Alcotest.test_case "timeline counter track" `Quick test_timeline_counter;

@@ -7,14 +7,17 @@
 
    A single argument selects one piece:
      fig3 | table2 | fig4 | table3 | stats | exectime | replay | simspeed |
-     telemetry | micro | ablation | phases
+     sharded | telemetry | micro | ablation | phases
    plus `quick`, which shrinks the processor sweep for a fast pass,
    `baseline`, which runs the quick pass and seeds bench/BASELINE.json,
    and `check`, which runs the quick pass and fails (exit 1) if any
    deterministic section drifted from the committed baseline or ran
    slower than the baseline by more than the tolerance factor
    (`--tolerance F`, default 10).  `--jobs N` sets the number of worker
-   domains for parallel replay (default: the recommended domain count).
+   domains for parallel replay (default: the FALSESHARE_JOBS environment
+   variable, else the recommended domain count); `--shards N` adds an
+   extra point to the simspeed scaling-vs-domains curve (the default
+   curve sweeps shards in {1, 2, 4, default_jobs}).
 
    Besides the text tables, every run writes BENCH_results.json
    (atomically: temp file + rename) — the same records in
@@ -182,7 +185,7 @@ let replay_bench ~jobs () =
    reference -> fused isolates the per-event unpack + dispatch +
    outcome-boxing cost the fused loop removes.                         *)
 
-let simspeed () =
+let simspeed ~extra_shards () =
   section "Simulator hot path - fused packed replay vs listener paths \
            (pverify, unoptimized, 128B)";
   let w = Ws.find "pverify" in
@@ -249,6 +252,89 @@ let simspeed () =
      (%d events x%d, identical counts)\n"
     t_legacy (rate t_legacy) t_ref (rate t_ref) t_fused (rate t_fused)
     (speedup t_legacy t_fused) (speedup t_ref t_fused) events reps;
+  (* scaling vs domains: the same trace through the sharded engine, one
+     point per shard count, each on a persistent pool of [shards]
+     workers (deliberately oversubscribed when the box has fewer cores —
+     the curve then reports what sharding costs there, not a guess).
+     Counts are asserted bit-identical to the fused run at every point. *)
+  let module R = Fs_replay.Replay in
+  let points =
+    List.sort_uniq compare
+      (List.filter
+         (fun n -> n >= 1)
+         ([ 1; 2; 4; Fs_util.Par.default_jobs () ] @ extra_shards))
+  in
+  let config = C.default_config ~nprocs ~block:128 in
+  let run_sharded shards pool () =
+    (R.simulate_sharded ?pool recorded.Sim.trace ~shards ~layout ~config)
+      .R.counts
+  in
+  let reps_s = 5 in
+  let runs =
+    List.map
+      (fun shards ->
+        let pool =
+          if shards > 1 then Some (Fs_util.Par.Pool.create ~jobs:shards ())
+          else None
+        in
+        (shards, pool, ref infinity))
+      points
+  in
+  (* warm-up doubles as the identity check *)
+  List.iter
+    (fun (shards, pool, _) -> assert (run_sharded shards pool () = c_fused))
+    runs;
+  for _ = 1 to 3 do
+    List.iter
+      (fun (shards, pool, best) ->
+        Gc.full_major ();
+        let t =
+          snd
+            (time_it (fun () ->
+                 for _ = 1 to reps_s do
+                   ignore (run_sharded shards pool ())
+                 done))
+        in
+        if t < !best then best := t)
+      runs
+  done;
+  let rate_s t =
+    if t > 0. then float_of_int (events * reps_s) /. t /. 1e6 else 0.
+  in
+  let scaling =
+    List.map
+      (fun (shards, pool, best) ->
+        let utilization =
+          match pool with
+          | None -> []
+          | Some p ->
+            let st = Fs_util.Par.Pool.stats p in
+            let u =
+              Array.to_list
+                (Array.map
+                   (fun w -> Fs_util.Par.utilization st w)
+                   st.Fs_util.Par.workers)
+            in
+            Fs_util.Par.Pool.shutdown p;
+            u
+        in
+        let t = !best in
+        Printf.printf
+          "sharded, %d shard(s): %.3fs  (%.1f Mevents/s, %.2fx vs fused)\n"
+          shards t (rate_s t)
+          (speedup (t_fused *. float_of_int reps_s /. float_of_int reps) t);
+        Json.Obj
+          [ ("shards", Json.Int shards);
+            ("seconds", Json.float t);
+            ("mevents_per_s", Json.float (rate_s t));
+            ("speedup_vs_fused",
+             Json.float
+               (speedup (t_fused *. float_of_int reps_s /. float_of_int reps) t));
+            ("counts_identical", Json.Bool true);
+            ("worker_utilization",
+             Json.List (List.map Json.float utilization)) ])
+      runs
+  in
   record "simspeed" ~seconds:(t_legacy +. t_ref +. t_fused)
     (Json.Obj
        [ ("events", Json.Int events);
@@ -260,7 +346,8 @@ let simspeed () =
          ("reference_mevents_per_s", Json.float (rate t_ref));
          ("fused_mevents_per_s", Json.float (rate t_fused));
          ("speedup_vs_legacy", Json.float (speedup t_legacy t_fused));
-         ("speedup_vs_reference", Json.float (speedup t_ref t_fused)) ])
+         ("speedup_vs_reference", Json.float (speedup t_ref t_fused));
+         ("scaling", Json.List scaling) ])
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry overhead: the flight recorder's budget is <3% on the fused
@@ -450,6 +537,74 @@ let phases_bench () =
          ("ratio", Json.float ratio) ])
 
 (* ------------------------------------------------------------------ *)
+(* Sharded replay: deterministic bit-identity + epoch reconciliation.
+   Unlike the simspeed scaling curve (wall-clock, nondeterministic),
+   everything here is exact experiment data, so the baseline gate
+   compares it bit for bit.                                            *)
+
+let sharded_bench () =
+  section "Sharded replay - bit-identity vs the listener path \
+           (pverify and topopt, unoptimized, 16B and 128B)";
+  let module R = Fs_replay.Replay in
+  let t0 = Unix.gettimeofday () in
+  let rows = ref [] in
+  let payloads =
+    List.concat_map
+      (fun name ->
+        let w = Ws.find name in
+        let nprocs = w.W.fig3_procs in
+        let prog = w.W.build ~nprocs ~scale:w.W.default_scale in
+        let recorded = Sim.record prog ~nprocs in
+        List.concat_map
+          (fun block ->
+            let layout = Layout.default prog ~block in
+            let config = C.default_config ~nprocs ~block in
+            let reference =
+              let c = C.create ~max_addr:(Layout.size layout) config in
+              Fs_replay.Replay.replay_to_sink recorded.Sim.trace ~layout
+                ~sink:(C.sink c);
+              C.counts c
+            in
+            List.map
+              (fun shards ->
+                let s =
+                  R.simulate_sharded recorded.Sim.trace ~shards ~layout ~config
+                in
+                let identical = s.R.counts = reference in
+                let esum = C.zero_counts () in
+                Array.iter (fun e -> C.add_into esum e) s.R.epochs;
+                let epochs_sum_ok = esum = s.R.counts in
+                (* load-bearing: a drifted shard must fail the bench run
+                   itself, not just the baseline diff *)
+                assert identical;
+                assert epochs_sum_ok;
+                rows :=
+                  [ name; string_of_int block; string_of_int shards;
+                    string_of_int (C.misses s.R.counts);
+                    string_of_int s.R.counts.C.false_sh;
+                    string_of_int (Array.length s.R.epochs); "yes" ]
+                  :: !rows;
+                Json.Obj
+                  [ ("workload", Json.String name);
+                    ("block", Json.Int block);
+                    ("shards", Json.Int shards);
+                    ("identical", Json.Bool identical);
+                    ("epochs", Json.Int (Array.length s.R.epochs));
+                    ("epochs_sum_ok", Json.Bool epochs_sum_ok);
+                    ("counts", Emit.counts s.R.counts) ])
+              [ 1; 2; 4 ])
+          [ 16; 128 ])
+      [ "pverify"; "topopt" ]
+  in
+  print_string
+    (Fs_util.Table.render
+       ~header:
+         [ "program"; "block"; "shards"; "misses"; "false sh"; "epochs";
+           "identical" ]
+       (List.rev !rows));
+  record "sharded" ~seconds:(Unix.gettimeofday () -. t0) (Json.List payloads)
+
+(* ------------------------------------------------------------------ *)
 (* Regression gate: compare this run against the committed baseline    *)
 
 (* sections whose payloads are wall-clock measurements, not
@@ -634,6 +789,7 @@ let () =
   let t0 = Unix.gettimeofday () in
   let jobs = ref (Fs_util.Par.default_jobs ()) in
   let tolerance = ref 10.0 in
+  let extra_shards = ref [] in
   let positional = ref [] in
   let rec parse = function
     | [] -> ()
@@ -642,6 +798,12 @@ let () =
       parse rest
     | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
       jobs := int_of_string (String.sub a 7 (String.length a - 7));
+      parse rest
+    | "--shards" :: n :: rest ->
+      extra_shards := int_of_string n :: !extra_shards;
+      parse rest
+    | a :: rest when String.length a > 9 && String.sub a 0 9 = "--shards=" ->
+      extra_shards := int_of_string (String.sub a 9 (String.length a - 9)) :: !extra_shards;
       parse rest
     | "--tolerance" :: f :: rest ->
       tolerance := float_of_string f;
@@ -669,7 +831,9 @@ let () =
   if all || gate || pick = "table3" then table3 ~procs ~jobs ();
   if all || gate || pick = "exectime" then exectime ~procs ~jobs ();
   if all || pick = "replay" then replay_bench ~jobs ();
-  if all || gate || pick = "simspeed" then simspeed ();
+  if all || gate || pick = "simspeed" then
+    simspeed ~extra_shards:!extra_shards ();
+  if all || gate || pick = "sharded" then sharded_bench ();
   if all || gate || pick = "telemetry" then telemetry_bench ();
   if all || gate || pick = "ablation" then ablation ();
   if all || gate || pick = "repair" then repair_bench ~jobs ();

@@ -64,7 +64,16 @@ let jobs_arg =
        & opt int (Fs_util.Par.default_jobs ())
        & info [ "j"; "jobs" ] ~docv:"N"
            ~doc:"Worker domains for parallel replay (default: the \
+                 $(b,FALSESHARE_JOBS) environment variable, else the \
                  recommended domain count).")
+
+let shards_arg =
+  Arg.(value
+       & opt int 1
+       & info [ "shards" ] ~docv:"N"
+           ~doc:"Shard the cache replay across $(docv) domains (counts are \
+                 bit-identical to $(b,--shards 1); versions then run \
+                 sequentially so the shard pool owns the cores).")
 
 let layout_arg =
   Arg.(value
@@ -222,16 +231,26 @@ let sim_versions w prog ~nprocs ~scale =
     (if List.mem W.N w.W.versions then w.W.versions else W.N :: w.W.versions)
 
 let sim_cmd =
-  let run w nprocs scale block jobs json () =
+  let run w nprocs scale block jobs shards json () =
     let scale = scale_of w scale in
     let prog = w.W.build ~nprocs ~scale in
     let versions = sim_versions w prog ~nprocs ~scale in
     let recorded = Sim.record prog ~nprocs in
     let runs =
-      Fs_util.Par.map ~jobs
-        (fun (name, plan) ->
-          (name, Sim.cache_sim ~recorded prog plan ~nprocs ~block))
-        versions
+      (* sharded replay parallelizes inside one run, so the versions run
+         sequentially on one shared pool instead of fanning out across
+         domains twice *)
+      if shards > 1 then
+        Fs_util.Par.Pool.with_pool ~jobs:(min shards jobs) (fun pool ->
+            List.map
+              (fun (name, plan) ->
+                (name, Sim.cache_sim ~shards ~pool ~recorded prog plan ~nprocs ~block))
+              versions)
+      else
+        Fs_util.Par.map ~jobs
+          (fun (name, plan) ->
+            (name, Sim.cache_sim ~recorded prog plan ~nprocs ~block))
+          versions
     in
     if json then print_json (Emit.sim ~workload:w.W.name ~nprocs ~block runs)
     else begin
@@ -257,7 +276,7 @@ let sim_cmd =
           interpreted once and replayed under each version's layout.")
     (telemetrize "sim"
        Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
-             $ jobs_arg $ json_arg))
+             $ jobs_arg $ shards_arg $ json_arg))
 
 (* --- speedup --- *)
 

@@ -25,7 +25,7 @@ type t = {
 
 let proc_label p = [ ("proc", string_of_int p) ]
 
-let ingest_cache metrics cache =
+let ingest_cache metrics ~proc_counts ~per_block =
   Array.iteri
     (fun p (c : Mpcache.counts) ->
       let set name v =
@@ -37,7 +37,7 @@ let ingest_cache metrics cache =
       set "cache_true_sharing" c.true_sh;
       set "cache_invalidations" c.invalidations;
       set "cache_upgrades" c.upgrades)
-    (Mpcache.proc_counts cache);
+    proc_counts;
   let hist =
     Metrics.histogram metrics "cache_block_invalidations"
       ~buckets:[ 1.; 10.; 100.; 1_000.; 10_000. ]
@@ -46,7 +46,7 @@ let ingest_cache metrics cache =
     (fun (_, (c : Mpcache.counts)) ->
       if c.Mpcache.invalidations > 0 then
         Metrics.Histogram.observe hist (float_of_int c.Mpcache.invalidations))
-    (Mpcache.per_block cache)
+    per_block
 
 let ingest_machine metrics (r : Ksr.result) =
   Metrics.Gauge.set (Metrics.gauge metrics "ksr_cycles") (float_of_int r.Ksr.cycles);
@@ -63,8 +63,8 @@ let ingest_machine metrics (r : Ksr.result) =
       set "ksr_lock_stall_cycles" lock)
     r.sync_stall
 
-let run ?options ?(machine = false) ?(epochs = false) ?plan ?profile prog
-    ~nprocs ~block =
+let run ?options ?(machine = false) ?(epochs = false) ?(shards = 1) ?pool ?plan
+    ?profile prog ~nprocs ~block =
   Span.timed "pipeline"
     ~attrs:
       [ ("nprocs", string_of_int nprocs); ("block", string_of_int block) ]
@@ -118,27 +118,62 @@ let run ?options ?(machine = false) ?(epochs = false) ?plan ?profile prog
             Array.fold_left ( + ) 0 r.interp.Interp.accesses)
           (fun () -> Sim.record prog ~nprocs))
   in
-  let cache =
-    Mpcache.create ~track_blocks:true ~max_addr:(Layout.size layout)
-      (Mpcache.default_config ~nprocs ~block)
+  let cache_config = Mpcache.default_config ~nprocs ~block in
+  (* the sharded route covers everything the result surface needs (the
+     per-block table rides on the slabs) except the epoch tracker's
+     per-segment views and the per-event [Metrics.listener] interp_*
+     counters, which need the live listener stream — [epochs] therefore
+     pins the run to the listener path, and a sharded run reports cache
+     metrics only *)
+  let counts, per_block, epoch_list =
+    if shards > 1 && not epochs then begin
+      let sharded =
+        Span.timed "replay+cache"
+          ~attrs:
+            [ ("events", string_of_int (Cell_trace.length recorded.Sim.trace));
+              ("shards", string_of_int shards) ]
+          (fun () ->
+            Profile.time profile "replay+cache"
+              ~events:(fun (_ : Replay.sharded) ->
+                Cell_trace.length recorded.Sim.trace)
+              (fun () ->
+                Replay.simulate_sharded ?pool ~track_blocks:true
+                  recorded.Sim.trace ~shards ~layout ~config:cache_config))
+      in
+      let caches = Replay.sharded_caches sharded in
+      ingest_cache metrics
+        ~proc_counts:(Mpcache.merged_proc_counts caches)
+        ~per_block:(Mpcache.merged_per_block caches);
+      (sharded.Replay.counts, Mpcache.merged_per_block caches, None)
+    end
+    else begin
+      let cache =
+        Mpcache.create ~track_blocks:true ~max_addr:(Layout.size layout)
+          cache_config
+      in
+      let tracker, close_epochs =
+        if epochs then Phases.tracker cache else (Listener.null, fun () -> [])
+      in
+      let listener =
+        Listener.combine
+          (Listener.of_sink (Mpcache.sink cache))
+          (Listener.combine (Metrics.listener metrics) tracker)
+      in
+      Span.timed "replay+cache"
+        ~attrs:
+          [ ("events", string_of_int (Cell_trace.length recorded.Sim.trace)) ]
+        (fun () ->
+          Profile.time profile "replay+cache"
+            ~events:(fun () -> Cell_trace.length recorded.Sim.trace)
+            (fun () -> Replay.replay recorded.Sim.trace ~layout ~listener));
+      let epoch_list = if epochs then Some (close_epochs ()) else None in
+      ingest_cache metrics
+        ~proc_counts:(Mpcache.proc_counts cache)
+        ~per_block:(Mpcache.per_block cache);
+      (Mpcache.counts cache, Mpcache.per_block cache, epoch_list)
+    end
   in
-  let tracker, close_epochs =
-    if epochs then Phases.tracker cache else (Listener.null, fun () -> [])
-  in
-  let listener =
-    Listener.combine
-      (Listener.of_sink (Mpcache.sink cache))
-      (Listener.combine (Metrics.listener metrics) tracker)
-  in
-  Span.timed "replay+cache"
-    ~attrs:[ ("events", string_of_int (Cell_trace.length recorded.Sim.trace)) ]
-    (fun () ->
-      Profile.time profile "replay+cache"
-        ~events:(fun () -> Cell_trace.length recorded.Sim.trace)
-        (fun () -> Replay.replay recorded.Sim.trace ~layout ~listener));
-  let epoch_list = if epochs then Some (close_epochs ()) else None in
   let interp = recorded.Sim.interp in
-  ingest_cache metrics cache;
   let machine_result =
     if not machine then None
     else
@@ -160,12 +195,7 @@ let run ?options ?(machine = false) ?(epochs = false) ?plan ?profile prog
   {
     report;
     cache =
-      {
-        Sim.counts = Mpcache.counts cache;
-        per_block = Mpcache.per_block cache;
-        layout_bytes = Layout.size layout;
-        interp;
-      };
+      { Sim.counts; per_block; layout_bytes = Layout.size layout; interp };
     machine = machine_result;
     epochs = epoch_list;
     metrics;

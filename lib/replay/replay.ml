@@ -179,3 +179,219 @@ let simulate ?flight trace ~layout ~cache =
           ~addr:addr.(Cell_event.packed_var packed).(Cell_event.packed_cell
                                                        packed)
     done
+
+(* ------------------------------------------------------------------ *)
+(* Sharded replay.  The event stream is consumed in chunks; each chunk
+   runs two pool barriers:
+
+   Phase A — every worker scans one slice of the chunk, resolves
+   addresses through the oracle (including the pointer loads an
+   indirection layout injects), and appends packed items to its own
+   per-shard buckets; a barrier-release event deposits an epoch sentinel
+   in {e every} shard's bucket.
+
+   Phase B — every shard drains its buckets in slice order (worker 0's
+   items, then worker 1's, ...), which reconstitutes that shard's
+   substream in exact trace order, and feeds its private slab.
+
+   Bit-identity with the unsharded run rests on two facts: the shard
+   hash is set-aligned (see {!Mpcache.shard_of_addr}), so every
+   comparison the protocol makes is between events of one shard; and
+   both phases preserve each shard's relative event order, so those
+   comparisons resolve identically even though shard-local clock values
+   differ from the global run's.
+
+   Epochs reconcile post hoc: each shard snapshots its counts at every
+   sentinel, and epoch [e]'s merged counts are the summed per-shard
+   deltas between consecutive snapshots — no cross-domain barrier per
+   epoch, and the deltas sum to the whole-run totals by telescoping. *)
+
+module Par = Fs_util.Par
+
+type sharded = {
+  shards : Mpcache.Shard.t array;
+  counts : Mpcache.counts;
+  epochs : Mpcache.counts array;
+}
+
+let sharded_caches s = Array.map Mpcache.Shard.cache s.shards
+
+(* Shard-batch items: address lsl 9 | proc lsl 1 | write, which keeps
+   the Phase B decode to three shifts; -1 is the epoch sentinel (real
+   items are non-negative). *)
+let[@inline] item_pack ~proc ~write ~addr =
+  (addr lsl 9) lor (proc lsl 1) lor (if write then 1 else 0)
+
+let epoch_sentinel = -1
+
+type buf = { mutable b : int array; mutable n : int }
+
+let buf_make () = { b = Array.make 256 0; n = 0 }
+
+let[@inline] buf_push t x =
+  if t.n = Array.length t.b then begin
+    let bigger = Array.make (2 * t.n) 0 in
+    Array.blit t.b 0 bigger 0 t.n;
+    t.b <- bigger
+  end;
+  Array.unsafe_set t.b t.n x;
+  t.n <- t.n + 1
+
+(* [feed] yields the packed event stream as (buffer, length) chunks in
+   trace order — one whole-array chunk for an in-memory trace, the
+   reused window for a streamed one. *)
+let run_sharded ~shards:nshards ?pool ?track_blocks ?track_pairs ?track_lines
+    ~vars ~layout ~config feed =
+  if nshards <= 0 then
+    invalid_arg "Replay.simulate_sharded: shards must be >= 1";
+  let o = oracle layout ~vars in
+  let addr = o.addr and extra = o.extra in
+  let has_extra = Array.exists (fun ex -> Array.length ex > 0) extra in
+  let max_addr = Layout.size layout in
+  let slabs =
+    Array.init nshards (fun index ->
+        Mpcache.Shard.create ?track_blocks ?track_pairs ?track_lines ~max_addr
+          ~shards:nshards ~index config)
+  in
+  (* per-shard epoch snapshots, most recent first; index [s] is written
+     only by the one worker that owns shard [s], and read by the caller
+     after the pool barrier *)
+  let snaps = Array.make nshards [] in
+  (if nshards = 1 then begin
+     (* no partitioning, no pool: the fused loop plus one tag test for
+        the epoch cut, so the shards=1 path tracks the fused number *)
+     let slab = slabs.(0) in
+     let cache = Mpcache.Shard.cache slab in
+     feed (fun data n ->
+         for i = 0 to n - 1 do
+           let packed = Array.unsafe_get data i in
+           if Cell_event.packed_is_access packed then begin
+             let proc = Cell_event.packed_proc packed in
+             let cell = Cell_event.packed_cell packed in
+             let var = Cell_event.packed_var packed in
+             if has_extra then begin
+               let ex = extra.(var) in
+               if Array.length ex > 0 && ex.(cell) >= 0 then
+                 Mpcache.touch cache ~proc ~write:false ~addr:ex.(cell)
+             end;
+             Mpcache.touch cache ~proc
+               ~write:(Cell_event.packed_write packed)
+               ~addr:addr.(var).(cell)
+           end
+           else if Cell_event.packed_tag packed = Cell_event.tag_barrier_release
+           then
+             snaps.(0) <-
+               Mpcache.copy_counts (Mpcache.counts cache) :: snaps.(0)
+         done)
+   end
+   else begin
+     let pool, own_pool =
+       match pool with
+       | Some p -> (p, false)
+       | None -> (Par.Pool.create ~jobs:(min nshards (Par.default_jobs ())) (), true)
+     in
+     Fun.protect
+       ~finally:(fun () -> if own_pool then Par.Pool.shutdown pool)
+       (fun () ->
+         let jobs = Par.Pool.jobs pool in
+         let sh = Mpcache.sharding config in
+         let buckets =
+           Array.init jobs (fun _ -> Array.init nshards (fun _ -> buf_make ()))
+         in
+         feed (fun data n ->
+             Par.Pool.run pool (fun w ->
+                 let row = buckets.(w) in
+                 for s = 0 to nshards - 1 do
+                   row.(s).n <- 0
+                 done;
+                 let lo = n * w / jobs and hi = n * (w + 1) / jobs in
+                 for i = lo to hi - 1 do
+                   let packed = Array.unsafe_get data i in
+                   if Cell_event.packed_is_access packed then begin
+                     let proc = Cell_event.packed_proc packed in
+                     let cell = Cell_event.packed_cell packed in
+                     let var = Cell_event.packed_var packed in
+                     if has_extra then begin
+                       let ex = extra.(var) in
+                       if Array.length ex > 0 && ex.(cell) >= 0 then begin
+                         let a = ex.(cell) in
+                         buf_push
+                           row.(Mpcache.shard_of_addr sh ~shards:nshards
+                                  ~addr:a)
+                           (item_pack ~proc ~write:false ~addr:a)
+                       end
+                     end;
+                     let a = addr.(var).(cell) in
+                     buf_push
+                       row.(Mpcache.shard_of_addr sh ~shards:nshards ~addr:a)
+                       (item_pack ~proc
+                          ~write:(Cell_event.packed_write packed)
+                          ~addr:a)
+                   end
+                   else if
+                     Cell_event.packed_tag packed
+                     = Cell_event.tag_barrier_release
+                   then
+                     for s = 0 to nshards - 1 do
+                       buf_push row.(s) epoch_sentinel
+                     done
+                 done);
+             Par.Pool.run pool (fun k ->
+                 let s = ref k in
+                 while !s < nshards do
+                   let slab = slabs.(!s) in
+                   let cache = Mpcache.Shard.cache slab in
+                   for w = 0 to jobs - 1 do
+                     let b = buckets.(w).(!s) in
+                     let arr = b.b and m = b.n in
+                     for i = 0 to m - 1 do
+                       let item = Array.unsafe_get arr i in
+                       if item >= 0 then
+                         Mpcache.touch cache
+                           ~proc:((item lsr 1) land 0xff)
+                           ~write:(item land 1 = 1)
+                           ~addr:(item lsr 9)
+                       else
+                         snaps.(!s) <-
+                           Mpcache.copy_counts (Mpcache.counts cache)
+                           :: snaps.(!s)
+                     done
+                   done;
+                   s := !s + jobs
+                 done)))
+   end);
+  let counts = Mpcache.merged_counts (Array.map Mpcache.Shard.cache slabs) in
+  (* telescoping per-shard snapshot deltas; the tail epoch (after the
+     last release — or the whole run when there is none) closes against
+     the final counts, so the epochs always sum to the totals *)
+  let snap_arrays = Array.map (fun l -> Array.of_list (List.rev l)) snaps in
+  let nrel = Array.length snap_arrays.(0) in
+  Array.iter
+    (fun sn ->
+      if Array.length sn <> nrel then
+        invalid_arg "Replay.simulate_sharded: shards saw different epoch counts")
+    snap_arrays;
+  let epochs = Array.init (nrel + 1) (fun _ -> Mpcache.zero_counts ()) in
+  for s = 0 to nshards - 1 do
+    let sn = snap_arrays.(s) in
+    let prev = ref (Mpcache.zero_counts ()) in
+    for e = 0 to nrel - 1 do
+      Mpcache.add_into epochs.(e) (Mpcache.sub_counts sn.(e) !prev);
+      prev := sn.(e)
+    done;
+    let final = Mpcache.counts (Mpcache.Shard.cache slabs.(s)) in
+    Mpcache.add_into epochs.(nrel) (Mpcache.sub_counts final !prev)
+  done;
+  { shards = slabs; counts; epochs }
+
+let simulate_sharded ?pool ?track_blocks ?track_pairs ?track_lines trace
+    ~shards ~layout ~config =
+  run_sharded ~shards ?pool ?track_blocks ?track_pairs ?track_lines
+    ~vars:(Cell_trace.vars trace) ~layout ~config (fun f ->
+      f (Cell_trace.unsafe_data trace) (Cell_trace.length trace))
+
+let simulate_sharded_stream ?pool ?track_blocks ?track_pairs ?track_lines
+    stream ~shards ~layout ~config =
+  run_sharded ~shards ?pool ?track_blocks ?track_pairs ?track_lines
+    ~vars:(Cell_trace.Stream.vars stream) ~layout ~config (fun f ->
+      Cell_trace.Stream.iter_chunks f stream)

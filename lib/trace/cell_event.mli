@@ -34,6 +34,10 @@ val unpack : int -> t
     [packed_var] are meaningful for every tag but [Barrier_release];
     [packed_write] and [packed_cell] only when [packed_is_access]. *)
 
+val tag_barrier_release : int
+(** The {!packed_tag} value of [Barrier_release] — the epoch cut the
+    sharded replay and the phase tracker both key on. *)
+
 val packed_tag : int -> int
 val packed_is_access : int -> bool
 val packed_proc : int -> int

@@ -100,8 +100,12 @@ let write_channel t oc =
     w64 t.data.(i)
   done
 
-let read_channel ic =
-  let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt in
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+(* Parse and validate everything up to (not including) the event words;
+   returns the header fields with the channel positioned at the first
+   event.  Shared by the in-memory reader and the streaming one. *)
+let read_header ic =
   let b = Bytes.create 8 in
   let r64 () =
     (try really_input ic b 0 8 with End_of_file -> corrupt "truncated trace");
@@ -126,6 +130,10 @@ let read_channel ic =
   in
   let len = r64 () in
   if len < 0 then corrupt "bad length %d" len;
+  (nprocs, vars, len)
+
+let read_channel ic =
+  let nprocs, vars, len = read_header ic in
   (* the event section is one bulk read: a single [really_input] of
      [len * 8] bytes decoded in place, instead of one 8-byte read per
      event — truncation still surfaces as [Corrupt] *)
@@ -154,3 +162,73 @@ let write_file t path =
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_channel ic)
+
+(* ------------------------------------------------------------------ *)
+(* Streaming.  The header is parsed eagerly (so corruption surfaces at
+   open time, with the event count checked against the file size), then
+   the event section is memory-mapped as an Int64 bigarray: the OS pages
+   events in on demand, and [iter_chunks] copies each chunk into one
+   reused int array, so the OCaml heap holds at most [chunk] events of
+   the trace at any moment regardless of its length. *)
+
+module Stream = struct
+  type nonrec t = {
+    s_vars : string array;
+    s_nprocs : int;
+    s_len : int;
+    s_chunk : int;
+    s_map : (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+    mutable s_closed : bool;
+  }
+
+  let default_chunk = 1 lsl 20
+
+  let open_file ?(chunk = default_chunk) path =
+    if chunk <= 0 then invalid_arg "Cell_trace.Stream.open_file: chunk must be positive";
+    let ic = open_in_bin path in
+    let nprocs, vars, len, pos =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let nprocs, vars, len = read_header ic in
+          let pos = pos_in ic in
+          if in_channel_length ic - pos < len * 8 then corrupt "truncated trace";
+          (nprocs, vars, len, pos))
+    in
+    let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+    let map =
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Bigarray.array1_of_genarray
+            (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.int64
+               Bigarray.c_layout false [| len |]))
+    in
+    { s_vars = vars; s_nprocs = nprocs; s_len = len; s_chunk = chunk;
+      s_map = map; s_closed = false }
+
+  let vars t = t.s_vars
+  let nprocs t = t.s_nprocs
+  let length t = t.s_len
+  let chunk t = t.s_chunk
+
+  let iter_chunks f t =
+    if t.s_closed then invalid_arg "Cell_trace.Stream.iter_chunks: closed";
+    let buf = Array.make (max 1 (min t.s_chunk t.s_len)) 0 in
+    let off = ref 0 in
+    while !off < t.s_len do
+      let n = min t.s_chunk (t.s_len - !off) in
+      for i = 0 to n - 1 do
+        buf.(i) <- Int64.to_int (Bigarray.Array1.unsafe_get t.s_map (!off + i))
+      done;
+      f buf n;
+      off := !off + n
+    done
+
+  (* the mapping itself is released when the bigarray is collected;
+     [close] only fences further iteration so a use-after-close is an
+     error instead of a silent read *)
+  let close t = t.s_closed <- true
+end
+
+let of_file_stream = Stream.open_file

@@ -52,3 +52,45 @@ val read_file : string -> t
 
 val write_channel : t -> out_channel -> unit
 val read_channel : in_channel -> t
+
+(** {1 Streaming}
+
+    For traces too large to hold in memory: the same on-disk format,
+    read through a chunked window instead of one whole-file load.  The
+    header (names, counts) is parsed and validated eagerly — including
+    the event count against the file size, so a truncated file fails at
+    open time with {!Corrupt} — and the event section is memory-mapped,
+    so peak heap use is bounded by the chunk size, not the trace
+    length. *)
+
+module Stream : sig
+  type t
+
+  val open_file : ?chunk:int -> string -> t
+  (** [chunk] is the window size in events (default 2{^20}).
+      @raise Corrupt on malformed or truncated input, [Sys_error] /
+      [Unix.Unix_error] on IO failure,  [Invalid_argument] on a
+      non-positive [chunk]. *)
+
+  val vars : t -> string array
+  val nprocs : t -> int
+
+  val length : t -> int
+  (** Total events in the trace (not the window). *)
+
+  val chunk : t -> int
+
+  val iter_chunks : (int array -> int -> unit) -> t -> unit
+  (** [iter_chunks f s] calls [f buf n] for each successive window: the
+      packed events are [buf.(0 .. n - 1)], in trace order, with [n] the
+      chunk size except possibly for the final window.  [buf] is {e one
+      reused array} — callers must consume (or copy) its contents before
+      returning, and must not hold references to it across calls. *)
+
+  val close : t -> unit
+  (** Fence further iteration ([iter_chunks] then raises
+      [Invalid_argument]); the mapping itself is reclaimed by the GC. *)
+end
+
+val of_file_stream : ?chunk:int -> string -> Stream.t
+(** Alias for {!Stream.open_file}. *)

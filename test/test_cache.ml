@@ -252,6 +252,44 @@ let test_bad_config () =
      | _ -> false
      | exception Invalid_argument _ -> true)
 
+(* Shard-merge of counts is a field-wise sum, so it must be associative
+   and order-independent — the property that makes the sharded replay's
+   merge deterministic whatever order the slabs are combined in. *)
+let counts_gen =
+  QCheck.Gen.(
+    map
+      (fun l ->
+        match l with
+        | [ reads; writes; cold; repl; true_sh; false_sh; invalidations;
+            upgrades ] ->
+          { C.reads; writes; cold; repl; true_sh; false_sh; invalidations;
+            upgrades }
+        | _ -> assert false)
+      (list_repeat 8 (int_bound 1_000_000)))
+
+let counts_arb =
+  QCheck.make counts_gen ~print:(fun (c : C.counts) ->
+      Printf.sprintf "{r=%d w=%d cold=%d repl=%d ts=%d fs=%d inv=%d up=%d}"
+        c.C.reads c.writes c.cold c.repl c.true_sh c.false_sh c.invalidations
+        c.upgrades)
+
+let test_merge_associative =
+  QCheck.Test.make ~name:"counts merge is associative" ~count:200
+    QCheck.(triple counts_arb counts_arb counts_arb)
+    (fun (a, b, c) ->
+      C.merge_counts (C.merge_counts a b) c
+      = C.merge_counts a (C.merge_counts b c))
+
+let test_merge_order_independent =
+  QCheck.Test.make ~name:"counts merge is order-independent" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 8) counts_arb)
+    (fun cs ->
+      let fold l =
+        List.fold_left C.merge_counts (C.zero_counts ()) l
+      in
+      fold cs = fold (List.rev cs)
+      && fold cs = fold (List.sort compare cs))
+
 let suite =
   [ Alcotest.test_case "cold then hit" `Quick test_cold_then_hit;
     Alcotest.test_case "msi states" `Quick test_msi_states;
@@ -273,4 +311,6 @@ let suite =
     Alcotest.test_case "counts arithmetic" `Quick test_counts_arithmetic;
     Alcotest.test_case "miss rates" `Quick test_miss_rates;
     Alcotest.test_case "touch matches access" `Quick test_touch_matches_access;
-    Alcotest.test_case "bad config" `Quick test_bad_config ]
+    Alcotest.test_case "bad config" `Quick test_bad_config;
+    QCheck_alcotest.to_alcotest test_merge_associative;
+    QCheck_alcotest.to_alcotest test_merge_order_independent ]

@@ -15,6 +15,7 @@ let () =
       ("parc", Test_parc.suite);
       ("trace", Test_trace.suite);
       ("replay", Test_replay.suite);
+      ("sharded", Test_sharded.suite);
       ("obs", Test_obs.suite);
       ("telemetry", Test_telemetry.suite);
       ("phases", Test_phases.suite);

@@ -253,6 +253,57 @@ let test_disk_roundtrip () =
    | exception Cell_trace.Corrupt _ -> ());
   Sys.remove path
 
+(* Corruption surfaces as the typed [Corrupt] error — never a bare
+   [End_of_file] or [Failure] — at both truncation points: inside the
+   header (name table) and inside the event section.  The streaming
+   reader must reject the same files at open time. *)
+let test_disk_truncation () =
+  let w = Ws.find "maxflow" in
+  let nprocs = 4 in
+  let prog = w.W.build ~nprocs ~scale:1 in
+  let trace, _ = Interp.record prog ~nprocs in
+  let path = Filename.temp_file "fstrace" ".fstrace" in
+  Cell_trace.write_file trace path;
+  let size =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    close_in ic;
+    n
+  in
+  let truncate_to n =
+    let ic = open_in_bin path in
+    let data = really_input_string ic n in
+    close_in ic;
+    let oc = open_out_bin path in
+    output_string oc data;
+    close_out oc
+  in
+  let expect_corrupt what =
+    (match Cell_trace.read_file path with
+     | (_ : Cell_trace.t) -> Alcotest.fail (what ^ ": expected Corrupt")
+     | exception Cell_trace.Corrupt _ -> ()
+     | exception e ->
+       Alcotest.fail
+         (Printf.sprintf "%s: expected Corrupt, got %s" what
+            (Printexc.to_string e)));
+    match Cell_trace.of_file_stream path with
+    | (_ : Cell_trace.Stream.t) ->
+      Alcotest.fail (what ^ ": stream open expected Corrupt")
+    | exception Cell_trace.Corrupt _ -> ()
+    | exception e ->
+      Alcotest.fail
+        (Printf.sprintf "%s: stream open expected Corrupt, got %s" what
+           (Printexc.to_string e))
+  in
+  (* event-section truncation: drop the last word of the payload *)
+  truncate_to (size - 4);
+  expect_corrupt "event section truncated";
+  (* header truncation: cut inside the variable-name table, well before
+     the event-count field *)
+  truncate_to 29;
+  expect_corrupt "header truncated";
+  Sys.remove path
+
 (* The boundary sizes of the disk format: a trace with no events at all,
    and a trace of exactly one event (the [max len 1] backing-array
    allocation in [read_channel]). *)
@@ -316,6 +367,41 @@ let test_memo_eviction () =
   ignore (Memo.get w ~nprocs:3 ~scale:1);
   let _, _, evictions, _ = Memo.read_stats () in
   Alcotest.(check int) "bounded cache evicts" 1 evictions;
+  Memo.set_capacity 128;
+  Memo.clear ()
+
+(* The memo under concurrent access from pool workers: a tight capacity
+   forces evictions to race with hits across domains; the invariants are
+   that every worker gets a usable entry, bookkeeping balances (each
+   lookup is exactly one hit or one miss), and evictions never exceed
+   insertions. *)
+let test_memo_concurrent () =
+  Memo.clear ();
+  Memo.set_capacity 2;
+  let w = Ws.find "water" in
+  let scales = [| 1; 1; 1; 1 |] in
+  let lookups_per_worker = 8 in
+  let failures = Atomic.make 0 in
+  Par.Pool.with_pool ~jobs:4 (fun pool ->
+      for _ = 1 to 3 do
+        Par.Pool.run pool (fun worker ->
+            for i = 0 to lookups_per_worker - 1 do
+              (* workers hit overlapping keys so hits, misses, and
+                 evictions all occur concurrently *)
+              let nprocs = 2 + ((worker + i) mod 3) in
+              let e = Memo.get w ~nprocs ~scale:scales.(worker mod 4) in
+              if Cell_trace.nprocs e.Memo.trace <> nprocs then
+                Atomic.incr failures
+            done)
+      done);
+  Alcotest.(check int) "every entry usable" 0 (Atomic.get failures);
+  let hits, misses, evictions, _ = Memo.read_stats () in
+  let total = 3 * 4 * lookups_per_worker in
+  Alcotest.(check int) "every lookup is a hit or a miss" total (hits + misses);
+  Alcotest.(check bool)
+    (Printf.sprintf "evictions (%d) bounded by misses (%d)" evictions misses)
+    true
+    (evictions <= misses && evictions > 0);
   Memo.set_capacity 128;
   Memo.clear ()
 
@@ -421,10 +507,14 @@ let suite =
     Alcotest.test_case "event packing" `Quick test_pack_roundtrip;
     QCheck_alcotest.to_alcotest prop_pack_roundtrip;
     Alcotest.test_case "trace disk round-trip" `Quick test_disk_roundtrip;
+    Alcotest.test_case "trace disk truncation points" `Quick
+      test_disk_truncation;
     Alcotest.test_case "trace disk round-trip edges" `Quick
       test_disk_roundtrip_edges;
     Alcotest.test_case "memo sharing" `Quick test_memo_sharing;
     Alcotest.test_case "memo eviction" `Quick test_memo_eviction;
+    Alcotest.test_case "memo concurrent pool access" `Quick
+      test_memo_concurrent;
     Alcotest.test_case "memo capture dir" `Quick test_memo_capture_dir;
     Alcotest.test_case "par map" `Quick test_par_map;
     Alcotest.test_case "jobs independence" `Quick test_jobs_independence;

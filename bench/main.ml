@@ -605,12 +605,83 @@ let sharded_bench () =
   record "sharded" ~seconds:(Unix.gettimeofday () -. t0) (Json.List payloads)
 
 (* ------------------------------------------------------------------ *)
+(* Serving: daemon latency over loopback, cold store vs warm           *)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+let serve_bench ~quick ~jobs () =
+  section
+    "Serving - daemon requests over loopback, cold (computed) vs warm \
+     (content-addressed store hit)";
+  let t0 = Unix.gettimeofday () in
+  let cache_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fs-bench-serve-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists cache_dir) then Sys.mkdir cache_dir 0o755;
+  let t =
+    Fs_serve.Server.start
+      { Fs_serve.Server.default_config with workers = 2; jobs; cache_dir }
+  in
+  let port = Fs_serve.Server.port t in
+  let reps = if quick then 20 else 100 in
+  let timed_request body path =
+    let t0 = Unix.gettimeofday () in
+    let status, _, _ = Fs_serve.Http.request ~port ~body path in
+    if status <> 200 then failwith (Printf.sprintf "%s -> %d" path status);
+    Unix.gettimeofday () -. t0
+  in
+  let rows = ref [] in
+  let payloads =
+    List.map
+      (fun endpoint ->
+        let body = {|{"workload":"pverify","nprocs":8,"block":128}|} in
+        let path = "/" ^ endpoint ^ "?spans=none" in
+        (* first request computes and fills the store; the repeats are
+           pure store hits — the daemon's steady state for a tenant
+           re-asking an unchanged question *)
+        let cold = timed_request body path in
+        let warm =
+          Array.init reps (fun _ -> timed_request body path)
+        in
+        Array.sort compare warm;
+        let p50 = percentile warm 0.50 and p99 = percentile warm 0.99 in
+        let total = Array.fold_left ( +. ) 0.0 warm in
+        let rps = float_of_int reps /. total in
+        rows :=
+          [ endpoint;
+            Printf.sprintf "%.1f" (cold *. 1e3);
+            Printf.sprintf "%.2f" (p50 *. 1e3);
+            Printf.sprintf "%.2f" (p99 *. 1e3);
+            Printf.sprintf "%.0f" rps ]
+          :: !rows;
+        ( endpoint,
+          Json.Obj
+            [ ("cold_ms", Json.float (cold *. 1e3));
+              ("warm_p50_ms", Json.float (p50 *. 1e3));
+              ("warm_p99_ms", Json.float (p99 *. 1e3));
+              ("warm_requests_per_s", Json.float rps);
+              ("reps", Json.Int reps) ] ))
+      [ "analyze"; "blame"; "hotlines"; "repair" ]
+  in
+  Fs_serve.Server.stop t;
+  print_string
+    (Fs_util.Table.render
+       ~header:[ "endpoint"; "cold ms"; "warm p50 ms"; "warm p99 ms"; "warm req/s" ]
+       (List.rev !rows));
+  record "serve" ~seconds:(Unix.gettimeofday () -. t0) (Json.Obj payloads)
+
+(* ------------------------------------------------------------------ *)
 (* Regression gate: compare this run against the committed baseline    *)
 
 (* sections whose payloads are wall-clock measurements, not
    deterministic experiment data *)
 let nondeterministic =
-  [ "micro"; "replay"; "tracking_overhead"; "simspeed"; "telemetry-overhead" ]
+  [ "micro"; "replay"; "tracking_overhead"; "simspeed"; "telemetry-overhead";
+    "serve" ]
 
 let baseline_path () =
   if Sys.file_exists "bench/BASELINE.json" then "bench/BASELINE.json"
@@ -838,6 +909,7 @@ let () =
   if all || gate || pick = "ablation" then ablation ();
   if all || gate || pick = "repair" then repair_bench ~jobs ();
   if all || gate || pick = "phases" then phases_bench ();
+  if all || gate || pick = "serve" then serve_bench ~quick ~jobs ();
   if all || pick = "micro" then micro ~quick ();
   write_results ~quick ~jobs ~seconds:(Unix.gettimeofday () -. t0);
   if pick = "baseline" then write_baseline ();

@@ -10,6 +10,7 @@
    falseshare hotlines <workload> [...] -- hot-line lifetimes + fixes
    falseshare timeline <workload> [...] -- Chrome-trace timeline export
    falseshare profile <workload> [...]  -- span tree + pool + flight digest
+   falseshare serve [...]               -- the multi-tenant analysis daemon
    falseshare fig3 | table2 | fig4 | table3 | stats | exectime
                                         -- reproduce the paper's evaluation
 
@@ -684,6 +685,79 @@ let profile_cmd =
        Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ jobs_arg
              $ interval_arg $ json_arg))
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let port_arg =
+    Arg.(value & opt int 8414
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"TCP port to listen on (127.0.0.1 only); 0 picks an \
+                   ephemeral port.")
+  in
+  let workers_arg =
+    Arg.(value & opt int Fs_serve.Server.default_config.workers
+         & info [ "workers" ] ~docv:"N" ~doc:"Worker threads draining the request queue.")
+  in
+  let queue_arg =
+    Arg.(value & opt int Fs_serve.Server.default_config.queue_capacity
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admitted-request bound; beyond it the daemon answers \
+                   503 with Retry-After.")
+  in
+  let cache_dir_arg =
+    Arg.(value & opt string Fs_serve.Server.default_config.cache_dir
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Root of the content-addressed result store.")
+  in
+  let cache_budget_arg =
+    Arg.(value & opt int (Fs_serve.Server.default_config.cache_budget_bytes / (1024 * 1024))
+         & info [ "cache-budget-mb" ] ~docv:"MB"
+             ~doc:"Byte budget of the result store; least recently used \
+                   entries are evicted beyond it.")
+  in
+  let debug_arg =
+    Arg.(value & flag
+         & info [ "debug-endpoints" ]
+             ~doc:"Enable the debug endpoints (GET /sleepz) used by tests \
+                   and benchmarks.")
+  in
+  (* not telemetrize-wrapped: the daemon owns its own registry and span
+     recorders per request; the CLI scope's ambient state would only
+     race the worker threads *)
+  let run port workers queue jobs cache_dir budget_mb debug =
+    let cfg =
+      { Fs_serve.Server.default_config with
+        port; workers; queue_capacity = queue; jobs; cache_dir;
+        cache_budget_bytes = budget_mb * 1024 * 1024;
+        debug_endpoints = debug }
+    in
+    let t = Fs_serve.Server.start cfg in
+    Printf.printf
+      "falseshare serve: listening on http://127.0.0.1:%d (workers %d, \
+       queue %d, jobs %d, cache %s)\n\
+       endpoints: POST /analyze /blame /hotlines /phases /repair /profile; \
+       GET /healthz /metrics /statusz; POST /quitquitquit\n%!"
+      (Fs_serve.Server.port t) workers queue jobs cache_dir;
+    (* the handler runs on this very thread, which is about to block in
+       [wait]: it may only trigger the shutdown, never join *)
+    let stop_on_signal _ = Fs_serve.Server.shutdown t in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop_on_signal)
+     with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_on_signal)
+     with Invalid_argument _ -> ());
+    Fs_serve.Server.wait t;
+    print_endline "falseshare serve: stopped"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the analysis daemon: a multi-tenant HTTP/JSON server that \
+          answers the toolchain's queries over recorded executions, with \
+          a content-addressed result cache, request coalescing, bounded-\
+          queue backpressure, and a live Prometheus surface at /metrics.")
+    Term.(const run $ port_arg $ workers_arg $ queue_arg $ jobs_arg
+          $ cache_dir_arg $ cache_budget_arg $ debug_arg)
+
 (* --- paper reproductions --- *)
 
 let paper_cmd name doc ~text ~json =
@@ -732,8 +806,8 @@ let () =
   let cmds =
     [ list_cmd; report_cmd; source_cmd; sim_cmd; speedup_cmd; hotspots_cmd;
       blame_cmd; phases_cmd; hotlines_cmd; repair_cmd; timeline_cmd;
-      profile_cmd; check_cmd; fig3_cmd; table2_cmd; fig4_cmd; table3_cmd;
-      stats_cmd; exectime_cmd ]
+      profile_cmd; check_cmd; serve_cmd; fig3_cmd; table2_cmd; fig4_cmd;
+      table3_cmd; stats_cmd; exectime_cmd ]
   in
   (* same near-miss courtesy the workload argument gets: a mistyped
      subcommand gets a suggestion, not just cmdliner's usage dump *)

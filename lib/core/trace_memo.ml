@@ -17,18 +17,24 @@ type stats = {
   mutable misses : int;
   mutable evictions : int;
   mutable disk_loads : int;
+  mutable coalesced : int;
 }
 
 (* The memo is process-global, like the workload registry it mirrors.
    All bookkeeping happens under [lock] so the experiment drivers can
    consult it around their Par fan-outs; interpretation itself always
-   runs outside the lock. *)
+   runs outside the lock.  [inflight] holds the keys some caller is
+   currently recording: a second caller asking for one blocks on [cond]
+   instead of recording the same trace again, so N tenants hammering the
+   same configuration cost one interpretation. *)
 let lock = Mutex.create ()
+let cond = Condition.create ()
 let table : (key, entry * int ref) Hashtbl.t = Hashtbl.create 32
+let inflight : (key, unit) Hashtbl.t = Hashtbl.create 8
 let tick = ref 0
 let capacity = ref 128
 let capture_dir : string option ref = ref None
-let stats = { hits = 0; misses = 0; evictions = 0; disk_loads = 0 }
+let stats = { hits = 0; misses = 0; evictions = 0; disk_loads = 0; coalesced = 0 }
 
 let locked f = Mutex.protect lock f
 
@@ -45,11 +51,14 @@ let clear () =
       stats.hits <- 0;
       stats.misses <- 0;
       stats.evictions <- 0;
-      stats.disk_loads <- 0)
+      stats.disk_loads <- 0;
+      stats.coalesced <- 0)
 
 let read_stats () =
   locked (fun () ->
       (stats.hits, stats.misses, stats.evictions, stats.disk_loads))
+
+let read_coalesced () = locked (fun () -> stats.coalesced)
 
 (* ------------------------------------------------------------------ *)
 
@@ -147,16 +156,53 @@ let find k =
 let key_of (w : Workload.t) ~nprocs ~scale =
   { workload = w.Workload.name; nprocs; scale }
 
-let get (w : Workload.t) ~nprocs ~scale =
+(* under [lock]: claim [k] for this caller, or wait out whoever holds it.
+   Returns [true] when the caller must compute, [false] when the leader
+   finished while we waited (the caller should re-check the table). *)
+let claim_or_wait k =
+  if Hashtbl.mem inflight k then begin
+    while Hashtbl.mem inflight k do
+      Condition.wait cond lock
+    done;
+    stats.coalesced <- stats.coalesced + 1;
+    false
+  end
+  else begin
+    Hashtbl.add inflight k ();
+    true
+  end
+
+(* under [lock] *)
+let release k =
+  Hashtbl.remove inflight k;
+  Condition.broadcast cond
+
+let rec get (w : Workload.t) ~nprocs ~scale =
   let k = key_of w ~nprocs ~scale in
-  match locked (fun () -> (find k, !capture_dir)) with
-  | Some e, _ -> e
-  | None, dir ->
-    let e, from_disk = compute dir w k in
+  let action =
     locked (fun () ->
-        insert k e;
-        if from_disk then stats.disk_loads <- stats.disk_loads + 1);
-    e
+        match find k with
+        | Some e -> `Hit e
+        | None -> if claim_or_wait k then `Compute !capture_dir else `Retry)
+  in
+  match action with
+  | `Hit e -> e
+  | `Retry ->
+    (* the leader finished (or failed); its entry is in the table unless
+       it was evicted or raised — either way the re-check does the right
+       thing *)
+    get w ~nprocs ~scale
+  | `Compute dir -> (
+    match compute dir w k with
+    | e, from_disk ->
+      locked (fun () ->
+          insert k e;
+          if from_disk then stats.disk_loads <- stats.disk_loads + 1;
+          release k);
+      e
+    | exception ex ->
+      locked (fun () -> release k);
+      raise ex)
 
 let get_all ?jobs configs =
   let keyed =
@@ -171,21 +217,39 @@ let get_all ?jobs configs =
     (fun (w, k) hit ->
       if hit = None && not (Hashtbl.mem missing k) then Hashtbl.add missing k w)
     keyed cached;
-  let todo = Hashtbl.fold (fun k w acc -> (w, k) :: acc) missing [] in
+  (* claim the keys nobody else is recording; the rest are in flight on
+     another thread and are fetched with a blocking [get] below *)
+  let todo =
+    locked (fun () ->
+        Hashtbl.fold
+          (fun k w acc ->
+            if Hashtbl.mem inflight k then acc
+            else begin
+              Hashtbl.add inflight k ();
+              (w, k) :: acc
+            end)
+          missing [])
+  in
   let computed =
-    Par.map ?jobs (fun (w, k) -> (k, compute dir w k)) todo
+    match Par.map ?jobs (fun (w, k) -> (k, compute dir w k)) todo with
+    | r -> r
+    | exception ex ->
+      locked (fun () -> List.iter (fun (_, k) -> release k) todo);
+      raise ex
   in
   locked (fun () ->
       List.iter
         (fun (k, (e, from_disk)) ->
           insert k e;
-          if from_disk then stats.disk_loads <- stats.disk_loads + 1)
+          if from_disk then stats.disk_loads <- stats.disk_loads + 1;
+          release k)
         computed);
   List.map2
-    (fun (_, k) hit ->
+    (fun (w, k) hit ->
       match hit with
       | Some e -> e
-      | None ->
-        let e, _ = List.assoc k computed in
-        e)
+      | None -> (
+        match List.assoc_opt k computed with
+        | Some (e, _) -> e
+        | None -> get w ~nprocs:k.nprocs ~scale:k.scale))
     keyed cached

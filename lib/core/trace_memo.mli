@@ -12,6 +12,10 @@
     thread-compatible: bookkeeping is mutex-protected, and {!get_all}
     records missing traces on a {!Fs_util.Par} domain pool while the
     table itself is only touched from the calling domain's lock scope.
+    Concurrent misses on the {e same} key coalesce: the first caller
+    records the trace while the others block on a condition variable and
+    pick the entry up when it lands, so N tenants asking for one
+    configuration cost exactly one interpretation.
 
     With a capture directory set, recorded traces are also written to
     disk ([<workload>-p<nprocs>-s<scale>.fstrace], atomically) and
@@ -47,3 +51,7 @@ val clear : unit -> unit
 
 val read_stats : unit -> int * int * int * int
 (** (hits, misses, evictions, disk loads) since the last {!clear}. *)
+
+val read_coalesced : unit -> int
+(** How many callers piggybacked on another caller's in-flight recording
+    instead of recording themselves, since the last {!clear}. *)

@@ -86,7 +86,41 @@ let global () = Lazy.force global_registry
 
 let canon labels = List.sort compare labels
 
+(* Prometheus grammar: metric names match [a-zA-Z_:][a-zA-Z0-9_:]*,
+   label names [a-zA-Z_][a-zA-Z0-9_]* (no colons).  A bad name renders
+   an exposition no scraper will parse, so reject it at registration
+   where the stack trace still points at the culprit. *)
+let name_ok ~label s =
+  let body i c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+    | '0' .. '9' -> i > 0
+    | ':' -> not label
+    | _ -> false
+  in
+  s <> ""
+  && (let ok = ref true in
+      String.iteri (fun i c -> if not (body i c) then ok := false) s;
+      !ok)
+
+let check_names name labels =
+  if not (name_ok ~label:false name) then
+    invalid_arg
+      (Printf.sprintf
+         "Metrics: invalid metric name %S (must match [a-zA-Z_:][a-zA-Z0-9_:]*)"
+         name);
+  List.iter
+    (fun (k, _) ->
+      if not (name_ok ~label:true k) then
+        invalid_arg
+          (Printf.sprintf
+             "Metrics: invalid label name %S on metric %S (must match \
+              [a-zA-Z_][a-zA-Z0-9_]*)"
+             k name))
+    labels
+
 let register t name labels help make select =
+  check_names name labels;
   (match help with
    | Some h when not (Hashtbl.mem t.help name) -> Hashtbl.add t.help name h
    | _ -> ());

@@ -68,7 +68,14 @@ val histogram :
     1e6.  The bucket list of an existing histogram is not changed.
 
     For all three: [help] sets the metric's [# HELP] text; the first
-    registration to supply one wins. *)
+    registration to supply one wins.
+
+    Metric and label names are validated against the Prometheus grammar
+    at registration time — metric names must match
+    [[a-zA-Z_:][a-zA-Z0-9_:]*], label names [[a-zA-Z_][a-zA-Z0-9_]*] —
+    because a dash or a leading digit would render an exposition no
+    scraper accepts.
+    @raise Invalid_argument on a name outside the grammar. *)
 
 val listener : t -> Fs_trace.Listener.t
 (** Instrument an interpreter run: counts work units and accesses per

@@ -1,0 +1,274 @@
+exception Bad_request of string
+
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  headers : (string * string) list;
+  body : string;
+}
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_request m)) fmt
+
+let max_header_bytes = 65536
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> bad "bad percent escape"
+
+let percent_decode s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+     | '%' ->
+       if !i + 2 >= n then bad "truncated percent escape";
+       Buffer.add_char buf
+         (Char.chr ((hex_val s.[!i + 1] lsl 4) lor hex_val s.[!i + 2]));
+       i := !i + 2
+     | '+' -> Buffer.add_char buf ' '
+     | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+let parse_query q =
+  if q = "" then []
+  else
+    List.map
+      (fun pair ->
+        match String.index_opt pair '=' with
+        | Some i ->
+          ( percent_decode (String.sub pair 0 i),
+            percent_decode
+              (String.sub pair (i + 1) (String.length pair - i - 1)) )
+        | None -> (percent_decode pair, ""))
+      (String.split_on_char '&' q)
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+
+let read_more fd buf chunk =
+  let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+  if n > 0 then Buffer.add_subbytes buf chunk 0 n;
+  n
+
+(* index of the first header/body separator in [s], with its length —
+   we accept \r\n\r\n and the bare \n\n of hand-typed clients *)
+let find_separator s =
+  let n = String.length s in
+  let rec go i =
+    if i >= n then None
+    else if s.[i] = '\n' then
+      if i + 1 < n && s.[i + 1] = '\n' then Some (i, 2)
+      else if i + 2 < n && s.[i + 1] = '\r' && s.[i + 2] = '\n' then
+        Some (i, 3)
+      else go (i + 1)
+    else go (i + 1)
+  in
+  go 0
+
+let trim_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let parse_head head =
+  match String.split_on_char '\n' head with
+  | [] -> bad "empty request"
+  | request_line :: header_lines ->
+    let request_line = trim_cr request_line in
+    let meth, target =
+      match String.split_on_char ' ' request_line with
+      | [ m; t; v ]
+        when v = "HTTP/1.1" || v = "HTTP/1.0" ->
+        (String.uppercase_ascii m, t)
+      | _ -> bad "malformed request line %S" request_line
+    in
+    let headers =
+      List.filter_map
+        (fun line ->
+          let line = trim_cr line in
+          if line = "" then None
+          else
+            match String.index_opt line ':' with
+            | None -> bad "malformed header line %S" line
+            | Some i ->
+              Some
+                ( String.lowercase_ascii (String.sub line 0 i),
+                  String.trim
+                    (String.sub line (i + 1) (String.length line - i - 1)) ))
+        header_lines
+    in
+    let path, query =
+      match String.index_opt target '?' with
+      | None -> (percent_decode target, [])
+      | Some i ->
+        ( percent_decode (String.sub target 0 i),
+          parse_query (String.sub target (i + 1) (String.length target - i - 1))
+        )
+    in
+    (meth, path, query, headers)
+
+let read_request ?(max_body = 4 * 1024 * 1024) fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 8192 in
+  (* accumulate until the blank line ending the headers *)
+  let rec head_loop () =
+    match find_separator (Buffer.contents buf) with
+    | Some (at, sep_len) -> Some (at, sep_len)
+    | None ->
+      if Buffer.length buf > max_header_bytes then bad "headers too large";
+      if read_more fd buf chunk = 0 then
+        if Buffer.length buf = 0 then None else bad "truncated request head"
+      else head_loop ()
+  in
+  match head_loop () with
+  | None -> None
+  | Some (at, sep_len) ->
+    let text = Buffer.contents buf in
+    let meth, path, query, headers = parse_head (String.sub text 0 at) in
+    let body_start = at + sep_len in
+    let declared =
+      match List.assoc_opt "content-length" headers with
+      | None -> 0
+      | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some n when n >= 0 -> n
+        | _ -> bad "bad content-length %S" v)
+    in
+    if declared > max_body then bad "body too large (%d bytes)" declared;
+    let rec body_loop () =
+      if Buffer.length buf - body_start < declared then
+        if read_more fd buf chunk = 0 then bad "truncated body"
+        else body_loop ()
+    in
+    body_loop ();
+    let body = String.sub (Buffer.contents buf) body_start declared in
+    Some { meth; path; query; headers; body }
+
+let header req name = List.assoc_opt (String.lowercase_ascii name) req.headers
+let query_param req name = List.assoc_opt name req.query
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+
+let reason = function
+  | 200 -> "OK"
+  | 202 -> "Accepted"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 413 -> "Payload Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write fd b !sent (n - !sent)
+  done
+
+let respond ?(content_type = "application/json") ?(headers = []) fd ~status
+    body =
+  let buf = Buffer.create (String.length body + 256) in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason status));
+  Buffer.add_string buf (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  Buffer.add_string buf
+    (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string buf "Connection: close\r\n\r\n";
+  Buffer.add_string buf body;
+  write_all fd (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                              *)
+
+let request ?meth ?body ?(headers = []) ~port target =
+  let meth =
+    match (meth, body) with
+    | Some m, _ -> m
+    | None, Some _ -> "POST"
+    | None, None -> "GET"
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd
+        (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let body = Option.value body ~default:"" in
+      let buf = Buffer.create 512 in
+      Buffer.add_string buf (Printf.sprintf "%s %s HTTP/1.1\r\n" meth target);
+      Buffer.add_string buf "Host: 127.0.0.1\r\n";
+      if body <> "" || meth = "POST" then
+        Buffer.add_string buf
+          (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+        headers;
+      Buffer.add_string buf "Connection: close\r\n\r\n";
+      Buffer.add_string buf body;
+      write_all fd (Buffer.contents buf);
+      (* the server closes after one response, so read to EOF *)
+      let acc = Buffer.create 1024 in
+      let chunk = Bytes.create 8192 in
+      let rec drain () =
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes acc chunk 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      let text = Buffer.contents acc in
+      match find_separator text with
+      | None -> bad "no header/body separator in response"
+      | Some (at, sep_len) ->
+        let head = String.sub text 0 at in
+        let body =
+          String.sub text (at + sep_len) (String.length text - at - sep_len)
+        in
+        (match String.split_on_char '\n' head with
+         | status_line :: header_lines ->
+           let status =
+             match
+               String.split_on_char ' ' (trim_cr status_line)
+             with
+             | _http :: code :: _ -> (
+               match int_of_string_opt code with
+               | Some c -> c
+               | None -> bad "bad status line %S" status_line)
+             | _ -> bad "bad status line %S" status_line
+           in
+           let headers =
+             List.filter_map
+               (fun line ->
+                 let line = trim_cr line in
+                 if line = "" then None
+                 else
+                   match String.index_opt line ':' with
+                   | None -> None
+                   | Some i ->
+                     Some
+                       ( String.lowercase_ascii (String.sub line 0 i),
+                         String.trim
+                           (String.sub line (i + 1)
+                              (String.length line - i - 1)) ))
+               header_lines
+           in
+           (status, headers, body)
+         | [] -> bad "empty response"))

@@ -1,0 +1,64 @@
+(** A hand-rolled slice of HTTP/1.1 over [Unix] file descriptors — just
+    enough protocol for the analysis daemon: one request per connection
+    (the server always answers [Connection: close]), request-line +
+    headers + [Content-Length] body, percent-decoded paths and query
+    strings.  No chunked encoding, no keep-alive, no TLS, and no
+    dependencies beyond the stdlib.
+
+    The reader enforces hard limits (64 KB of headers, a caller-chosen
+    body cap) so a misbehaving client cannot balloon the daemon; anything
+    outside the accepted subset raises {!Bad_request} with a reason the
+    server turns into a 400. *)
+
+exception Bad_request of string
+
+type request = {
+  meth : string;                      (** verb, uppercased: GET, POST, … *)
+  path : string;                      (** percent-decoded, no query string *)
+  query : (string * string) list;     (** decoded key/value pairs, in order *)
+  headers : (string * string) list;   (** names lowercased, values trimmed *)
+  body : string;
+}
+
+val read_request : ?max_body:int -> Unix.file_descr -> request option
+(** Read and parse one request.  [None] on a clean EOF before the first
+    byte (client connected and left).  [max_body] (default 4 MB) bounds
+    the declared [Content-Length].
+    @raise Bad_request on a malformed or over-limit request. *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup. *)
+
+val query_param : request -> string -> string option
+
+val reason : int -> string
+(** The canonical reason phrase of a status code ("OK", "Not Found", …). *)
+
+val respond :
+  ?content_type:string ->
+  ?headers:(string * string) list ->
+  Unix.file_descr ->
+  status:int ->
+  string ->
+  unit
+(** Write a complete response: status line, [Content-Type] (default
+    [application/json]), [Content-Length], any extra [headers],
+    [Connection: close], then the body.  Raises [Unix.Unix_error] if the
+    peer is gone; the server treats that as the client's problem. *)
+
+(** {1 A matching loopback client}
+
+    Used by the test suite, the benchmark harness, and anyone scripting
+    the daemon without curl. *)
+
+val request :
+  ?meth:string ->
+  ?body:string ->
+  ?headers:(string * string) list ->
+  port:int ->
+  string ->
+  int * (string * string) list * string
+(** [request ~port "/path?q=v"] connects to 127.0.0.1:[port], sends one
+    request ([meth] defaults to GET, or POST when [body] is given), and
+    returns (status, headers, body).  @raise Bad_request on an
+    unparsable response. *)

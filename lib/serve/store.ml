@@ -1,0 +1,283 @@
+module Sha256 = Fs_util.Sha256
+
+let magic = "falseshare-store 1"
+
+type corrupt = {
+  ckey : string;
+  cpath : string;
+  reason : string;
+  quarantined_to : string option;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  quarantined : int;
+  puts : int;
+  bytes : int;
+  entries : int;
+}
+
+type entry = { size : int; mutable last : int }
+
+type t = {
+  root : string;
+  budget : int;
+  lock : Mutex.t;
+  index : (string, entry) Hashtbl.t;
+  mutable total : int;          (* summed [entry.size] *)
+  mutable tick : int;
+  mutable tmp_seq : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable quarantined : int;
+  mutable puts : int;
+}
+
+let default_budget_bytes = 256 * 1024 * 1024
+
+let locked t f = Mutex.protect t.lock f
+
+let entry_suffix = ".entry"
+let path_of t key = Filename.concat t.root (key ^ entry_suffix)
+
+let is_hex s =
+  String.length s = 64
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       s
+
+let mkdir_p d =
+  if not (Sys.file_exists d) then
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let open_ ?(budget_bytes = default_budget_bytes) root =
+  if budget_bytes < 1 then invalid_arg "Store.open_: budget must be >= 1";
+  mkdir_p root;
+  let t =
+    {
+      root;
+      budget = budget_bytes;
+      lock = Mutex.create ();
+      index = Hashtbl.create 64;
+      total = 0;
+      tick = 0;
+      tmp_seq = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      quarantined = 0;
+      puts = 0;
+    }
+  in
+  (* rebuild the index from the directory: recency = file mtime, so the
+     LRU order survives restarts *)
+  let files =
+    Sys.readdir root |> Array.to_list
+    |> List.filter_map (fun f ->
+           if Filename.check_suffix f entry_suffix then
+             let key = Filename.chop_suffix f entry_suffix in
+             if is_hex key then
+               match Unix.stat (Filename.concat root f) with
+               | st -> Some (key, st.Unix.st_size, st.Unix.st_mtime)
+               | exception Unix.Unix_error _ -> None
+             else None
+           else None)
+    |> List.sort (fun (_, _, a) (_, _, b) -> compare a b)
+  in
+  List.iter
+    (fun (key, size, _) ->
+      t.tick <- t.tick + 1;
+      Hashtbl.replace t.index key { size; last = t.tick };
+      t.total <- t.total + size)
+    files;
+  t
+
+let dir t = t.root
+let sep = ':'
+
+let key parts =
+  let ctx = Sha256.init () in
+  List.iter
+    (fun p ->
+      Sha256.feed ctx (string_of_int (String.length p));
+      Sha256.feed ctx (String.make 1 sep);
+      Sha256.feed ctx p)
+    parts;
+  Sha256.hex ctx
+
+(* ------------------------------------------------------------------ *)
+(* Entry file format:
+     falseshare-store 1\n
+     <key> <payload-length> <payload-sha256>\n
+     <payload bytes>                                                   *)
+
+let encode key payload =
+  Printf.sprintf "%s\n%s %d %s\n%s" magic key (String.length payload)
+    (Sha256.digest_hex payload)
+    payload
+
+(* verify everything the header claims; any failure is a reason string *)
+let decode ~key text =
+  let fail reason = Error reason in
+  match String.index_opt text '\n' with
+  | None -> fail "missing magic line"
+  | Some l1 ->
+    if String.sub text 0 l1 <> magic then fail "bad magic"
+    else (
+      match String.index_from_opt text (l1 + 1) '\n' with
+      | None -> fail "missing header line"
+      | Some l2 -> (
+        let header = String.sub text (l1 + 1) (l2 - l1 - 1) in
+        match String.split_on_char ' ' header with
+        | [ hkey; hlen; hsum ] -> (
+          if hkey <> key then fail "key mismatch"
+          else
+            match int_of_string_opt hlen with
+            | None -> fail "bad length field"
+            | Some len ->
+              let have = String.length text - l2 - 1 in
+              if have <> len then
+                fail
+                  (Printf.sprintf "payload truncated (%d of %d bytes)" have
+                     len)
+              else
+                let payload = String.sub text (l2 + 1) len in
+                if Sha256.digest_hex payload <> hsum then
+                  fail "payload checksum mismatch"
+                else Ok payload)
+        | _ -> fail "malformed header line"))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* under [t.lock] *)
+let forget t key =
+  match Hashtbl.find_opt t.index key with
+  | None -> ()
+  | Some e ->
+    Hashtbl.remove t.index key;
+    t.total <- t.total - e.size
+
+(* under [t.lock]: move a bad entry aside, never serve or delete it *)
+let quarantine t key path reason =
+  t.quarantined <- t.quarantined + 1;
+  forget t key;
+  let qdir = Filename.concat t.root "quarantine" in
+  let dst = Filename.concat qdir (Filename.basename path) in
+  let moved =
+    try
+      mkdir_p qdir;
+      Sys.rename path dst;
+      Some dst
+    with Sys_error _ | Unix.Unix_error _ -> None
+  in
+  { ckey = key; cpath = path; reason; quarantined_to = moved }
+
+let touch path =
+  try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ()
+
+let find t k =
+  locked t (fun () ->
+      let path = path_of t k in
+      if not (Hashtbl.mem t.index k) && not (Sys.file_exists path) then begin
+        t.misses <- t.misses + 1;
+        Ok None
+      end
+      else
+        match read_file path with
+        | exception (Sys_error _ | End_of_file) ->
+          (* raced with an eviction or never indexed; a plain miss *)
+          forget t k;
+          t.misses <- t.misses + 1;
+          Ok None
+        | text -> (
+          match decode ~key:k text with
+          | Ok payload ->
+            t.hits <- t.hits + 1;
+            t.tick <- t.tick + 1;
+            (match Hashtbl.find_opt t.index k with
+             | Some e -> e.last <- t.tick
+             | None ->
+               (* on-disk but unindexed (written by another process);
+                  adopt it *)
+               Hashtbl.replace t.index k
+                 { size = String.length text; last = t.tick };
+               t.total <- t.total + String.length text);
+            touch path;
+            Ok (Some payload)
+          | Error reason ->
+            t.misses <- t.misses + 1;
+            Error (quarantine t k path reason)))
+
+(* under [t.lock]; [keep] (the entry just written) is never a victim,
+   even when it alone blows the budget *)
+let evict_over_budget t ~keep =
+  let out_of_victims = ref false in
+  while (not !out_of_victims) && t.total > t.budget do
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          if k = keep then acc
+          else
+            match acc with
+            | Some (_, be) when be.last <= e.last -> acc
+            | _ -> Some (k, e))
+        t.index None
+    in
+    match victim with
+    | None -> out_of_victims := true
+    | Some (vk, _) ->
+      (try Sys.remove (path_of t vk) with Sys_error _ -> ());
+      forget t vk;
+      t.evictions <- t.evictions + 1
+  done
+
+let put t k payload =
+  locked t (fun () ->
+      let text = encode k payload in
+      let tmp =
+        t.tmp_seq <- t.tmp_seq + 1;
+        Filename.concat t.root
+          (Printf.sprintf ".tmp-%d-%d" (Unix.getpid ()) t.tmp_seq)
+      in
+      let oc = open_out_bin tmp in
+      (try
+         output_string oc text;
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e);
+      Sys.rename tmp (path_of t k);
+      forget t k;
+      t.tick <- t.tick + 1;
+      Hashtbl.replace t.index k { size = String.length text; last = t.tick };
+      t.total <- t.total + String.length text;
+      t.puts <- t.puts + 1;
+      evict_over_budget t ~keep:k)
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        quarantined = t.quarantined;
+        puts = t.puts;
+        bytes = t.total;
+        entries = Hashtbl.length t.index;
+      })
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.iter
+        (fun k _ -> try Sys.remove (path_of t k) with Sys_error _ -> ())
+        t.index;
+      Hashtbl.reset t.index;
+      t.total <- 0)

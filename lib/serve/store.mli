@@ -1,0 +1,72 @@
+(** The content-addressed on-disk result store.
+
+    {!Fs_core}'s [Trace_memo] keeps whole traces in process memory; this
+    store is its durable counterpart: any byte payload (a result JSON, a
+    serialized plan, a counts record) filed under the SHA-256 of what
+    produced it — program text × version × layout × block size, hashed
+    through {!key} — so a repeated query is a disk hit even across
+    daemon restarts.
+
+    Entries are single files under one directory, written atomically
+    (temp file + [rename]) with a self-describing header carrying the
+    key and a payload checksum.  The store holds an LRU over a byte
+    budget: recency survives restarts through file mtimes, and {!put}
+    evicts oldest-first until the total fits.  A file that fails any
+    header or checksum verification is {e quarantined} — moved aside
+    into [quarantine/], never silently served or deleted — and reported
+    as a typed {!corrupt} value so the daemon can count and log it.
+
+    All operations are mutex-protected; the store may be shared by every
+    worker thread of the daemon. *)
+
+type t
+
+type corrupt = {
+  ckey : string;              (** the key whose entry was bad *)
+  cpath : string;             (** where the bad entry lived *)
+  reason : string;            (** what failed: magic, length, checksum … *)
+  quarantined_to : string option;
+      (** where the bad file was moved, when the move succeeded *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  quarantined : int;
+  puts : int;
+  bytes : int;      (** current on-disk payload + header bytes *)
+  entries : int;
+}
+
+val default_budget_bytes : int
+(** 256 MB. *)
+
+val open_ : ?budget_bytes:int -> string -> t
+(** Open (creating if needed) the store rooted at a directory.  Existing
+    entries are indexed by file mtime, oldest least recently used.
+    @raise Invalid_argument on a budget below 1. *)
+
+val dir : t -> string
+
+val key : string list -> string
+(** The canonical content address of a list of parts: each part is
+    length-prefixed before hashing (so part boundaries can't be forged
+    by concatenation), then SHA-256, as 64 hex characters. *)
+
+val find : t -> string -> (string option, corrupt) result
+(** Look a key up.  [Ok (Some payload)] refreshes the entry's recency
+    (in memory and on disk via mtime).  [Ok None] is a miss.  [Error c]
+    means the entry existed but failed verification and has been
+    quarantined; callers should treat it as a miss after accounting. *)
+
+val put : t -> string -> string -> unit
+(** [put t key payload] writes atomically, then evicts least-recently
+    used entries until the byte budget holds.  A payload alone larger
+    than the whole budget is written and immediately becomes the only
+    eviction candidate — the store never refuses a put. *)
+
+val stats : t -> stats
+
+val clear : t -> unit
+(** Remove every entry (quarantined files stay). *)

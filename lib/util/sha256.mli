@@ -1,0 +1,20 @@
+(** SHA-256 (FIPS 180-4), pure OCaml.
+
+    The content-addressed result store keys every cached analysis by the
+    hash of (program text × version × layout × block size); the stdlib
+    only ships MD5 ([Digest]), so the serve layer brings its own digest.
+    One-shot and streaming interfaces; verified against the NIST
+    short-message vectors in the test suite. *)
+
+type ctx
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+(** Absorb bytes; may be called any number of times. *)
+
+val hex : ctx -> string
+(** Finalize and return the 64-character lowercase hex digest.  The
+    context must not be fed again afterwards. *)
+
+val digest_hex : string -> string
+(** One-shot [init |> feed |> hex]. *)

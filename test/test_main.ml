@@ -17,6 +17,7 @@ let () =
       ("replay", Test_replay.suite);
       ("sharded", Test_sharded.suite);
       ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite);
       ("telemetry", Test_telemetry.suite);
       ("phases", Test_phases.suite);
       ("feedback", Test_feedback.suite);

@@ -194,133 +194,12 @@ let test_prometheus_escaping () =
    independent of the renderer — it re-parses the text from scratch — so
    a renderer bug can't hide behind its own output. *)
 
-type parsed_sample = { ps_name : string; ps_labels : (string * string) list;
-                       ps_value : string }
+(* the checker itself lives in Tutil, shared with the serve suite, which
+   runs the daemon's GET /metrics through the same parser *)
 
-let parse_exposition what text =
-  let fail msg = Alcotest.fail (Printf.sprintf "%s: %s" what msg) in
-  let types = Hashtbl.create 8 in
-  let helps = Hashtbl.create 8 in
-  let samples = ref [] in
-  let parse_labels s =
-    (* k1="v1",k2="v2" — label values in these tests contain no escapes *)
-    if s = "" then []
-    else
-      List.map
-        (fun kv ->
-          match String.index_opt kv '=' with
-          | Some i ->
-            let k = String.sub kv 0 i in
-            let v = String.sub kv (i + 1) (String.length kv - i - 1) in
-            let n = String.length v in
-            if n < 2 || v.[0] <> '"' || v.[n - 1] <> '"' then
-              fail ("unquoted label value in " ^ s);
-            (k, String.sub v 1 (n - 2))
-          | None -> fail ("bad label pair " ^ kv))
-        (String.split_on_char ',' s)
-  in
-  (* the metric a sample line belongs to: its own name, or — for the
-     histogram series — the name with _bucket/_sum/_count stripped *)
-  let base_of name =
-    if Hashtbl.mem types name then name
-    else
-      let try_suffix sfx =
-        let n = String.length name and m = String.length sfx in
-        if n > m && String.sub name (n - m) m = sfx then begin
-          let b = String.sub name 0 (n - m) in
-          if Hashtbl.find_opt types b = Some "histogram" then Some b else None
-        end
-        else None
-      in
-      match List.find_map try_suffix [ "_bucket"; "_sum"; "_count" ] with
-      | Some b -> b
-      | None -> fail ("sample " ^ name ^ " has no preceding # TYPE")
-  in
-  List.iter
-    (fun line ->
-      if line = "" then ()
-      else if String.length line > 1 && line.[0] = '#' then begin
-        match String.split_on_char ' ' line with
-        | "#" :: "HELP" :: name :: _ :: _ ->
-          if Hashtbl.mem types name then fail ("HELP after TYPE for " ^ name);
-          Hashtbl.replace helps name ()
-        | "#" :: "TYPE" :: name :: [ ty ] ->
-          if not (List.mem ty [ "counter"; "gauge"; "histogram" ]) then
-            fail ("unknown type " ^ ty);
-          if Hashtbl.mem types name then fail ("duplicate TYPE for " ^ name);
-          Hashtbl.replace types name ty
-        | _ -> fail ("malformed comment line: " ^ line)
-      end
-      else begin
-        match String.rindex_opt line ' ' with
-        | None -> fail ("malformed sample line: " ^ line)
-        | Some sp ->
-          let head = String.sub line 0 sp in
-          let value = String.sub line (sp + 1) (String.length line - sp - 1) in
-          let name, labels =
-            match String.index_opt head '{' with
-            | None -> (head, [])
-            | Some lb ->
-              if head.[String.length head - 1] <> '}' then
-                fail ("unterminated label set: " ^ head);
-              ( String.sub head 0 lb,
-                parse_labels
-                  (String.sub head (lb + 1) (String.length head - lb - 2)) )
-          in
-          ignore (base_of name);
-          samples := { ps_name = name; ps_labels = labels; ps_value = value }
-                     :: !samples
-      end)
-    (String.split_on_char '\n' text);
-  (types, helps, List.rev !samples)
-
-let find_sample what samples name labels =
-  match
-    List.find_opt
-      (fun s ->
-        s.ps_name = name
-        && List.sort compare s.ps_labels = List.sort compare labels)
-      samples
-  with
-  | Some s -> s.ps_value
-  | None ->
-    Alcotest.fail
-      (Printf.sprintf "%s: no sample %s{%s}" what name
-         (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)))
-
-(* the structural rules of one histogram's series under one label set *)
-let check_histogram what samples name labels =
-  let le_of s = List.assoc "le" s.ps_labels in
-  let others s = List.remove_assoc "le" s.ps_labels in
-  let buckets =
-    List.filter
-      (fun s ->
-        s.ps_name = name ^ "_bucket"
-        && List.mem_assoc "le" s.ps_labels
-        && List.sort compare (others s) = List.sort compare labels)
-      samples
-  in
-  if buckets = [] then Alcotest.fail (what ^ ": no _bucket series");
-  let les = List.map le_of buckets in
-  (match List.rev les with
-   | "+Inf" :: _ -> ()
-   | _ -> Alcotest.fail (what ^ ": last bucket is not le=\"+Inf\""));
-  let numeric =
-    List.map
-      (fun le -> if le = "+Inf" then infinity else float_of_string le)
-      les
-  in
-  if List.sort compare numeric <> numeric then
-    Alcotest.fail (what ^ ": bucket bounds not ascending");
-  let cums = List.map (fun s -> int_of_string s.ps_value) buckets in
-  if List.sort compare cums <> cums then
-    Alcotest.fail (what ^ ": cumulative counts decrease");
-  let count =
-    int_of_string (find_sample what samples (name ^ "_count") labels)
-  in
-  Alcotest.(check int) (what ^ ": +Inf bucket = _count") count
-    (List.nth cums (List.length cums - 1));
-  ignore (float_of_string (find_sample what samples (name ^ "_sum") labels))
+let parse_exposition = Tutil.parse_exposition
+let find_sample = Tutil.find_sample
+let check_histogram = Tutil.check_histogram
 
 let test_prometheus_exposition () =
   let m = Metrics.create () in
@@ -367,6 +246,102 @@ let test_prometheus_exposition () =
   Metrics.Histogram.observe hl 0.5;
   let _, _, samples = parse_exposition "exposition" (Metrics.render m) in
   check_histogram "rt_lab" samples "rt_lab" [ ("worker", "2") ]
+
+let test_metric_name_validation () =
+  let reject what f =
+    match f () with
+    | _ -> Alcotest.fail (what ^ ": accepted")
+    | exception Invalid_argument _ -> ()
+  in
+  let m = Metrics.create () in
+  (* a dash or a leading digit would render an exposition no scraper
+     accepts — rejected at registration, loudly *)
+  reject "bad-name" (fun () -> ignore (Metrics.counter m "bad-name"));
+  reject "1bad" (fun () -> ignore (Metrics.gauge m "1bad"));
+  reject "empty name" (fun () -> ignore (Metrics.counter m ""));
+  reject "sp ace" (fun () -> ignore (Metrics.histogram m "sp ace"));
+  reject "bad-label" (fun () ->
+      ignore (Metrics.counter m "fine" ~labels:[ ("bad-label", "v") ]));
+  reject "9label" (fun () ->
+      ignore (Metrics.gauge m "fine" ~labels:[ ("9label", "v") ]));
+  (* a colon is legal in a metric name (recording rules) but not in a
+     label name *)
+  reject "co:lon" (fun () ->
+      ignore (Metrics.counter m "fine" ~labels:[ ("co:lon", "v") ]));
+  (* the error message names the offender so a failed startup is
+     debuggable from the exception alone *)
+  (match Metrics.counter m "bad-name" with
+   | _ -> Alcotest.fail "accepted bad-name"
+   | exception Invalid_argument msg ->
+     Tutil.check_contains "message names the metric" msg "bad-name");
+  (match Metrics.counter m "fine" ~labels:[ ("bad-label", "v") ] with
+   | _ -> Alcotest.fail "accepted bad-label"
+   | exception Invalid_argument msg ->
+     Tutil.check_contains "message names the label" msg "bad-label");
+  ignore (Metrics.counter m "ns:requests_total" ~labels:[ ("le_gal_1", "v") ]);
+  ignore (Metrics.gauge m "_underscore_first");
+  (* label values are unconstrained — escaping is the renderer's job *)
+  ignore (Metrics.counter m "valued" ~labels:[ ("k", "any-thing: goes 9") ]);
+  (* nothing invalid got registered along the way *)
+  let types, _, _ = Tutil.parse_exposition "validated" (Metrics.render m) in
+  Alcotest.(check bool) "valid names render" true
+    (Hashtbl.mem types "ns:requests_total")
+
+(* ------------------------------------------------------------------ *)
+(* Span JSON round-trip: error-carrying spans and attribute strings
+   full of quotes, newlines, and backslashes must survive the
+   serializer and come back bit-identical through the parser. *)
+
+let test_span_json_roundtrip () =
+  let nasty = "a \"quoted\" value\nwith a newline\tand \\backslash\x01" in
+  let r = Fs_obs.Span.create () in
+  Fs_obs.Span.with_ r "outer" ~attrs:[ ("nasty", nasty) ] (fun () ->
+      (match
+         Fs_obs.Span.with_ r "failing" (fun () ->
+             failwith "boom \"inner\"\nsecond line")
+       with
+      | () -> Alcotest.fail "inner span did not raise"
+      | exception Failure _ -> ());
+      Fs_obs.Span.with_ r "ok \"child\"" Fun.id);
+  let text = Json.to_string (Fs_obs.Span.to_json r) in
+  let j =
+    match Json.of_string text with
+    | Ok j -> j
+    | Error m -> Alcotest.fail (Printf.sprintf "span json unparsable: %s" m)
+  in
+  let outer =
+    match Json.get_list j with
+    | Some [ o ] -> o
+    | _ -> Alcotest.fail "expected one root span"
+  in
+  Alcotest.(check (option string)) "attr round-trips" (Some nasty)
+    (Option.bind (Json.member "attrs" outer) (fun a ->
+         Option.bind (Json.member "nasty" a) Json.get_string));
+  let children =
+    match Option.bind (Json.member "children" outer) Json.get_list with
+    | Some kids -> kids
+    | None -> Alcotest.fail "outer span lost its children"
+  in
+  (match children with
+   | [ failing; ok ] ->
+     (* with_ records [Printexc.to_string exn] as the "error" attribute;
+        that exact string — Printexc's own escapes and all — must
+        survive the trip through the JSON encoder and back *)
+     let expect = Printexc.to_string (Failure "boom \"inner\"\nsecond line") in
+     let err =
+       Option.bind (Json.member "attrs" failing) (fun a ->
+           Option.bind (Json.member "error" a) Json.get_string)
+     in
+     (match err with
+      | Some e -> Alcotest.(check string) "error attr keeps the message" expect e
+      | None -> Alcotest.fail "failing span has no error attr");
+     Alcotest.(check (option string)) "quoted span name" (Some "ok \"child\"")
+       (Option.bind (Json.member "name" ok) Json.get_string)
+   | _ -> Alcotest.fail "expected two children");
+  (* the same tree through the pretty-printer parses too *)
+  match Json.of_string (Json.to_string ~compact:false (Fs_obs.Span.to_json r)) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail ("pretty span json unparsable: " ^ m)
 
 let test_histogram_edges () =
   (* an empty registry renders as the empty exposition *)
@@ -746,6 +721,8 @@ let suite =
     Alcotest.test_case "metrics listener" `Quick test_metrics_listener;
     Alcotest.test_case "prometheus escaping" `Quick test_prometheus_escaping;
     Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
+    Alcotest.test_case "metric name validation" `Quick test_metric_name_validation;
+    Alcotest.test_case "span json round-trip" `Quick test_span_json_roundtrip;
     Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
     Alcotest.test_case "heatmap" `Quick test_heatmap;
     Alcotest.test_case "heatmap edges" `Quick test_heatmap_edges;

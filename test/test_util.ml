@@ -172,8 +172,57 @@ let test_pool () =
    | () -> Alcotest.fail "expected run after shutdown to be rejected"
    | exception Invalid_argument _ -> ())
 
+(* ------------------------------------------------------------------ *)
+(* Sha256: the NIST FIPS 180-2 vectors, plus the streaming interface —
+   the store's content addresses are only as good as this digest *)
+
+let test_sha256_vectors () =
+  let check what expect input =
+    Alcotest.(check string) what expect (Fs_util.Sha256.digest_hex input)
+  in
+  check "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855" "";
+  check "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad" "abc";
+  check "448-bit message"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  check "million a's"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (String.make 1_000_000 'a');
+  (* padding edge cases: lengths 55/56/64 straddle the length-word split *)
+  check "55 bytes"
+    "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318"
+    (String.make 55 'a');
+  check "56 bytes"
+    "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a"
+    (String.make 56 'a');
+  check "64 bytes"
+    "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"
+    (String.make 64 'a')
+
+let test_sha256_streaming () =
+  (* feeding in ragged chunks must equal the one-shot digest *)
+  let msg = String.init 1000 (fun i -> Char.chr (i mod 251)) in
+  let expect = Fs_util.Sha256.digest_hex msg in
+  List.iter
+    (fun chunk ->
+      let ctx = Fs_util.Sha256.init () in
+      let i = ref 0 in
+      while !i < String.length msg do
+        let n = min chunk (String.length msg - !i) in
+        Fs_util.Sha256.feed ctx (String.sub msg !i n);
+        i := !i + n
+      done;
+      Alcotest.(check string)
+        (Printf.sprintf "chunk size %d" chunk)
+        expect (Fs_util.Sha256.hex ctx))
+    [ 1; 3; 55; 64; 65; 997 ]
+
 let suite =
-  [ Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+  [ Alcotest.test_case "sha256 vectors" `Quick test_sha256_vectors;
+    Alcotest.test_case "sha256 streaming" `Quick test_sha256_streaming;
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
     Alcotest.test_case "rng seeds differ" `Quick test_rng_seed_changes_stream;
     Alcotest.test_case "rng split" `Quick test_rng_split_independent;
     QCheck_alcotest.to_alcotest test_rng_bounds;

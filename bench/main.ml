@@ -7,7 +7,8 @@
 
    A single argument selects one piece:
      fig3 | table2 | fig4 | table3 | stats | exectime | replay | simspeed |
-     sharded | telemetry | micro | ablation | phases
+     sharded | tracefmt | tracefmt-decode | tracescale | telemetry | micro |
+     ablation | phases
    plus `quick`, which shrinks the processor sweep for a fast pass,
    `baseline`, which runs the quick pass and seeds bench/BASELINE.json,
    and `check`, which runs the quick pass and fails (exit 1) if any
@@ -37,6 +38,7 @@ module Ws = Fs_workloads.Workloads
 
 module Json = Fs_obs.Json
 module Emit = Falseshare.Emit
+module Ct = Fs_trace.Cell_trace
 
 let section title = Printf.printf "\n=== %s ===\n\n" title
 
@@ -44,6 +46,9 @@ let time_it f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
+
+let tmp_trace tag =
+  Filename.temp_file (Printf.sprintf "fs-bench-%s-" tag) ".fstrace"
 
 (* accumulated for BENCH_results.json, in run order *)
 let results : (string * Json.t) list ref = ref []
@@ -335,6 +340,55 @@ let simspeed ~extra_shards () =
              Json.List (List.map Json.float utilization)) ])
       runs
   in
+  (* the same curve against the on-disk v2 form: blocks decoded on the
+     pool, pipelined one window ahead of the drain, so the trace never
+     materializes as an array.  Reported with the bytes actually read
+     and the effective bandwidth that implies. *)
+  let v2_path = tmp_trace "simspeed" in
+  Ct.write_file recorded.Sim.trace v2_path;
+  let stream = Ct.of_file_stream v2_path in
+  let trace_bytes = Ct.Stream.byte_size stream in
+  let streamed =
+    List.map
+      (fun shards ->
+        let pool =
+          if shards > 1 then Some (Fs_util.Par.Pool.create ~jobs:shards ())
+          else None
+        in
+        let run () =
+          (R.simulate_sharded_stream ?pool stream ~shards ~layout ~config)
+            .R.counts
+        in
+        assert (run () = c_fused);
+        let best = ref infinity in
+        for _ = 1 to 3 do
+          Gc.full_major ();
+          let t =
+            snd (time_it (fun () ->
+                for _ = 1 to reps_s do ignore (run ()) done))
+          in
+          if t < !best then best := t
+        done;
+        (match pool with Some p -> Fs_util.Par.Pool.shutdown p | None -> ());
+        let t = !best in
+        let mbs =
+          if t > 0. then
+            float_of_int (trace_bytes * reps_s) /. t /. (1024. *. 1024.)
+          else 0.
+        in
+        Printf.printf
+          "streamed v2, %d shard(s): %.3fs  (%.1f Mevents/s, %.1f MB/s read)\n"
+          shards t (rate_s t) mbs;
+        Json.Obj
+          [ ("shards", Json.Int shards);
+            ("seconds", Json.float t);
+            ("mevents_per_s", Json.float (rate_s t));
+            ("mb_per_s", Json.float mbs);
+            ("counts_identical", Json.Bool true) ])
+      points
+  in
+  Ct.Stream.close stream;
+  Sys.remove v2_path;
   record "simspeed" ~seconds:(t_legacy +. t_ref +. t_fused)
     (Json.Obj
        [ ("events", Json.Int events);
@@ -347,7 +401,294 @@ let simspeed ~extra_shards () =
          ("fused_mevents_per_s", Json.float (rate t_fused));
          ("speedup_vs_legacy", Json.float (speedup t_legacy t_fused));
          ("speedup_vs_reference", Json.float (speedup t_ref t_fused));
-         ("scaling", Json.List scaling) ])
+         ("scaling", Json.List scaling);
+         ("trace_bytes", Json.Int trace_bytes);
+         ("streamed_v2", Json.List streamed) ])
+
+(* ------------------------------------------------------------------ *)
+(* Trace format v2: on-disk size, decode throughput, and the streamed
+   replay path.  File sizes and replay counts are pure functions of the
+   workload (the interpreter's schedule and the encoding are both
+   deterministic), so `tracefmt` sits inside the baseline gate; the
+   decode/replay timings are wall-clock and stay out of it.            *)
+
+let tracefmt () =
+  section "Trace format v2 - on-disk bytes vs v1, streamed counts identical \
+           (every workload, default scale, 128B)";
+  let module R = Fs_replay.Replay in
+  let t0 = Unix.gettimeofday () in
+  let rows = ref [] in
+  let payloads =
+    List.map
+      (fun (w : W.t) ->
+        let nprocs = w.fig3_procs in
+        let prog = w.build ~nprocs ~scale:w.default_scale in
+        let recorded = Sim.record prog ~nprocs in
+        let trace = recorded.Sim.trace in
+        let events = Ct.length trace in
+        let layout = Layout.default prog ~block:128 in
+        let config = C.default_config ~nprocs ~block:128 in
+        let reference =
+          (R.simulate_sharded trace ~shards:1 ~layout ~config).R.counts
+        in
+        (* both formats must replay from disk to the exact in-memory
+           counts — the compression numbers only matter if the round
+           trip is lossless *)
+        let size_of format =
+          let path = tmp_trace w.name in
+          Ct.write_file ~format trace path;
+          let s = Ct.of_file_stream path in
+          let st = R.simulate_sharded_stream s ~shards:1 ~layout ~config in
+          assert (st.R.counts = reference);
+          let bytes = Ct.Stream.byte_size s in
+          Ct.Stream.close s;
+          Sys.remove path;
+          bytes
+        in
+        let v1 = size_of Ct.V1 in
+        let v2 = size_of Ct.V2 in
+        let ratio = float_of_int v1 /. float_of_int v2 in
+        let bpe = float_of_int v2 /. float_of_int (max 1 events) in
+        rows :=
+          [ w.name; string_of_int events; string_of_int v1; string_of_int v2;
+            Printf.sprintf "%.2fx" ratio; Printf.sprintf "%.2f" bpe; "yes" ]
+          :: !rows;
+        Json.Obj
+          [ ("workload", Json.String w.name);
+            ("events", Json.Int events);
+            ("v1_bytes", Json.Int v1);
+            ("v2_bytes", Json.Int v2);
+            ("ratio", Json.float ratio);
+            ("v2_bytes_per_event", Json.float bpe);
+            ("streamed_counts_identical", Json.Bool true) ])
+      Ws.all
+  in
+  print_string
+    (Fs_util.Table.render
+       ~header:
+         [ "program"; "events"; "v1 bytes"; "v2 bytes"; "v1/v2"; "B/event";
+           "identical" ]
+       (List.rev !rows));
+  record "tracefmt" ~seconds:(Unix.gettimeofday () -. t0) (Json.List payloads)
+
+let tracefmt_decode ~jobs () =
+  section "Trace format v2 - decode throughput and streamed sharded replay \
+           vs v1 (pverify, unoptimized, 128B)";
+  let module R = Fs_replay.Replay in
+  let t0 = Unix.gettimeofday () in
+  let w = Ws.find "pverify" in
+  let nprocs = w.W.fig3_procs in
+  let prog = w.W.build ~nprocs ~scale:(4 * w.W.default_scale) in
+  let recorded = Sim.record prog ~nprocs in
+  let trace = recorded.Sim.trace in
+  let events = Ct.length trace in
+  let layout = Layout.default prog ~block:128 in
+  let config = C.default_config ~nprocs ~block:128 in
+  let reference =
+    (R.simulate_sharded trace ~shards:1 ~layout ~config).R.counts
+  in
+  let mk format =
+    let path = tmp_trace "decode" in
+    Ct.write_file ~format trace path;
+    path
+  in
+  let p1 = mk Ct.V1 and p2 = mk Ct.V2 in
+  let s1 = Ct.of_file_stream p1 and s2 = Ct.of_file_stream p2 in
+  let reps = 5 in
+  let best_of f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      Gc.full_major ();
+      let t = snd (time_it (fun () -> for _ = 1 to reps do f () done)) in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  (* raw decode: every block through the codec into the reused buffer,
+     no simulation behind it *)
+  let sink = ref 0 in
+  let decode s () =
+    Ct.Stream.iter_chunks (fun buf n -> sink := !sink + n + (buf.(0) land 1)) s
+  in
+  let d1 = best_of (decode s1) and d2 = best_of (decode s2) in
+  let b1 = Ct.Stream.byte_size s1 and b2 = Ct.Stream.byte_size s2 in
+  let rate t = if t > 0. then float_of_int (events * reps) /. t /. 1e6 else 0. in
+  let mbs bytes t =
+    if t > 0. then float_of_int (bytes * reps) /. t /. (1024. *. 1024.) else 0.
+  in
+  Printf.printf
+    "decode only:  v1 %.3fs (%.1f Mevents/s)  |  v2 %.3fs (%.1f Mevents/s)\n"
+    d1 (rate d1) d2 (rate d2);
+  (* streamed sharded replay at 1 and 4 shards: at 1 the decode runs
+     inline on the calling domain, at 4 it is pipelined onto the pool
+     (oversubscribed when the box has fewer cores, same policy as the
+     simspeed curve) *)
+  let points = List.sort_uniq compare [ 1; 4; max 1 jobs ] in
+  let replay_points =
+    List.map
+      (fun shards ->
+        let pool =
+          if shards > 1 then Some (Fs_util.Par.Pool.create ~jobs:shards ())
+          else None
+        in
+        let replay s () =
+          let st = R.simulate_sharded_stream ?pool s ~shards ~layout ~config in
+          assert (st.R.counts = reference)
+        in
+        replay s1 ();
+        replay s2 ();
+        let r1 = best_of (replay s1) and r2 = best_of (replay s2) in
+        (match pool with Some p -> Fs_util.Par.Pool.shutdown p | None -> ());
+        let speedup = if r2 > 0. then r1 /. r2 else 0. in
+        Printf.printf
+          "streamed replay, %d shard(s): v1 %.3fs (%.1f Mevents/s, %.1f MB/s \
+           read)  |  v2 %.3fs (%.1f Mevents/s, %.1f MB/s read)  |  v2 vs v1 \
+           %.2fx\n"
+          shards r1 (rate r1) (mbs b1 r1) r2 (rate r2) (mbs b2 r2) speedup;
+        Json.Obj
+          [ ("shards", Json.Int shards);
+            ("v1_replay_seconds", Json.float r1);
+            ("v2_replay_seconds", Json.float r2);
+            ("v1_replay_mevents_per_s", Json.float (rate r1));
+            ("v2_replay_mevents_per_s", Json.float (rate r2));
+            ("v1_replay_mb_per_s", Json.float (mbs b1 r1));
+            ("v2_replay_mb_per_s", Json.float (mbs b2 r2));
+            ("v2_vs_v1_replay_speedup", Json.float speedup);
+            ("counts_identical", Json.Bool true) ])
+      points
+  in
+  Ct.Stream.close s1;
+  Ct.Stream.close s2;
+  Sys.remove p1;
+  Sys.remove p2;
+  Printf.printf
+    "(%d events x%d; v1 %d bytes, v2 %d bytes; counts identical to \
+     in-memory at every point)\n"
+    events reps b1 b2;
+  record "tracefmt-decode" ~seconds:(Unix.gettimeofday () -. t0)
+    (Json.Obj
+       [ ("events", Json.Int events);
+         ("reps", Json.Int reps);
+         ("v1_bytes", Json.Int b1);
+         ("v2_bytes", Json.Int b2);
+         ("v1_decode_seconds", Json.float d1);
+         ("v2_decode_seconds", Json.float d2);
+         ("v1_decode_mevents_per_s", Json.float (rate d1));
+         ("v2_decode_mevents_per_s", Json.float (rate d2));
+         ("replay", Json.List replay_points) ])
+
+(* the scale-up path: stream a >=10^8-event recording to disk (constant
+   memory while recording), then replay it through the sharded streamed
+   engine — the whole point of v2 is that neither side ever holds the
+   trace, so peak heap stays at the decode window while the file runs
+   to hundreds of megabytes *)
+
+let tracefmt_scale ~jobs () =
+  section "Trace format v2 - 10^8-event recordings streamed end to end \
+           (record -> v2 file -> sharded streamed replay, bounded heap)";
+  let module R = Fs_replay.Replay in
+  let t0 = Unix.gettimeofday () in
+  let target = 100_000_000 in
+  let shards = max 2 (min 4 jobs) in
+  let payloads =
+    List.map
+      (fun name ->
+        let w = Ws.find name in
+        let nprocs = w.W.fig3_procs in
+        (* event yield per scale is workload-specific and not always
+           linear, so fit a power law through two cheap probes and solve
+           for the target (with a 5% overshoot) *)
+        let probe s =
+          let prog = w.W.build ~nprocs ~scale:s in
+          float_of_int (Ct.length (Sim.record prog ~nprocs).Sim.trace)
+        in
+        let s0 = w.W.default_scale in
+        let s1 = 16 * s0 in
+        let e0 = probe s0 and e1 = probe s1 in
+        let b = log (e1 /. e0) /. log (float_of_int s1 /. float_of_int s0) in
+        let scale =
+          max s1
+            (int_of_float
+               (ceil
+                  (float_of_int s0
+                  *. ((1.1 *. float_of_int target /. e0) ** (1. /. b)))))
+        in
+        let prog = w.W.build ~nprocs ~scale in
+        let path = tmp_trace ("scale-" ^ name) in
+        let wr = Ct.Writer.create ~vars:(Interp.vars prog) ~nprocs path in
+        let record_s =
+          snd
+            (time_it (fun () ->
+                 (* the default nontermination guard is sized for
+                    experiment-scale runs; a 10^8-event capture is
+                    legitimately ~50x that *)
+                 match
+                   Interp.run_cells ~max_steps:max_int prog ~nprocs
+                     ~cells:(Ct.Writer.recorder wr)
+                 with
+                 | _ -> Ct.Writer.close wr
+                 | exception e ->
+                   Ct.Writer.abort wr;
+                   raise e))
+        in
+        let events = Ct.Writer.length wr in
+        assert (events >= target);
+        let bytes = (Unix.stat path).Unix.st_size in
+        let layout = Layout.default prog ~block:128 in
+        let config = C.default_config ~nprocs ~block:128 in
+        let s = Ct.of_file_stream path in
+        let st, replay_s =
+          time_it (fun () ->
+              R.simulate_sharded_stream s ~shards ~layout ~config)
+        in
+        assert (C.accesses st.R.counts > 0);
+        let epochs = Array.length st.R.epochs in
+        (* the decode window: (jobs + 1) block buffers of boxed ints — the
+           streamed engine's whole per-trace allocation *)
+        let window_bytes =
+          (shards + 1) * Ct.Stream.max_block_events s * 8
+        in
+        Ct.Stream.close s;
+        Sys.remove path;
+        let top_heap_mb =
+          float_of_int ((Gc.quick_stat ()).Gc.top_heap_words * 8)
+          /. (1024. *. 1024.)
+        in
+        let rate = float_of_int events /. 1e6 /. Float.max 1e-9 replay_s in
+        let mbs =
+          float_of_int bytes /. (1024. *. 1024.) /. Float.max 1e-9 replay_s
+        in
+        Printf.printf
+          "%-10s %9d events -> %d bytes (%.2f B/event) in %.1fs; streamed \
+           replay %.1fs (%.1f Mevents/s, %.1f MB/s, %d shards, %d epochs)\n\
+           %-10s decode window %.1f MB, process top-of-heap %.1f MB (the \
+           in-memory trace alone would need %.0f MB)\n"
+          name events bytes
+          (float_of_int bytes /. float_of_int events)
+          record_s replay_s rate mbs shards epochs ""
+          (float_of_int window_bytes /. (1024. *. 1024.))
+          top_heap_mb
+          (float_of_int (events * 8) /. (1024. *. 1024.));
+        Json.Obj
+          [ ("workload", Json.String name);
+            ("nprocs", Json.Int nprocs);
+            ("scale", Json.Int scale);
+            ("events", Json.Int events);
+            ("bytes", Json.Int bytes);
+            ("bytes_per_event",
+             Json.float (float_of_int bytes /. float_of_int events));
+            ("record_seconds", Json.float record_s);
+            ("replay_seconds", Json.float replay_s);
+            ("replay_mevents_per_s", Json.float rate);
+            ("replay_mb_per_s", Json.float mbs);
+            ("shards", Json.Int shards);
+            ("epochs", Json.Int epochs);
+            ("decode_window_bytes", Json.Int window_bytes);
+            ("top_heap_mb", Json.float top_heap_mb) ])
+      [ "pverify"; "maxflow" ]
+  in
+  record "tracescale" ~seconds:(Unix.gettimeofday () -. t0)
+    (Json.List payloads)
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry overhead: the flight recorder's budget is <3% on the fused
@@ -555,52 +896,80 @@ let sharded_bench () =
         let nprocs = w.W.fig3_procs in
         let prog = w.W.build ~nprocs ~scale:w.W.default_scale in
         let recorded = Sim.record prog ~nprocs in
-        List.concat_map
-          (fun block ->
-            let layout = Layout.default prog ~block in
-            let config = C.default_config ~nprocs ~block in
-            let reference =
-              let c = C.create ~max_addr:(Layout.size layout) config in
-              Fs_replay.Replay.replay_to_sink recorded.Sim.trace ~layout
-                ~sink:(C.sink c);
-              C.counts c
-            in
-            List.map
-              (fun shards ->
-                let s =
-                  R.simulate_sharded recorded.Sim.trace ~shards ~layout ~config
-                in
-                let identical = s.R.counts = reference in
-                let esum = C.zero_counts () in
-                Array.iter (fun e -> C.add_into esum e) s.R.epochs;
-                let epochs_sum_ok = esum = s.R.counts in
-                (* load-bearing: a drifted shard must fail the bench run
-                   itself, not just the baseline diff *)
-                assert identical;
-                assert epochs_sum_ok;
-                rows :=
-                  [ name; string_of_int block; string_of_int shards;
-                    string_of_int (C.misses s.R.counts);
-                    string_of_int s.R.counts.C.false_sh;
-                    string_of_int (Array.length s.R.epochs); "yes" ]
-                  :: !rows;
-                Json.Obj
-                  [ ("workload", Json.String name);
-                    ("block", Json.Int block);
-                    ("shards", Json.Int shards);
-                    ("identical", Json.Bool identical);
-                    ("epochs", Json.Int (Array.length s.R.epochs));
-                    ("epochs_sum_ok", Json.Bool epochs_sum_ok);
-                    ("counts", Emit.counts s.R.counts) ])
-              [ 1; 2; 4 ])
-          [ 16; 128 ])
+        (* the same trace from disk: every point below also replays the
+           v2 file through the streamed engine and must land on the same
+           counts, so the bit-identity evidence covers the on-disk path
+           and reports the bytes it read *)
+        let v2_path = tmp_trace ("sharded-" ^ name) in
+        Ct.write_file recorded.Sim.trace v2_path;
+        let stream = Ct.of_file_stream v2_path in
+        let trace_bytes = Ct.Stream.byte_size stream in
+        let out =
+          List.concat_map
+            (fun block ->
+              let layout = Layout.default prog ~block in
+              let config = C.default_config ~nprocs ~block in
+              let reference =
+                let c = C.create ~max_addr:(Layout.size layout) config in
+                Fs_replay.Replay.replay_to_sink recorded.Sim.trace ~layout
+                  ~sink:(C.sink c);
+                C.counts c
+              in
+              List.map
+                (fun shards ->
+                  let s =
+                    R.simulate_sharded recorded.Sim.trace ~shards ~layout
+                      ~config
+                  in
+                  let identical = s.R.counts = reference in
+                  let esum = C.zero_counts () in
+                  Array.iter (fun e -> C.add_into esum e) s.R.epochs;
+                  let epochs_sum_ok = esum = s.R.counts in
+                  let streamed, stream_s =
+                    time_it (fun () ->
+                        R.simulate_sharded_stream stream ~shards ~layout
+                          ~config)
+                  in
+                  let stream_identical = streamed.R.counts = reference in
+                  (* load-bearing: a drifted shard must fail the bench run
+                     itself, not just the baseline diff *)
+                  assert identical;
+                  assert epochs_sum_ok;
+                  assert stream_identical;
+                  let mbs =
+                    float_of_int trace_bytes /. (1024. *. 1024.)
+                    /. Float.max 1e-9 stream_s
+                  in
+                  rows :=
+                    [ name; string_of_int block; string_of_int shards;
+                      string_of_int (C.misses s.R.counts);
+                      string_of_int s.R.counts.C.false_sh;
+                      string_of_int (Array.length s.R.epochs); "yes";
+                      Printf.sprintf "%.0f" mbs ]
+                    :: !rows;
+                  Json.Obj
+                    [ ("workload", Json.String name);
+                      ("block", Json.Int block);
+                      ("shards", Json.Int shards);
+                      ("identical", Json.Bool identical);
+                      ("epochs", Json.Int (Array.length s.R.epochs));
+                      ("epochs_sum_ok", Json.Bool epochs_sum_ok);
+                      ("stream_identical", Json.Bool stream_identical);
+                      ("trace_bytes", Json.Int trace_bytes);
+                      ("counts", Emit.counts s.R.counts) ])
+                [ 1; 2; 4 ])
+            [ 16; 128 ]
+        in
+        Ct.Stream.close stream;
+        Sys.remove v2_path;
+        out)
       [ "pverify"; "topopt" ]
   in
   print_string
     (Fs_util.Table.render
        ~header:
          [ "program"; "block"; "shards"; "misses"; "false sh"; "epochs";
-           "identical" ]
+           "identical"; "stream MB/s" ]
        (List.rev !rows));
   record "sharded" ~seconds:(Unix.gettimeofday () -. t0) (Json.List payloads)
 
@@ -681,7 +1050,7 @@ let serve_bench ~quick ~jobs () =
    deterministic experiment data *)
 let nondeterministic =
   [ "micro"; "replay"; "tracking_overhead"; "simspeed"; "telemetry-overhead";
-    "serve" ]
+    "serve"; "tracefmt-decode"; "tracescale" ]
 
 let baseline_path () =
   if Sys.file_exists "bench/BASELINE.json" then "bench/BASELINE.json"
@@ -905,6 +1274,9 @@ let () =
   if all || gate || pick = "simspeed" then
     simspeed ~extra_shards:!extra_shards ();
   if all || gate || pick = "sharded" then sharded_bench ();
+  if all || gate || pick = "tracefmt" then tracefmt ();
+  if all || gate || pick = "tracefmt-decode" then tracefmt_decode ~jobs ();
+  if all || pick = "tracescale" then tracefmt_scale ~jobs ();
   if all || gate || pick = "telemetry" then telemetry_bench ();
   if all || gate || pick = "ablation" then ablation ();
   if all || gate || pick = "repair" then repair_bench ~jobs ();

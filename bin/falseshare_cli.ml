@@ -758,6 +758,284 @@ let serve_cmd =
     Term.(const run $ port_arg $ workers_arg $ queue_arg $ jobs_arg
           $ cache_dir_arg $ cache_budget_arg $ debug_arg)
 
+(* --- trace: on-disk recordings ------------------------------------ *)
+
+module Ct = Fs_trace.Cell_trace
+
+let trace_format_arg =
+  Arg.(value
+       & opt (enum [ ("1", Ct.V1); ("2", Ct.V2) ]) Ct.default_format
+       & info [ "trace-format" ] ~docv:"V"
+           ~doc:"On-disk trace format: $(b,1) (flat 8-byte words) or \
+                 $(b,2) (delta+varint blocks with a CRC per block and a \
+                 trailing epoch index; the default).")
+
+let block_events_arg =
+  Arg.(value & opt int Ct.default_block_events
+       & info [ "block-events" ] ~docv:"N"
+           ~doc:"Events per v2 block (default 65536).")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file.")
+
+let trace_file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let mb = 1024. *. 1024.
+
+let trace_stat_json path =
+  let s = Ct.of_file_stream path in
+  let events = Ct.Stream.length s in
+  let bytes = Ct.Stream.byte_size s in
+  let epochs =
+    match Ct.Stream.epochs s with Some e -> Array.length e | None -> 0
+  in
+  let j =
+    Json.Obj
+      [ ("file", Json.String path);
+        ("format", Json.Int (Ct.format_version (Ct.Stream.format s)));
+        ("events", Json.Int events);
+        ("nprocs", Json.Int (Ct.Stream.nprocs s));
+        ("vars", Json.Int (Array.length (Ct.Stream.vars s)));
+        ("bytes", Json.Int bytes);
+        ("bytes_per_event",
+         Json.Float (float_of_int bytes /. float_of_int (max 1 events)));
+        ("blocks", Json.Int (Ct.Stream.nblocks s));
+        ("block_events", Json.Int (Ct.Stream.chunk s));
+        ("epochs", Json.Int epochs) ]
+  in
+  Ct.Stream.close s;
+  j
+
+let print_trace_stat ~heading path =
+  match trace_stat_json path with
+  | Json.Obj fields ->
+    Printf.printf "%s %s\n" heading path;
+    List.iter
+      (fun (k, v) ->
+        match v with
+        | Json.Int n when k <> "file" -> Printf.printf "  %-16s %d\n" k n
+        | Json.Float f -> Printf.printf "  %-16s %.3f\n" k f
+        | _ -> ())
+      fields
+  | _ -> assert false
+
+let trace_record_cmd =
+  let run w nprocs scale out fmt block_events json () =
+    let scale = scale_of w scale in
+    let prog = w.W.build ~nprocs ~scale in
+    let path = Option.value out ~default:(w.W.name ^ ".fstrace") in
+    let t0 = Unix.gettimeofday () in
+    (* stream straight to disk: the recording never materializes in
+       memory, which is what makes --scale large enough for 10^8-event
+       captures practical *)
+    let wr =
+      Ct.Writer.create ~format:fmt ~block_events
+        ~vars:(Fs_interp.Interp.vars prog) ~nprocs path
+    in
+    (* registered workloads terminate by construction, and --scale can
+       legitimately push a capture past the default nontermination
+       guard, so run unguarded *)
+    (match
+       Fs_interp.Interp.run_cells ~max_steps:max_int prog ~nprocs
+         ~cells:(Ct.Writer.recorder wr)
+     with
+    | _ -> Ct.Writer.close wr
+    | exception e ->
+      Ct.Writer.abort wr;
+      raise e);
+    let dt = Unix.gettimeofday () -. t0 in
+    let events = Ct.Writer.length wr in
+    let bytes = (Unix.stat path).Unix.st_size in
+    if json then
+      print_json
+        (Json.Obj
+           [ ("workload", Json.String w.W.name);
+             ("nprocs", Json.Int nprocs);
+             ("scale", Json.Int scale);
+             ("file", Json.String path);
+             ("format", Json.Int (Ct.format_version fmt));
+             ("events", Json.Int events);
+             ("bytes", Json.Int bytes);
+             ("bytes_per_event",
+              Json.Float (float_of_int bytes /. float_of_int (max 1 events)));
+             ("seconds", Json.Float dt) ])
+    else
+      Printf.printf
+        "recorded %s: %d events to %s (v%d, %d bytes, %.3f B/event, %.2fs, \
+         %.1f Mevents/s)\n"
+        w.W.name events path (Ct.format_version fmt) bytes
+        (float_of_int bytes /. float_of_int (max 1 events))
+        dt
+        (float_of_int events /. 1e6 /. Float.max 1e-9 dt)
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Interpret a workload once and stream the cell-event recording \
+          to disk (constant memory however long the run; use $(b,--scale) \
+          to size it).")
+    (telemetrize "trace-record"
+       Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ trace_out_arg
+             $ trace_format_arg $ block_events_arg $ json_arg))
+
+let trace_stat_cmd =
+  let run path json () =
+    if json then print_json (trace_stat_json path)
+    else print_trace_stat ~heading:"trace" path
+  in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:
+         "Describe a trace file: format version, event/epoch/block counts, \
+          bytes per event.")
+    (telemetrize "trace-stat" Term.(const run $ trace_file_arg $ json_arg))
+
+let trace_convert_cmd =
+  let run path out fmt block_events json () =
+    let s = Ct.of_file_stream path in
+    let out = Option.value out ~default:path in
+    let in_bytes = Ct.Stream.byte_size s in
+    let wr =
+      Ct.Writer.create ~format:fmt ~block_events ~vars:(Ct.Stream.vars s)
+        ~nprocs:(Ct.Stream.nprocs s) out
+    in
+    (* block-at-a-time re-encode: memory stays bounded, and converting a
+       file onto itself is safe — the writer lands in a temp file renamed
+       over the target only at close, while the source stays mapped *)
+    (match
+       Ct.Stream.iter_chunks
+         (fun buf n ->
+           for i = 0 to n - 1 do
+             Ct.Writer.push wr buf.(i)
+           done)
+         s
+     with
+    | () -> Ct.Writer.close wr
+    | exception e ->
+      Ct.Writer.abort wr;
+      raise e);
+    Ct.Stream.close s;
+    let events = Ct.Writer.length wr in
+    let out_bytes = (Unix.stat out).Unix.st_size in
+    if json then
+      print_json
+        (Json.Obj
+           [ ("input", Json.String path);
+             ("output", Json.String out);
+             ("format", Json.Int (Ct.format_version fmt));
+             ("events", Json.Int events);
+             ("input_bytes", Json.Int in_bytes);
+             ("output_bytes", Json.Int out_bytes);
+             ("ratio",
+              Json.Float (float_of_int in_bytes /. float_of_int (max 1 out_bytes))) ])
+    else
+      Printf.printf "converted %s -> %s (v%d): %d events, %d -> %d bytes (%.2fx)\n"
+        path out (Ct.format_version fmt) events in_bytes out_bytes
+        (float_of_int in_bytes /. float_of_int (max 1 out_bytes))
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Re-encode a trace between format versions (either direction; \
+          the default output is v2).  Omitting $(b,--output) converts in \
+          place, atomically.")
+    (telemetrize "trace-convert"
+       Term.(const run $ trace_file_arg $ trace_out_arg $ trace_format_arg
+             $ block_events_arg $ json_arg))
+
+let trace_replay_cmd =
+  let workload_pos1 =
+    Arg.(required & pos 1 (some wconv) None & info [] ~docv:"WORKLOAD")
+  in
+  let run path w scale block version shards jobs json () =
+    let s = Ct.of_file_stream path in
+    let nprocs = Ct.Stream.nprocs s in
+    let scale = scale_of w scale in
+    let prog = w.W.build ~nprocs ~scale in
+    let plan = plan_of w version prog ~nprocs ~scale in
+    let layout = Fs_layout.Layout.realize prog plan ~block in
+    let config = C.default_config ~nprocs ~block in
+    let t0 = Unix.gettimeofday () in
+    let sharded =
+      if shards > 1 then
+        Fs_util.Par.Pool.with_pool ~jobs:(min (max shards 2) jobs) (fun pool ->
+            Fs_replay.Replay.simulate_sharded_stream ~pool s ~shards ~layout
+              ~config)
+      else
+        Fs_replay.Replay.simulate_sharded_stream s ~shards:1 ~layout ~config
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let events = Ct.Stream.length s in
+    let bytes = Ct.Stream.byte_size s in
+    let fmt = Ct.Stream.format s in
+    Ct.Stream.close s;
+    let c = sharded.Fs_replay.Replay.counts in
+    if json then
+      print_json
+        (Json.Obj
+           [ ("file", Json.String path);
+             ("workload", Json.String w.W.name);
+             ("format", Json.Int (Ct.format_version fmt));
+             ("nprocs", Json.Int nprocs);
+             ("block", Json.Int block);
+             ("shards", Json.Int shards);
+             ("events", Json.Int events);
+             ("bytes", Json.Int bytes);
+             ("seconds", Json.Float dt);
+             ("mevents_per_s",
+              Json.Float (float_of_int events /. 1e6 /. Float.max 1e-9 dt));
+             ("mb_per_s",
+              Json.Float (float_of_int bytes /. mb /. Float.max 1e-9 dt));
+             ("epochs", Json.Int (Array.length sharded.Fs_replay.Replay.epochs));
+             ("counts",
+              Json.Obj
+                [ ("accesses", Json.Int (C.accesses c));
+                  ("misses", Json.Int (C.misses c));
+                  ("false_sharing", Json.Int c.C.false_sh);
+                  ("true_sharing", Json.Int c.C.true_sh);
+                  ("cold", Json.Int c.C.cold);
+                  ("replacement", Json.Int c.C.repl) ]) ])
+    else begin
+      Printf.printf
+        "replayed %s through %s/%s: %d events in %.2fs (%.1f Mevents/s, \
+         %.1f MB/s read, shards %d)\n"
+        path w.W.name
+        (match version with `U -> "unoptimized" | `C -> "compiler" | `P -> "programmer")
+        events dt
+        (float_of_int events /. 1e6 /. Float.max 1e-9 dt)
+        (float_of_int bytes /. mb /. Float.max 1e-9 dt)
+        shards;
+      let header = [ "accesses"; "misses"; "false sharing"; "miss rate" ] in
+      print_string
+        (Fs_util.Table.render ~header
+           [ [ string_of_int (C.accesses c);
+               string_of_int (C.misses c);
+               string_of_int c.C.false_sh;
+               Fs_util.Table.pct (C.miss_rate c) ] ])
+    end
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay a recorded trace file through a workload's layout with \
+          the streamed sharded engine (decode pipelined onto the pool), \
+          reporting counts, Mevents/s, and effective read bandwidth.  The \
+          processor count comes from the trace; pass the same \
+          $(b,--scale) the recording used.")
+    (telemetrize "trace-replay"
+       Term.(const run $ trace_file_arg $ workload_pos1 $ scale_arg
+             $ block_arg $ layout_arg $ shards_arg $ jobs_arg $ json_arg))
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:
+         "Record, inspect, convert, and replay on-disk trace files — the \
+          durable form of one interpreted execution.")
+    [ trace_record_cmd; trace_stat_cmd; trace_convert_cmd; trace_replay_cmd ]
+
 (* --- paper reproductions --- *)
 
 let paper_cmd name doc ~text ~json =
@@ -806,7 +1084,7 @@ let () =
   let cmds =
     [ list_cmd; report_cmd; source_cmd; sim_cmd; speedup_cmd; hotspots_cmd;
       blame_cmd; phases_cmd; hotlines_cmd; repair_cmd; timeline_cmd;
-      profile_cmd; check_cmd; serve_cmd; fig3_cmd; table2_cmd; fig4_cmd;
+      profile_cmd; check_cmd; serve_cmd; trace_cmd; fig3_cmd; table2_cmd; fig4_cmd;
       table3_cmd; stats_cmd; exectime_cmd ]
   in
   (* same near-miss courtesy the workload argument gets: a mistyped

@@ -4,7 +4,13 @@ module Cell_event = Fs_trace.Cell_event
 module Interp = Fs_interp.Interp
 module Par = Fs_util.Par
 
-type key = { workload : string; nprocs : int; scale : int }
+(* [stamp] pins the entry to the on-disk capture it came from (or will
+   be written to): the file's format version, byte size, and mtime.  A
+   capture that is converted, re-recorded, or replaced between lookups
+   therefore misses instead of aliasing the stale in-memory entry; with
+   no capture dir the stamp is empty and keys degenerate to the plain
+   (workload, nprocs, scale) triple. *)
+type key = { workload : string; nprocs : int; scale : int; stamp : string }
 
 type entry = {
   prog : Fs_ir.Ast.program;
@@ -65,6 +71,21 @@ let read_coalesced () = locked (fun () -> stats.coalesced)
 let path_of dir k =
   Filename.concat dir
     (Printf.sprintf "%s-p%d-s%d.fstrace" k.workload k.nprocs k.scale)
+
+let stamp_of dir k =
+  match dir with
+  | None -> ""
+  | Some d -> (
+    let path = path_of d k in
+    match Unix.stat path with
+    | st ->
+      let version =
+        match Cell_trace.file_format path with
+        | f -> string_of_int (Cell_trace.format_version f)
+        | exception (Cell_trace.Corrupt _ | Sys_error _) -> "?"
+      in
+      Printf.sprintf "v%s:%d:%h" version st.Unix.st_size st.Unix.st_mtime
+    | exception Unix.Unix_error _ -> "")
 
 (* A disk-loaded trace carries no final memory image, but the summary
    counters of the original run are all derivable from the event
@@ -153,8 +174,15 @@ let find k =
     Some e
   | None -> None
 
-let key_of (w : Workload.t) ~nprocs ~scale =
-  { workload = w.Workload.name; nprocs; scale }
+let key_of dir (w : Workload.t) ~nprocs ~scale =
+  let base = { workload = w.Workload.name; nprocs; scale; stamp = "" } in
+  { base with stamp = stamp_of dir base }
+
+(* under [lock]: computing [k] may have created or rewritten the capture
+   file, so the entry is inserted under the key's refreshed stamp — the
+   one the next lookup will compute *)
+let insert_fresh dir k e =
+  insert { k with stamp = stamp_of dir k } e
 
 (* under [lock]: claim [k] for this caller, or wait out whoever holds it.
    Returns [true] when the caller must compute, [false] when the leader
@@ -178,12 +206,13 @@ let release k =
   Condition.broadcast cond
 
 let rec get (w : Workload.t) ~nprocs ~scale =
-  let k = key_of w ~nprocs ~scale in
+  let dir = locked (fun () -> !capture_dir) in
+  let k = key_of dir w ~nprocs ~scale in
   let action =
     locked (fun () ->
         match find k with
         | Some e -> `Hit e
-        | None -> if claim_or_wait k then `Compute !capture_dir else `Retry)
+        | None -> if claim_or_wait k then `Compute else `Retry)
   in
   match action with
   | `Hit e -> e
@@ -192,11 +221,11 @@ let rec get (w : Workload.t) ~nprocs ~scale =
        it was evicted or raised — either way the re-check does the right
        thing *)
     get w ~nprocs ~scale
-  | `Compute dir -> (
+  | `Compute -> (
     match compute dir w k with
     | e, from_disk ->
       locked (fun () ->
-          insert k e;
+          insert_fresh dir k e;
           if from_disk then stats.disk_loads <- stats.disk_loads + 1;
           release k);
       e
@@ -205,12 +234,13 @@ let rec get (w : Workload.t) ~nprocs ~scale =
       raise ex)
 
 let get_all ?jobs configs =
+  let dir = locked (fun () -> !capture_dir) in
   let keyed =
-    List.map (fun (w, nprocs, scale) -> (w, key_of w ~nprocs ~scale)) configs
+    List.map
+      (fun (w, nprocs, scale) -> (w, key_of dir w ~nprocs ~scale))
+      configs
   in
-  let cached, dir =
-    locked (fun () -> (List.map (fun (_, k) -> find k) keyed, !capture_dir))
-  in
+  let cached = locked (fun () -> List.map (fun (_, k) -> find k) keyed) in
   (* distinct missing keys, first occurrence wins *)
   let missing = Hashtbl.create 16 in
   List.iter2
@@ -240,7 +270,7 @@ let get_all ?jobs configs =
   locked (fun () ->
       List.iter
         (fun (k, (e, from_disk)) ->
-          insert k e;
+          insert_fresh dir k e;
           if from_disk then stats.disk_loads <- stats.disk_loads + 1;
           release k)
         computed);

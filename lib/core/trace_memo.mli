@@ -21,9 +21,13 @@
     disk ([<workload>-p<nprocs>-s<scale>.fstrace], atomically) and
     re-loaded on later misses — even across processes.  A disk-loaded
     entry's [interp] summary is reconstructed from the event stream; its
-    final-memory [store] is empty (values are not part of the trace). *)
+    final-memory [store] is empty (values are not part of the trace).
+    Entries are additionally keyed by a [stamp] of the capture file —
+    its trace-format version, size, and mtime — so a capture that is
+    converted or replaced on disk misses and reloads instead of aliasing
+    the stale in-memory entry. *)
 
-type key = { workload : string; nprocs : int; scale : int }
+type key = { workload : string; nprocs : int; scale : int; stamp : string }
 
 type entry = {
   prog : Fs_ir.Ast.program;

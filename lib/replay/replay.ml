@@ -237,9 +237,14 @@ let[@inline] buf_push t x =
   Array.unsafe_set t.b t.n x;
   t.n <- t.n + 1
 
-(* [feed] yields the packed event stream as (buffer, length) chunks in
-   trace order — one whole-array chunk for an in-memory trace, the
-   reused window for a streamed one. *)
+(* The event source: either a closure yielding (buffer, length) chunks
+   in trace order — one whole-array chunk for an in-memory trace — or an
+   open on-disk stream, whose blocks the sharded path decodes on pool
+   workers ahead of the drain (see below). *)
+type feed =
+  | Feed_chunks of ((int array -> int -> unit) -> unit)
+  | Feed_stream of Cell_trace.Stream.t
+
 let run_sharded ~shards:nshards ?pool ?track_blocks ?track_pairs ?track_lines
     ~vars ~layout ~config feed =
   if nshards <= 0 then
@@ -257,12 +262,17 @@ let run_sharded ~shards:nshards ?pool ?track_blocks ?track_pairs ?track_lines
      only by the one worker that owns shard [s], and read by the caller
      after the pool barrier *)
   let snaps = Array.make nshards [] in
+  let feed_sequential f =
+    match feed with
+    | Feed_chunks g -> g f
+    | Feed_stream stream -> Cell_trace.Stream.iter_chunks f stream
+  in
   (if nshards = 1 then begin
      (* no partitioning, no pool: the fused loop plus one tag test for
         the epoch cut, so the shards=1 path tracks the fused number *)
      let slab = slabs.(0) in
      let cache = Mpcache.Shard.cache slab in
-     feed (fun data n ->
+     feed_sequential (fun data n ->
          for i = 0 to n - 1 do
            let packed = Array.unsafe_get data i in
            if Cell_event.packed_is_access packed then begin
@@ -298,7 +308,10 @@ let run_sharded ~shards:nshards ?pool ?track_blocks ?track_pairs ?track_lines
          let buckets =
            Array.init jobs (fun _ -> Array.init nshards (fun _ -> buf_make ()))
          in
-         feed (fun data n ->
+         (* [decode_tail w] rides on Phase B: workers that finish their
+            drain early pick up decode work for upcoming blocks of a
+            streamed trace (a no-op for in-memory chunks) *)
+         let process_chunk ~decode_tail data n =
              Par.Pool.run pool (fun w ->
                  let row = buckets.(w) in
                  for s = 0 to nshards - 1 do
@@ -358,7 +371,56 @@ let run_sharded ~shards:nshards ?pool ?track_blocks ?track_pairs ?track_lines
                      done
                    done;
                    s := !s + jobs
-                 done)))
+                 done;
+                 decode_tail k)
+         in
+         match feed with
+         | Feed_chunks g ->
+           g (fun data n -> process_chunk ~decode_tail:(fun _ -> ()) data n)
+         | Feed_stream stream ->
+           (* Pipelined decode: a window of [wnd] block buffers is kept
+              decoded ahead of the drain.  The prefill decodes blocks
+              [0 .. wnd - 1] across the pool; thereafter Phase B of block
+              [k] additionally decodes block [k + wnd] (whose slot was
+              freed by Phase A of block [k]) on whichever worker drains
+              its shards first — so decode overlaps the coherence
+              simulation instead of serializing ahead of it.  Claims go
+              through a bounded CAS so a block is decoded exactly once;
+              the Pool.run barrier publishes every decoded buffer before
+              the next Phase A reads it.  Corruption raised by a worker
+              decode re-raises at the caller after the barrier. *)
+           let nb = Cell_trace.Stream.nblocks stream in
+           if nb > 0 then begin
+             let wnd = min nb (jobs + 1) in
+             let mbe = Cell_trace.Stream.max_block_events stream in
+             let bufs = Array.init wnd (fun _ -> Array.make mbe 0) in
+             let lens = Array.make wnd 0 in
+             let next_decode = Atomic.make 0 in
+             let rec try_claim limit =
+               let k = Atomic.get next_decode in
+               if k >= limit then -1
+               else if Atomic.compare_and_set next_decode k (k + 1) then k
+               else try_claim limit
+             in
+             let decode_upto limit _w =
+               let rec go () =
+                 let k = try_claim limit in
+                 if k >= 0 then begin
+                   lens.(k mod wnd) <-
+                     Cell_trace.Stream.decode_block stream k bufs.(k mod wnd);
+                   go ()
+                 end
+               in
+               go ()
+             in
+             Par.Pool.run pool (decode_upto wnd);
+             for k = 0 to nb - 1 do
+               process_chunk
+                 ~decode_tail:(decode_upto (min nb (k + 1 + wnd)))
+                 bufs.(k mod wnd)
+                 lens.(k mod wnd)
+             done
+           end)
    end);
   let counts = Mpcache.merged_counts (Array.map Mpcache.Shard.cache slabs) in
   (* telescoping per-shard snapshot deltas; the tail epoch (after the
@@ -387,11 +449,11 @@ let run_sharded ~shards:nshards ?pool ?track_blocks ?track_pairs ?track_lines
 let simulate_sharded ?pool ?track_blocks ?track_pairs ?track_lines trace
     ~shards ~layout ~config =
   run_sharded ~shards ?pool ?track_blocks ?track_pairs ?track_lines
-    ~vars:(Cell_trace.vars trace) ~layout ~config (fun f ->
-      f (Cell_trace.unsafe_data trace) (Cell_trace.length trace))
+    ~vars:(Cell_trace.vars trace) ~layout ~config
+    (Feed_chunks
+       (fun f -> f (Cell_trace.unsafe_data trace) (Cell_trace.length trace)))
 
 let simulate_sharded_stream ?pool ?track_blocks ?track_pairs ?track_lines
     stream ~shards ~layout ~config =
   run_sharded ~shards ?pool ?track_blocks ?track_pairs ?track_lines
-    ~vars:(Cell_trace.Stream.vars stream) ~layout ~config (fun f ->
-      Cell_trace.Stream.iter_chunks f stream)
+    ~vars:(Cell_trace.Stream.vars stream) ~layout ~config (Feed_stream stream)

@@ -123,4 +123,10 @@ val simulate_sharded_stream :
   sharded
 (** {!simulate_sharded} over a chunked on-disk trace: counts are
     identical to replaying the in-memory trace, while peak heap use
-    stays bounded by the stream's chunk size. *)
+    stays bounded by the stream's block size times a small decode
+    window.  With [shards > 1] the stream's blocks are decoded {e on the
+    pool}, pipelined one window ahead of the shard drain (a worker that
+    finishes draining picks up the next block's decode), so decode
+    overlaps the coherence simulation; [shards = 1] decodes inline on
+    the calling domain.  A [Cell_trace.Corrupt] raised by a worker
+    decode re-raises at the caller. *)

@@ -23,6 +23,8 @@ type t =
 let max_proc = 255
 let max_var = 255
 let max_cell = (1 lsl 34) - 1
+let max_wide_cell = (1 lsl 43) - 1
+let max_amount = (1 lsl 51) - 1
 
 let tag_access = 0
 let tag_work = 1
@@ -39,13 +41,13 @@ let pack = function
   | Access { proc; write; var; cell } ->
     check "proc" proc max_proc;
     check "var" var max_var;
-    check "cell" cell ((1 lsl 43) - 1);
+    check "cell" cell max_wide_cell;
     tag_access
     lor ((if write then 1 else 0) lsl 3)
     lor (proc lsl 4) lor (var lsl 12) lor (cell lsl 20)
   | Work { proc; amount } ->
     check "proc" proc max_proc;
-    check "amount" amount ((1 lsl 51) - 1);
+    check "amount" amount max_amount;
     tag_work lor (proc lsl 4) lor (amount lsl 12)
   | Barrier_arrive { proc } ->
     check "proc" proc max_proc;
@@ -54,7 +56,7 @@ let pack = function
   | Lock_wait { proc; var; cell } ->
     check "proc" proc max_proc;
     check "var" var max_var;
-    check "cell" cell ((1 lsl 43) - 1);
+    check "cell" cell max_wide_cell;
     tag_lock_wait lor (proc lsl 4) lor (var lsl 12) lor (cell lsl 20)
   | Lock_grant { proc; var; cell; from } ->
     check "proc" proc max_proc;
@@ -74,6 +76,27 @@ let[@inline] packed_proc packed = (packed lsr 4) land 0xff
 let[@inline] packed_var packed = (packed lsr 12) land 0xff
 let[@inline] packed_write packed = packed land 8 <> 0
 let[@inline] packed_cell packed = packed lsr 20
+let[@inline] packed_amount packed = packed lsr 12
+let[@inline] packed_grant_from1 packed = (packed lsr 20) land 0x1ff
+let[@inline] packed_grant_cell packed = packed lsr 29
+
+(* Unchecked constructors over already-validated fields, for the v2 trace
+   decoder: it range-checks every decoded field itself (so corruption
+   surfaces as [Cell_trace.Corrupt], not [Invalid_argument]) and then
+   builds the packed form without paying [pack]'s checks per event. *)
+let[@inline] unsafe_pack_access ~write ~proc ~var ~cell =
+  tag_access
+  lor ((if write then 1 else 0) lsl 3)
+  lor (proc lsl 4) lor (var lsl 12) lor (cell lsl 20)
+
+let[@inline] unsafe_pack_work ~proc ~amount = tag_work lor (proc lsl 4) lor (amount lsl 12)
+let[@inline] unsafe_pack_barrier_arrive ~proc = tag_barrier_arrive lor (proc lsl 4)
+
+let[@inline] unsafe_pack_lock_wait ~proc ~var ~cell =
+  tag_lock_wait lor (proc lsl 4) lor (var lsl 12) lor (cell lsl 20)
+
+let[@inline] unsafe_pack_lock_grant ~proc ~var ~from1 ~cell =
+  tag_lock_grant lor (proc lsl 4) lor (var lsl 12) lor (from1 lsl 20) lor (cell lsl 29)
 
 let unpack packed =
   let proc = (packed lsr 4) land 0xff in

@@ -38,6 +38,12 @@ val tag_barrier_release : int
 (** The {!packed_tag} value of [Barrier_release] — the epoch cut the
     sharded replay and the phase tracker both key on. *)
 
+val tag_access : int
+val tag_work : int
+val tag_barrier_arrive : int
+val tag_lock_wait : int
+val tag_lock_grant : int
+
 val packed_tag : int -> int
 val packed_is_access : int -> bool
 val packed_proc : int -> int
@@ -45,8 +51,38 @@ val packed_var : int -> int
 val packed_write : int -> bool
 val packed_cell : int -> int
 
+val packed_amount : int -> int
+(** Meaningful for [Work] only. *)
+
+val packed_grant_from1 : int -> int
+(** [from + 1] of a packed [Lock_grant] (0 means the lock was free). *)
+
+val packed_grant_cell : int -> int
+(** The cell of a packed [Lock_grant], whose payload layout differs from
+    the other cell-bearing tags. *)
+
 val max_proc : int
 val max_var : int
 val max_cell : int
+(** Cell bound for [Lock_grant], whose payload shares bits with the
+    grantor. *)
+
+val max_wide_cell : int
+(** Cell bound for [Access] / [Lock_wait]. *)
+
+val max_amount : int
+
+(** {1 Unchecked packing}
+
+    Constructors that skip {!pack}'s range checks, for the v2 trace
+    decoder, which validates decoded fields itself before packing.
+    Out-of-range arguments silently corrupt neighbouring fields — only
+    call these with values already checked against the bounds above. *)
+
+val unsafe_pack_access : write:bool -> proc:int -> var:int -> cell:int -> int
+val unsafe_pack_work : proc:int -> amount:int -> int
+val unsafe_pack_barrier_arrive : proc:int -> int
+val unsafe_pack_lock_wait : proc:int -> var:int -> cell:int -> int
+val unsafe_pack_lock_grant : proc:int -> var:int -> from1:int -> cell:int -> int
 
 val pp : Format.formatter -> t -> unit

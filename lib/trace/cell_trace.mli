@@ -42,36 +42,106 @@ val equal : t -> t -> bool
 
 (** {1 Capture to disk}
 
-    Little-endian binary format, written atomically (temp file + rename). *)
+    Two little-endian binary formats, both written atomically (temp file
+    + rename) and both understood by every reader here:
+
+    - {b v1} ("FSTRACE1"): one flat 8-byte word per packed event.
+    - {b v2} ("FSTRACE2"): events grouped into fixed-size blocks, each
+      block delta + LEB128-varint encoded with a footer carrying its
+      event count, payload length and CRC-32, plus a trailing index
+      mapping block starts and [Barrier_release] positions to file
+      offsets (so replay can seek to an epoch without scanning).  Block
+      delta state resets at each boundary, making blocks independently —
+      and concurrently — decodable.
+
+    Readers sniff the magic; writers default to v2. *)
 
 exception Corrupt of string
 
-val write_file : t -> string -> unit
+type format = V1 | V2
+
+val default_format : format
+(** What writers emit unless told otherwise: [V2]. *)
+
+val format_version : format -> int
+val format_of_version : int -> format option
+
+val default_block_events : int
+(** Events per v2 block unless overridden: 65536. *)
+
+val file_format : string -> format
+(** Sniff a trace file's magic.
+    @raise Corrupt when the file is not a trace. *)
+
+val write_file : ?format:format -> ?block_events:int -> t -> string -> unit
 val read_file : string -> t
 (** @raise Corrupt on malformed input, [Sys_error] on IO failure. *)
 
-val write_channel : t -> out_channel -> unit
+val write_channel : ?format:format -> ?block_events:int -> t -> out_channel -> unit
 val read_channel : in_channel -> t
 
-(** {1 Streaming}
+(** {1 Streaming capture}
 
-    For traces too large to hold in memory: the same on-disk format,
-    read through a chunked window instead of one whole-file load.  The
-    header (names, counts) is parsed and validated eagerly — including
-    the event count against the file size, so a truncated file fails at
-    open time with {!Corrupt} — and the event section is memory-mapped,
-    so peak heap use is bounded by the chunk size, not the trace
-    length. *)
+    Record straight to disk — header first, then blocks as they fill —
+    so a recording's heap cost is one encoder block, not the trace.
+    This is what makes 10{^8}-event captures practical. *)
+
+module Writer : sig
+  type t
+
+  val create :
+    ?format:format ->
+    ?block_events:int ->
+    vars:string array ->
+    nprocs:int ->
+    string ->
+    t
+  (** Open a streaming writer targeting [path] (written as
+      [path ^ ".tmp"], renamed on {!close}).
+      @raise Invalid_argument on bad [nprocs] / [vars] /
+      [block_events]. *)
+
+  val push : t -> int -> unit
+  (** Append one packed event.
+      @raise Invalid_argument after {!close} / {!abort}. *)
+
+  val recorder : t -> Cell_listener.t
+  (** A listener that pushes every delivered event — plug it into
+      [Interp.run_cells] to record without materializing the trace. *)
+
+  val length : t -> int
+  (** Events pushed so far. *)
+
+  val close : t -> unit
+  (** Finalize (v1: patch the length word; v2: flush the last block and
+      write index + trailer) and atomically rename into place. *)
+
+  val abort : t -> unit
+  (** Discard: close and delete the temp file.  Idempotent, as is
+      {!close}; whichever runs first wins. *)
+end
+
+(** {1 Streaming replay}
+
+    For traces too large to hold in memory.  Both formats present the
+    same shape: a sequence of blocks, each decoded on demand into a
+    caller buffer, so peak heap is bounded by the block size however
+    long the trace.  For v1 a block is a chunk-sized window of the
+    memory-mapped word array; for v2 it is an encoded block, CRC-checked
+    against its footer and located through the trailing index.  Headers
+    and (v2) index geometry are validated eagerly at open time. *)
 
 module Stream : sig
   type t
 
   val open_file : ?chunk:int -> string -> t
-  (** [chunk] is the window size in events (default 2{^20}).
+  (** [chunk] is the v1 window size in events (default 2{^20}); v2 block
+      granularity is fixed by the file.
       @raise Corrupt on malformed or truncated input, [Sys_error] /
       [Unix.Unix_error] on IO failure,  [Invalid_argument] on a
       non-positive [chunk]. *)
 
+  val format : t -> format
   val vars : t -> string array
   val nprocs : t -> int
 
@@ -80,15 +150,45 @@ module Stream : sig
 
   val chunk : t -> int
 
+  val byte_size : t -> int
+  (** Size of the underlying file in bytes — the denominator for
+      bytes/event and effective-bandwidth reporting. *)
+
+  val nblocks : t -> int
+
+  val block_events : t -> int -> int
+  (** Events in block [k]. *)
+
+  val block_start : t -> int -> int
+  (** Global index of block [k]'s first event. *)
+
+  val max_block_events : t -> int
+  (** An upper bound on {!block_events} over all blocks — the buffer
+      size {!decode_block} requires.  At least 1. *)
+
+  val epochs : t -> int array option
+  (** v2 only: the global event position of every [Barrier_release], in
+      order, from the index — the seek points for epoch-addressed
+      consumers. *)
+
+  val decode_block : t -> int -> int array -> int
+  (** [decode_block t k buf] decodes block [k] into [buf.(0 .. n - 1)]
+      and returns [n].  Scratch state is per call, so distinct blocks of
+      one open stream may be decoded from different domains
+      concurrently.
+      @raise Corrupt on a damaged block (the message names it),
+      [Invalid_argument] if closed, [k] is out of range, or [buf] is
+      smaller than {!max_block_events}. *)
+
   val iter_chunks : (int array -> int -> unit) -> t -> unit
-  (** [iter_chunks f s] calls [f buf n] for each successive window: the
-      packed events are [buf.(0 .. n - 1)], in trace order, with [n] the
-      chunk size except possibly for the final window.  [buf] is {e one
-      reused array} — callers must consume (or copy) its contents before
-      returning, and must not hold references to it across calls. *)
+  (** [iter_chunks f s] calls [f buf n] for each successive block: the
+      packed events are [buf.(0 .. n - 1)], in trace order.  [buf] is
+      {e one reused array} — callers must consume (or copy) its contents
+      before returning, and must not hold references to it across
+      calls. *)
 
   val close : t -> unit
-  (** Fence further iteration ([iter_chunks] then raises
+  (** Fence further iteration ([iter_chunks] / [decode_block] then raise
       [Invalid_argument]); the mapping itself is reclaimed by the GC. *)
 end
 

@@ -1,0 +1,50 @@
+(* CRC-32 (IEEE 802.3, the zlib polynomial), table-driven, one byte per
+   step.  Used by the v2 trace format to checksum each event block and
+   the trailing index, so bit rot surfaces as a typed [Corrupt] naming
+   the damaged block instead of silently wrong replay counts. *)
+
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+(* running CRCs are carried pre-inverted (the usual ~crc register form);
+   [start] and [finish] do the inversions once per checksum *)
+let start = 0xffffffff
+let finish crc = crc lxor 0xffffffff
+
+let[@inline] byte crc b =
+  let t = Lazy.force table in
+  Array.unsafe_get t ((crc lxor b) land 0xff) lxor (crc lsr 8)
+
+let string_sub crc s pos len =
+  let t = Lazy.force table in
+  let c = ref crc in
+  for i = pos to pos + len - 1 do
+    c :=
+      Array.unsafe_get t ((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+      lxor (!c lsr 8)
+  done;
+  !c
+
+let bigstring_sub crc (b : bigstring) pos len =
+  let t = Lazy.force table in
+  let c = ref crc in
+  for i = pos to pos + len - 1 do
+    c :=
+      Array.unsafe_get t
+        ((!c lxor Char.code (Bigarray.Array1.unsafe_get b i)) land 0xff)
+      lxor (!c lsr 8)
+  done;
+  !c
+
+let of_string s = finish (string_sub start s 0 (String.length s))
+
+let of_bigstring_sub b pos len = finish (bigstring_sub start b pos len)

@@ -1,0 +1,25 @@
+(** CRC-32 (IEEE 802.3 polynomial, as in zlib and gzip).
+
+    Checksums are 32-bit values returned as non-negative OCaml ints.
+    The incremental interface carries the conventional inverted
+    register: begin with {!start}, fold bytes with {!byte} /
+    {!string_sub} / {!bigstring_sub}, and {!finish} to obtain the
+    checksum. *)
+
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val start : int
+val finish : int -> int
+
+val byte : int -> int -> int
+(** [byte crc b] folds the byte [b] (low 8 bits) into a running crc. *)
+
+val string_sub : int -> string -> int -> int -> int
+val bigstring_sub : int -> bigstring -> int -> int -> int
+
+val of_string : string -> int
+(** One-shot checksum of a whole string. *)
+
+val of_bigstring_sub : bigstring -> int -> int -> int
+(** One-shot checksum of [len] bytes of a mapped region from [pos]. *)

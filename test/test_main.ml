@@ -14,6 +14,7 @@ let () =
       ("experiments", Test_experiments.suite);
       ("parc", Test_parc.suite);
       ("trace", Test_trace.suite);
+      ("tracefmt", Test_tracefmt.suite);
       ("replay", Test_replay.suite);
       ("sharded", Test_sharded.suite);
       ("obs", Test_obs.suite);

@@ -8,7 +8,7 @@
    A single argument selects one piece:
      fig3 | table2 | fig4 | table3 | stats | exectime | replay | simspeed |
      sharded | tracefmt | tracefmt-decode | tracescale | telemetry | micro |
-     ablation | phases
+     ablation | repair | stealing | phases
    plus `quick`, which shrinks the processor sweep for a fast pass,
    `baseline`, which runs the quick pass and seeds bench/BASELINE.json,
    and `check`, which runs the quick pass and fails (exit 1) if any
@@ -813,6 +813,47 @@ let repair_bench ~jobs () =
   Printf.printf "(%.1fs)\n" dt
 
 (* ------------------------------------------------------------------ *)
+(* Work stealing: the dynamic family the static planner cannot see     *)
+
+let stealing_bench ~jobs () =
+  section "Work stealing - N/C/F on the dynamic workload family \
+           (deterministic scheduler, seed 42; 16B and 128B blocks)";
+  let module RE = Fs_feedback.Repair_experiments in
+  let rows, dt = time_it (fun () -> RE.stealing_table ~seed:42 ~jobs ()) in
+  print_string (RE.render_stealing rows);
+  (* the dynamic family's reason to exist: the compiler plan is made from
+     the AST, which shows neither the scheduler's deques nor where stolen
+     tasks land, so C leaves false sharing behind that the profile-guided
+     repair must remove — by at least half, on at least two workloads *)
+  let qualifying =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (r : RE.steal_row) ->
+           let c = r.RE.scompiler.RE.false_sharing in
+           let f = r.RE.sfeedback.RE.rcell.RE.false_sharing in
+           if c > 0 && 2 * (c - f) >= c then Some r.RE.sname else None)
+         rows)
+  in
+  Printf.printf
+    "\nworkloads where repair removes >=50%% of the false sharing the \
+     compiler plan left: %s\n"
+    (String.concat ", " qualifying);
+  if List.length qualifying < 2 then begin
+    print_endline
+      "stealing: FAILED — expected >=50% C->F removal on at least 2 dynamic \
+       workloads";
+    exit 1
+  end;
+  let json = RE.stealing_to_json rows in
+  record "stealing" ~seconds:dt json;
+  (* a standalone artifact for CI, next to BENCH_results.json *)
+  let oc = open_out "stealing_ncpf.json" in
+  Json.to_channel ~compact:false oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "(%.1fs; wrote stealing_ncpf.json)\n" dt
+
+(* ------------------------------------------------------------------ *)
 (* Phase-resolved sharing: per-epoch profiles + tracking overhead      *)
 
 let phases_bench () =
@@ -1280,6 +1321,7 @@ let () =
   if all || gate || pick = "telemetry" then telemetry_bench ();
   if all || gate || pick = "ablation" then ablation ();
   if all || gate || pick = "repair" then repair_bench ~jobs ();
+  if all || gate || pick = "stealing" then stealing_bench ~jobs ();
   if all || gate || pick = "phases" then phases_bench ();
   if all || gate || pick = "serve" then serve_bench ~quick ~jobs ();
   if all || pick = "micro" then micro ~quick ();

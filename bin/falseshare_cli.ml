@@ -34,7 +34,7 @@ let wconv =
         match Ws.find s with
         | w -> Ok w
         | exception Not_found ->
-          let names = List.map (fun w -> w.W.name) Ws.all in
+          let names = List.map (fun w -> w.W.name) Ws.every in
           let hint =
             match Fs_util.Strdist.suggest s names with
             | [] -> "run `falseshare list` for the benchmark suite"
@@ -83,6 +83,41 @@ let layout_arg =
            ~doc:"Which layout: $(b,unoptimized), $(b,compiler), or $(b,programmer).")
 
 let scale_of w = function Some s -> s | None -> w.W.default_scale
+
+let sched_seed_arg =
+  Arg.(value & opt (some int) None
+       & info [ "sched-seed" ] ~docv:"SEED"
+           ~doc:"Seed for the deterministic work-stealing scheduler.  \
+                 Required by the dynamic (spawn/sync) workloads; the same \
+                 seed reproduces the same execution bit for bit.  Ignored \
+                 by the static suite.")
+
+(* Dynamic workloads refuse to run without an explicit seed: a silent
+   default would make two people's "same" run diverge the moment one of
+   them is comparing against a seeded capture. *)
+let sched_of (w : W.t) = function
+  | Some s -> Some (Fs_sched.Sched.seeded s)
+  | None when not w.W.dynamic -> None
+  | None ->
+    Printf.eprintf
+      "falseshare: %s is a dynamic workload; its schedule is decided at \
+       run time by the work-stealing runtime, so pass --sched-seed SEED \
+       (there is no silent default: the seed pins the steal schedule and \
+       makes the run reproducible).\n"
+      w.W.name;
+    exit 2
+
+(* For commands whose experiment drivers are defined over the static
+   suite only (speedup sweeps, the paper reproductions). *)
+let reject_dynamic ~cmd (w : W.t) =
+  if w.W.dynamic then begin
+    Printf.eprintf
+      "falseshare: %s only covers the static suite; %s is a dynamic \
+       workload (run `falseshare repair --stealing` for the dynamic \
+       N/C/F comparison).\n"
+      cmd w.W.name;
+    exit 2
+  end
 
 let print_json j = Json.to_channel ~compact:false stdout j
 
@@ -159,9 +194,11 @@ let plan_of w version prog ~nprocs ~scale =
 
 let list_cmd =
   let run json () =
-    if json then print_json (Emit.workloads Ws.all)
+    if json then print_json (Emit.workloads Ws.every)
     else begin
-      let header = [ "name"; "description"; "versions"; "orig. LoC" ] in
+      let header =
+        [ "name"; "description"; "versions"; "scheduling"; "orig. LoC" ]
+      in
       let rows =
         List.map
           (fun (w : W.t) ->
@@ -172,21 +209,27 @@ let list_cmd =
                    (fun v ->
                      match v with W.N -> "N" | W.C -> "C" | W.P -> "P")
                    w.versions);
+              (if w.dynamic then "dynamic" else "static");
               string_of_int w.lines_of_c ])
-          Ws.all
+          Ws.every
       in
       print_string (Fs_util.Table.render ~header rows)
     end
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite (Table 1).")
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:
+         "List the benchmark suite: the static Table 1 programs plus the \
+          dynamic (work-stealing) workload family.")
     (telemetrize "list" Term.(const run $ json_arg))
 
 (* --- report --- *)
 
 let report_cmd =
-  let run w nprocs scale block json () =
+  let run w nprocs scale block seed json () =
+    let sched = sched_of w seed in
     let prog = w.W.build ~nprocs ~scale:(scale_of w scale) in
-    let r = Pipeline.run prog ~nprocs ~block in
+    let r = Pipeline.run ?sched prog ~nprocs ~block in
     if json then print_json (Json.Obj [ ("report", Emit.transform_report r.Pipeline.report);
                                         ("profile", Fs_obs.Profile.to_json r.profile);
                                         ("metrics", Fs_obs.Metrics.to_json r.metrics) ])
@@ -203,7 +246,7 @@ let report_cmd =
           wall-clock profile of every pipeline phase.")
     (telemetrize "report"
        Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
-             $ json_arg))
+             $ sched_seed_arg $ json_arg))
 
 (* --- source --- *)
 
@@ -232,11 +275,12 @@ let sim_versions w prog ~nprocs ~scale =
     (if List.mem W.N w.W.versions then w.W.versions else W.N :: w.W.versions)
 
 let sim_cmd =
-  let run w nprocs scale block jobs shards json () =
+  let run w nprocs scale block seed jobs shards json () =
+    let sched = sched_of w seed in
     let scale = scale_of w scale in
     let prog = w.W.build ~nprocs ~scale in
     let versions = sim_versions w prog ~nprocs ~scale in
-    let recorded = Sim.record prog ~nprocs in
+    let recorded = Sim.record ?sched prog ~nprocs in
     let runs =
       (* sharded replay parallelizes inside one run, so the versions run
          sequentially on one shared pool instead of fanning out across
@@ -277,7 +321,7 @@ let sim_cmd =
           interpreted once and replayed under each version's layout.")
     (telemetrize "sim"
        Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
-             $ jobs_arg $ shards_arg $ json_arg))
+             $ sched_seed_arg $ jobs_arg $ shards_arg $ json_arg))
 
 (* --- speedup --- *)
 
@@ -287,6 +331,7 @@ let speedup_cmd =
          & info [ "procs-list" ] ~docv:"P,P,..." ~doc:"Processor counts to sweep.")
   in
   let run w procs jobs json () =
+    reject_dynamic ~cmd:"speedup" w;
     let series = E.speedups ~procs ~names:[ w.W.name ] ~jobs () in
     if json then print_json (Emit.series series)
     else print_string (E.render_series series)
@@ -299,11 +344,14 @@ let speedup_cmd =
 (* --- hotspots --- *)
 
 let hotspots_cmd =
-  let run w nprocs scale block version json () =
+  let run w nprocs scale block version seed json () =
+    let sched = sched_of w seed in
     let scale = scale_of w scale in
     let prog = w.W.build ~nprocs ~scale in
     let plan = plan_of w version prog ~nprocs ~scale in
-    let rows = Falseshare.Attribution.attribute prog plan ~nprocs ~block in
+    let rows =
+      Falseshare.Attribution.attribute ?sched prog plan ~nprocs ~block
+    in
     if json then print_json (Emit.attribution rows)
     else print_string (Falseshare.Attribution.render rows)
   in
@@ -314,7 +362,7 @@ let hotspots_cmd =
           the dynamic counterpart of the compiler's static report.")
     (telemetrize "hotspots"
        Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
-             $ layout_arg $ json_arg))
+             $ layout_arg $ sched_seed_arg $ json_arg))
 
 (* --- blame --- *)
 
@@ -329,11 +377,12 @@ let blame_cmd =
              ~doc:"Also segment the run at barrier releases and append the \
                    per-epoch sharing profile.")
   in
-  let run w nprocs scale block version top epochs json () =
+  let run w nprocs scale block version top epochs seed json () =
+    let sched = sched_of w seed in
     let scale = scale_of w scale in
     let prog = w.W.build ~nprocs ~scale in
     let plan = plan_of w version prog ~nprocs ~scale in
-    let recorded = Sim.record prog ~nprocs in
+    let recorded = Sim.record ?sched prog ~nprocs in
     let b = Falseshare.Blame.analyze ~top ~recorded prog plan ~nprocs ~block in
     let ph =
       if epochs then
@@ -364,16 +413,17 @@ let blame_cmd =
           their owning variable and cell ranges.")
     (telemetrize "blame"
        Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
-             $ layout_arg $ top_arg $ epochs_arg $ json_arg))
+             $ layout_arg $ top_arg $ epochs_arg $ sched_seed_arg $ json_arg))
 
 (* --- phases --- *)
 
 let phases_cmd =
-  let run w nprocs scale block version json () =
+  let run w nprocs scale block version seed json () =
+    let sched = sched_of w seed in
     let scale = scale_of w scale in
     let prog = w.W.build ~nprocs ~scale in
     let plan = plan_of w version prog ~nprocs ~scale in
-    let p = Falseshare.Phases.analyze prog plan ~nprocs ~block in
+    let p = Falseshare.Phases.analyze ?sched prog plan ~nprocs ~block in
     if json then print_json (Emit.phases p)
     else print_string (Falseshare.Phases.render p)
   in
@@ -386,7 +436,7 @@ let phases_cmd =
           dynamic epochs against the static non-concurrency phases.")
     (telemetrize "phases"
        Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
-             $ layout_arg $ json_arg))
+             $ layout_arg $ sched_seed_arg $ json_arg))
 
 (* --- hotlines --- *)
 
@@ -405,11 +455,12 @@ let hotlines_cmd =
              ~doc:"Which layout: $(b,unoptimized), $(b,compiler) (default), \
                    or $(b,programmer).")
   in
-  let run w nprocs scale block version top json () =
+  let run w nprocs scale block version top seed json () =
+    let sched = sched_of w seed in
     let scale = scale_of w scale in
     let prog = w.W.build ~nprocs ~scale in
     let plan = plan_of w version prog ~nprocs ~scale in
-    let h = Falseshare.Hotlines.analyze ~top prog plan ~nprocs ~block in
+    let h = Falseshare.Hotlines.analyze ~top ?sched prog plan ~nprocs ~block in
     if json then print_json (Emit.hotlines h)
     else print_string (Falseshare.Hotlines.render h)
   in
@@ -422,7 +473,7 @@ let hotlines_cmd =
           transformation that would fix each line.")
     (telemetrize "hotlines"
        Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
-             $ layout_arg $ top_arg $ json_arg))
+             $ layout_arg $ top_arg $ sched_seed_arg $ json_arg))
 
 (* --- repair --- *)
 
@@ -445,16 +496,35 @@ let repair_cmd =
          & info [ "max-iters" ] ~docv:"N"
              ~doc:"Cap on accepted repair iterations.")
   in
-  let run w nprocs scale block version max_iters jobs json () =
+  let stealing_arg =
+    Arg.(value & flag
+         & info [ "stealing" ]
+             ~doc:"Run the dynamic-suite N/C/F comparison instead: every \
+                   spawn/sync workload on the seeded work-stealing \
+                   scheduler, with the scheduler-deque false sharing \
+                   isolated in its own columns.  Use $(b,--sched-seed) to \
+                   pick the steal schedule (default 42).")
+  in
+  let run w nprocs scale block version max_iters seed stealing jobs json () =
     match w with
     | Some w ->
+      let sched = sched_of w seed in
       let scale = scale_of w scale in
       let prog = w.W.build ~nprocs ~scale in
       let plan = plan_of w version prog ~nprocs ~scale in
       let options = { Fs_feedback.Repair.default_options with max_iters } in
-      let r = Fs_feedback.Repair.refine ~options prog plan ~nprocs ~block in
+      let r =
+        Fs_feedback.Repair.refine ~options ?sched prog plan ~nprocs ~block
+      in
       if json then print_json (Fs_feedback.Repair.to_json r)
       else print_string (Fs_feedback.Repair.render r)
+    | None when stealing ->
+      (* the dynamic family under the work-stealing scheduler *)
+      let seed = Option.value seed ~default:42 in
+      let rows = Fs_feedback.Repair_experiments.stealing_table ~seed ~jobs () in
+      if json then
+        print_json (Fs_feedback.Repair_experiments.stealing_to_json rows)
+      else print_string (Fs_feedback.Repair_experiments.render_stealing rows)
     | None ->
       (* no workload: the suite-wide N/C/P/F comparison *)
       let rows = Fs_feedback.Repair_experiments.table ~jobs () in
@@ -468,10 +538,12 @@ let repair_cmd =
           under the starting layout, extract repair candidates from the \
           hot-line forensics, apply the best one, and iterate to a \
           fixpoint.  With a workload, narrate the refinement; without \
-          one, print the suite-wide N/C/P/F comparison.")
+          one, print the suite-wide N/C/P/F comparison (static suite by \
+          default, the dynamic work-stealing family with $(b,--stealing)).")
     (telemetrize "repair"
        Term.(const run $ workload_opt_arg $ nprocs_arg $ scale_arg $ block_arg
-             $ layout_arg $ iters_arg $ jobs_arg $ json_arg))
+             $ layout_arg $ iters_arg $ sched_seed_arg $ stealing_arg
+             $ jobs_arg $ json_arg))
 
 (* --- timeline --- *)
 
@@ -481,13 +553,14 @@ let timeline_cmd =
          & info [ "o"; "output" ] ~docv:"FILE"
              ~doc:"Output file; \"-\" for stdout.  Default: <workload>.trace.json.")
   in
-  let run w nprocs scale block version out () =
+  let run w nprocs scale block version seed out () =
+    let sched = sched_of w seed in
     let scale = scale_of w scale in
     let prog = w.W.build ~nprocs ~scale in
     let plan = plan_of w version prog ~nprocs ~scale in
     let layout = Fs_layout.Layout.realize prog plan ~block in
     let tl = Fs_obs.Timeline.create ~nprocs in
-    let recorded = Sim.record prog ~nprocs in
+    let recorded = Sim.record ?sched prog ~nprocs in
     (* a cache rides along so each barrier release can drop one sample of
        the epoch's miss-class deltas onto a Chrome-trace counter track *)
     let cache = C.create (C.default_config ~nprocs ~block) in
@@ -532,7 +605,7 @@ let timeline_cmd =
           Perfetto.")
     (telemetrize "timeline"
        Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ block_arg
-             $ layout_arg $ out_arg))
+             $ layout_arg $ sched_seed_arg $ out_arg))
 
 (* --- check (.parc sources) --- *)
 
@@ -608,7 +681,8 @@ let profile_cmd =
              ~doc:"Packed events between flight-recorder samples.")
   in
   let blocks = [ 8; 16; 32; 64; 128; 256 ] in
-  let run w nprocs scale jobs interval json () =
+  let run w nprocs scale seed jobs interval json () =
+    let sched = sched_of w seed in
     let scale = scale_of w scale in
     (* the ambient recorder was installed by the telemetry scope; grab it
        so the report can render the tree this very command grew *)
@@ -622,7 +696,7 @@ let profile_cmd =
       Fs_obs.Span.timed "plan" (fun () -> Sim.compiler_plan prog ~nprocs)
     in
     let recorded =
-      Fs_obs.Span.timed "record" (fun () -> Sim.record prog ~nprocs)
+      Fs_obs.Span.timed "record" (fun () -> Sim.record ?sched prog ~nprocs)
     in
     (* the block sweep exercises the domain pool; its stats become the
        per-worker summary *)
@@ -682,8 +756,8 @@ let profile_cmd =
           sweep, and a flight-recorder digest of the fused replay hot \
           loop.")
     (telemetrize "profile"
-       Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ jobs_arg
-             $ interval_arg $ json_arg))
+       Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ sched_seed_arg
+             $ jobs_arg $ interval_arg $ json_arg))
 
 (* --- serve --- *)
 
@@ -822,7 +896,8 @@ let print_trace_stat ~heading path =
   | _ -> assert false
 
 let trace_record_cmd =
-  let run w nprocs scale out fmt block_events json () =
+  let run w nprocs scale seed out fmt block_events json () =
+    let sched = sched_of w seed in
     let scale = scale_of w scale in
     let prog = w.W.build ~nprocs ~scale in
     let path = Option.value out ~default:(w.W.name ^ ".fstrace") in
@@ -838,7 +913,7 @@ let trace_record_cmd =
        legitimately push a capture past the default nontermination
        guard, so run unguarded *)
     (match
-       Fs_interp.Interp.run_cells ~max_steps:max_int prog ~nprocs
+       Fs_interp.Interp.run_cells ~max_steps:max_int ?sched prog ~nprocs
          ~cells:(Ct.Writer.recorder wr)
      with
     | _ -> Ct.Writer.close wr
@@ -877,8 +952,8 @@ let trace_record_cmd =
           to disk (constant memory however long the run; use $(b,--scale) \
           to size it).")
     (telemetrize "trace-record"
-       Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ trace_out_arg
-             $ trace_format_arg $ block_events_arg $ json_arg))
+       Term.(const run $ workload_arg $ nprocs_arg $ scale_arg $ sched_seed_arg
+             $ trace_out_arg $ trace_format_arg $ block_events_arg $ json_arg))
 
 let trace_stat_cmd =
   let run path json () =

@@ -20,6 +20,9 @@ let analyze (prog : Ast.program) =
         | None -> ())
     | Ast.Store _ | Ast.Set _ | Ast.Decl _ | Ast.Return _ | Ast.Lock _
     | Ast.Unlock _ -> ()
+    (* Spawned bodies cannot contain barriers (Validate.check_task_barriers),
+       and sync is a task join, not a global phase boundary. *)
+    | Ast.Spawn _ | Ast.Sync -> ()
   in
   (match List.find_opt (fun (f : Ast.func) -> f.fname = prog.entry) prog.funcs with
    | Some f -> walk_block [ prog.entry ] 0 f.body

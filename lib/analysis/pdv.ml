@@ -40,7 +40,7 @@ let analyze (prog : Ast.program) : t =
               if expr_dep f.fname e then mark f.fname n
             | Ast.For (n, lo, hi, _) ->
               if expr_dep f.fname lo || expr_dep f.fname hi then mark f.fname n
-            | Ast.Call { callee; args; _ } -> (
+            | Ast.Call { callee; args; _ } | Ast.Spawn { callee; args } -> (
               match List.find_opt (fun (g : Ast.func) -> g.fname = callee) prog.funcs with
               | None -> ()
               | Some g ->

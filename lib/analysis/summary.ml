@@ -284,6 +284,20 @@ and walk_stmt w env ~weight ~stack (s : Ast.stmt) : env =
          ()
        | None -> ());
     (match ret with Some n -> (n, Sym.Unknown) :: env | None -> env)
+  | Spawn { callee; args } ->
+    (* The static analyses cannot know which process a stolen task lands
+       on; attribute the task body to the spawning process, exactly the
+       approximation the paper's compile-time planner is stuck with. *)
+    let argvals = List.map (fun a -> eval w env ~weight a) args in
+    (if not (List.mem callee stack) then
+       match List.find_opt (fun (f : Ast.func) -> f.fname = callee) w.prog.funcs with
+       | Some f ->
+         let cenv = List.combine f.params argvals in
+         let _ = walk_block w cenv ~weight ~stack:(callee :: stack) f.body in
+         ()
+       | None -> ());
+    env
+  | Sync -> env
   | Return e ->
     (match e with Some e -> ignore (eval w env ~weight e) | None -> ());
     env

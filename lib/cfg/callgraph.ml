@@ -14,7 +14,7 @@ let direct_callees (f : Ast.func) =
   Ast.iter_stmts
     (fun s ->
       match s with
-      | Ast.Call { callee; _ } ->
+      | Ast.Call { callee; _ } | Ast.Spawn { callee; _ } ->
         if not (Hashtbl.mem seen callee) then begin
           Hashtbl.add seen callee ();
           acc := callee :: !acc

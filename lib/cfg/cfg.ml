@@ -39,8 +39,8 @@ let link b src dst =
    block's fallthrough (conservatively ignored here — the graph
    over-approximates flow, which is the safe direction for analysis). *)
 let is_simple = function
-  | Ast.Store _ | Ast.Set _ | Ast.Decl _ | Ast.Call _ | Ast.Return _
-  | Ast.Barrier | Ast.Lock _ | Ast.Unlock _ -> true
+  | Ast.Store _ | Ast.Set _ | Ast.Decl _ | Ast.Call _ | Ast.Spawn _
+  | Ast.Sync | Ast.Return _ | Ast.Barrier | Ast.Lock _ | Ast.Unlock _ -> true
   | Ast.If _ | Ast.While _ | Ast.For _ -> false
 
 (* Compile a block; returns the node every path of the block exits from. *)

@@ -52,14 +52,15 @@ let cell_range prog layout ~block var blk =
       vl.Layout.addr;
     if !hi < 0 then (-1, -1) else (!lo, !hi)
 
-let attribute ?(cache_bytes = 32 * 1024) ?(assoc = 4) prog plan ~nprocs ~block =
+let attribute ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?sched prog plan ~nprocs
+    ~block =
   let layout = Layout.realize prog plan ~block in
   let cache =
     Mpcache.create ~track_blocks:true ~max_addr:(Layout.size layout)
       { Mpcache.nprocs; block; cache_bytes; assoc }
   in
   let _ =
-    Interp.run_to_sink prog ~nprocs ~layout ~sink:(Mpcache.sink cache)
+    Interp.run_to_sink ?sched prog ~nprocs ~layout ~sink:(Mpcache.sink cache)
   in
   let dominant = block_owner prog layout ~block in
   let per_var : (string, Mpcache.counts * int ref) Hashtbl.t = Hashtbl.create 32 in

@@ -42,6 +42,7 @@ type row = {
 val attribute :
   ?cache_bytes:int ->
   ?assoc:int ->
+  ?sched:Fs_sched.Sched.config ->
   Fs_ir.Ast.program ->
   Fs_layout.Plan.t ->
   nprocs:int ->

@@ -28,10 +28,10 @@ type t = {
   hot : hot_block list;
 }
 
-let analyze ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?(top = 10) ?recorded prog
-    plan ~nprocs ~block =
+let analyze ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?(top = 10) ?sched
+    ?recorded prog plan ~nprocs ~block =
   let recorded =
-    match recorded with Some r -> r | None -> Sim.record prog ~nprocs
+    match recorded with Some r -> r | None -> Sim.record ?sched prog ~nprocs
   in
   let layout = Layout.realize prog plan ~block in
   let cache =

@@ -40,6 +40,7 @@ val analyze :
   ?cache_bytes:int ->
   ?assoc:int ->
   ?top:int ->
+  ?sched:Fs_sched.Sched.config ->
   ?recorded:Sim.recorded ->
   Fs_ir.Ast.program ->
   Fs_layout.Plan.t ->

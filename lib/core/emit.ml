@@ -176,6 +176,8 @@ let workloads ws =
                 (List.map
                    (fun v -> Json.String (Workload.version_to_string v))
                    w.versions));
+             ("scheduling",
+              Json.String (if w.dynamic then "dynamic" else "static"));
              ("fig3_procs", Json.Int w.fig3_procs);
              ("default_scale", Json.Int w.default_scale) ])
        ws)

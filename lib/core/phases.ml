@@ -133,6 +133,10 @@ let cross_check prog ~nprocs epochs =
   let locks = lock_vars prog in
   let allowed epoch_index var =
     List.mem var locks
+    (* scheduler globals only exist at run time: the static analyses
+       never see the deque traffic, so like lock words their
+       write-sharing is expected, not a violation *)
+    || Fs_sched.Sched.is_sched_var var
     ||
     match mapping with
     | Exact -> Hashtbl.mem predicted.(epoch_index) var
@@ -152,10 +156,10 @@ let cross_check prog ~nprocs epochs =
 
 (* ------------------------------------------------------------------ *)
 
-let analyze ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?recorded prog plan
+let analyze ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?sched ?recorded prog plan
     ~nprocs ~block =
   let recorded =
-    match recorded with Some r -> r | None -> Sim.record prog ~nprocs
+    match recorded with Some r -> r | None -> Sim.record ?sched prog ~nprocs
   in
   let layout = Layout.realize prog plan ~block in
   let cache =

@@ -25,7 +25,9 @@
     not a data-layout prediction.  Any variable that fails the check is
     reported as a {!violation}: either the static analysis lost
     soundness or the trace disagrees with the phase structure, and both
-    are worth knowing. *)
+    are worth knowing.  Scheduler globals ([__sched_*]) are exempt like
+    lock words: their deque traffic exists only at run time and is
+    invisible to the static analyses by design. *)
 
 type epoch = {
   index : int;
@@ -76,6 +78,7 @@ val tracker :
 val analyze :
   ?cache_bytes:int ->
   ?assoc:int ->
+  ?sched:Fs_sched.Sched.config ->
   ?recorded:Sim.recorded ->
   Fs_ir.Ast.program ->
   Fs_layout.Plan.t ->

@@ -64,7 +64,7 @@ let ingest_machine metrics (r : Ksr.result) =
     r.sync_stall
 
 let run ?options ?(machine = false) ?(epochs = false) ?(shards = 1) ?pool ?plan
-    ?profile prog ~nprocs ~block =
+    ?profile ?sched prog ~nprocs ~block =
   Span.timed "pipeline"
     ~attrs:
       [ ("nprocs", string_of_int nprocs); ("block", string_of_int block) ]
@@ -116,7 +116,7 @@ let run ?options ?(machine = false) ?(epochs = false) ?(shards = 1) ?pool ?plan
         Profile.time profile "interp"
           ~events:(fun (r : Sim.recorded) ->
             Array.fold_left ( + ) 0 r.interp.Interp.accesses)
-          (fun () -> Sim.record prog ~nprocs))
+          (fun () -> Sim.record ?sched prog ~nprocs))
   in
   let cache_config = Mpcache.default_config ~nprocs ~block in
   (* the sharded route covers everything the result surface needs (the

@@ -27,6 +27,7 @@ val run :
   ?pool:Fs_util.Par.Pool.t ->
   ?plan:Fs_layout.Plan.t ->
   ?profile:Fs_obs.Profile.t ->
+  ?sched:Fs_sched.Sched.config ->
   Fs_ir.Ast.program ->
   nprocs:int ->
   block:int ->
@@ -43,6 +44,7 @@ val run :
     for the simulated layout (the compiler analysis still runs and is
     profiled); by default the compiler's own plan is simulated.
     [profile] lets the caller pre-record phases of its own (e.g.
-    parsing) into the same table. *)
+    parsing) into the same table.  [sched] seeds the work-stealing
+    runtime; required for programs using [spawn]/[sync]. *)
 
 val to_json : t -> Fs_obs.Json.t

@@ -7,8 +7,8 @@ module Ksr = Fs_machine.Ksr
 
 type recorded = { trace : Fs_trace.Cell_trace.t; interp : Interp.result }
 
-let record ?quantum ?max_steps prog ~nprocs =
-  let trace, interp = Interp.record ?quantum ?max_steps prog ~nprocs in
+let record ?quantum ?max_steps ?sched prog ~nprocs =
+  let trace, interp = Interp.record ?quantum ?max_steps ?sched prog ~nprocs in
   { trace; interp }
 
 type cache_run = {
@@ -19,9 +19,9 @@ type cache_run = {
 }
 
 let cache_sim ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?(track_blocks = false)
-    ?flight ?(shards = 1) ?pool ?recorded prog plan ~nprocs ~block =
+    ?flight ?(shards = 1) ?pool ?sched ?recorded prog plan ~nprocs ~block =
   let recorded =
-    match recorded with Some r -> r | None -> record prog ~nprocs
+    match recorded with Some r -> r | None -> record ?sched prog ~nprocs
   in
   let layout = Layout.realize prog plan ~block in
   let config = { Mpcache.nprocs; block; cache_bytes; assoc } in
@@ -58,12 +58,12 @@ let cache_sim ?(cache_bytes = 32 * 1024) ?(assoc = 4) ?(track_blocks = false)
 
 type timed_run = { machine : Ksr.result; work : int array }
 
-let machine_sim ?config ?recorded prog plan ~nprocs =
+let machine_sim ?config ?sched ?recorded prog plan ~nprocs =
   let config =
     match config with Some c -> c | None -> Ksr.default_config ~nprocs
   in
   let recorded =
-    match recorded with Some r -> r | None -> record prog ~nprocs
+    match recorded with Some r -> r | None -> record ?sched prog ~nprocs
   in
   let layout = Layout.realize prog plan ~block:config.Ksr.block in
   let machine = Ksr.create config in

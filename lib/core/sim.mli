@@ -15,10 +15,12 @@ type recorded = {
 val record :
   ?quantum:int ->
   ?max_steps:int ->
+  ?sched:Fs_sched.Sched.config ->
   Fs_ir.Ast.program ->
   nprocs:int ->
   recorded
-(** Interpret once, layout-free. *)
+(** Interpret once, layout-free.  [sched] seeds the work-stealing
+    runtime and is required for programs that use [spawn]/[sync]. *)
 
 type cache_run = {
   counts : Fs_cache.Mpcache.counts;
@@ -35,6 +37,7 @@ val cache_sim :
   ?flight:Fs_replay.Flight.t ->
   ?shards:int ->
   ?pool:Fs_util.Par.Pool.t ->
+  ?sched:Fs_sched.Sched.config ->
   ?recorded:recorded ->
   Fs_ir.Ast.program ->
   Fs_layout.Plan.t ->
@@ -58,6 +61,7 @@ type timed_run = {
 
 val machine_sim :
   ?config:Fs_machine.Ksr.config ->
+  ?sched:Fs_sched.Sched.config ->
   ?recorded:recorded ->
   Fs_ir.Ast.program ->
   Fs_layout.Plan.t ->

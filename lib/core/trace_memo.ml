@@ -9,8 +9,17 @@ module Par = Fs_util.Par
    capture that is converted, re-recorded, or replaced between lookups
    therefore misses instead of aliasing the stale in-memory entry; with
    no capture dir the stamp is empty and keys degenerate to the plain
-   (workload, nprocs, scale) triple. *)
-type key = { workload : string; nprocs : int; scale : int; stamp : string }
+   (workload, nprocs, scale, seed) tuple.  [seed] is the scheduler seed
+   for dynamic (task-parallel) workloads: it changes the recorded
+   schedule, so it is part of the trace's identity, in memory and in the
+   capture filename alike. *)
+type key = {
+  workload : string;
+  nprocs : int;
+  scale : int;
+  seed : int option;
+  stamp : string;
+}
 
 type entry = {
   prog : Fs_ir.Ast.program;
@@ -69,8 +78,11 @@ let read_coalesced () = locked (fun () -> stats.coalesced)
 (* ------------------------------------------------------------------ *)
 
 let path_of dir k =
+  let seed =
+    match k.seed with None -> "" | Some s -> Printf.sprintf "-seed%d" s
+  in
   Filename.concat dir
-    (Printf.sprintf "%s-p%d-s%d.fstrace" k.workload k.nprocs k.scale)
+    (Printf.sprintf "%s-p%d-s%d%s.fstrace" k.workload k.nprocs k.scale seed)
 
 let stamp_of dir k =
   match dir with
@@ -107,6 +119,9 @@ let result_of_trace trace =
     accesses;
     barrier_episodes = !barriers;
     store = Hashtbl.create 1;
+    (* full runtime counters (tasks, attempts) are not in the stream;
+       consumers wanting steal counts scan the trace's Steal events *)
+    sched = None;
   }
 
 let compute dir (w : Workload.t) k =
@@ -136,7 +151,8 @@ let compute dir (w : Workload.t) k =
     (e, true)
   | None ->
     Fs_obs.Span.note "source" "interp";
-    let trace, interp = Interp.record prog ~nprocs:k.nprocs in
+    let sched = Option.map Fs_sched.Sched.seeded k.seed in
+    let trace, interp = Interp.record ?sched prog ~nprocs:k.nprocs in
     (match dir with
      | Some d when Sys.file_exists d -> Cell_trace.write_file trace (path_of d k)
      | _ -> ());
@@ -174,8 +190,8 @@ let find k =
     Some e
   | None -> None
 
-let key_of dir (w : Workload.t) ~nprocs ~scale =
-  let base = { workload = w.Workload.name; nprocs; scale; stamp = "" } in
+let key_of dir (w : Workload.t) ~seed ~nprocs ~scale =
+  let base = { workload = w.Workload.name; nprocs; scale; seed; stamp = "" } in
   { base with stamp = stamp_of dir base }
 
 (* under [lock]: computing [k] may have created or rewritten the capture
@@ -205,9 +221,9 @@ let release k =
   Hashtbl.remove inflight k;
   Condition.broadcast cond
 
-let rec get (w : Workload.t) ~nprocs ~scale =
+let rec get ?seed (w : Workload.t) ~nprocs ~scale =
   let dir = locked (fun () -> !capture_dir) in
-  let k = key_of dir w ~nprocs ~scale in
+  let k = key_of dir w ~seed ~nprocs ~scale in
   let action =
     locked (fun () ->
         match find k with
@@ -220,7 +236,7 @@ let rec get (w : Workload.t) ~nprocs ~scale =
     (* the leader finished (or failed); its entry is in the table unless
        it was evicted or raised — either way the re-check does the right
        thing *)
-    get w ~nprocs ~scale
+    get ?seed w ~nprocs ~scale
   | `Compute -> (
     match compute dir w k with
     | e, from_disk ->
@@ -233,11 +249,11 @@ let rec get (w : Workload.t) ~nprocs ~scale =
       locked (fun () -> release k);
       raise ex)
 
-let get_all ?jobs configs =
+let get_all ?jobs ?seed configs =
   let dir = locked (fun () -> !capture_dir) in
   let keyed =
     List.map
-      (fun (w, nprocs, scale) -> (w, key_of dir w ~nprocs ~scale))
+      (fun (w, nprocs, scale) -> (w, key_of dir w ~seed ~nprocs ~scale))
       configs
   in
   let cached = locked (fun () -> List.map (fun (_, k) -> find k) keyed) in
@@ -281,5 +297,5 @@ let get_all ?jobs configs =
       | None -> (
         match List.assoc_opt k computed with
         | Some (e, _) -> e
-        | None -> get w ~nprocs:k.nprocs ~scale:k.scale))
+        | None -> get ?seed:k.seed w ~nprocs:k.nprocs ~scale:k.scale))
     keyed cached

@@ -27,7 +27,15 @@
     converted or replaced on disk misses and reloads instead of aliasing
     the stale in-memory entry. *)
 
-type key = { workload : string; nprocs : int; scale : int; stamp : string }
+type key = {
+  workload : string;
+  nprocs : int;
+  scale : int;
+  seed : int option;
+      (** scheduler seed for dynamic workloads; part of the trace's
+          identity (capture files gain a [-seed<n>] suffix) *)
+  stamp : string;
+}
 
 type entry = {
   prog : Fs_ir.Ast.program;
@@ -35,11 +43,14 @@ type entry = {
   interp : Fs_interp.Interp.result;
 }
 
-val get : Fs_workloads.Workload.t -> nprocs:int -> scale:int -> entry
-(** Cached, or interpreted (or disk-loaded) on miss. *)
+val get :
+  ?seed:int -> Fs_workloads.Workload.t -> nprocs:int -> scale:int -> entry
+(** Cached, or interpreted (or disk-loaded) on miss.  [seed] seeds the
+    work-stealing runtime and must be given for dynamic workloads. *)
 
 val get_all :
   ?jobs:int ->
+  ?seed:int ->
   (Fs_workloads.Workload.t * int * int) list ->
   entry list
 (** [(workload, nprocs, scale)] configurations, result in input order.

@@ -418,7 +418,8 @@ let removed_fraction t =
   if fs0 = 0 then 0.
   else float_of_int (fs0 - t.final.Mpcache.false_sh) /. float_of_int fs0
 
-let refine ?(options = default_options) ?recorded prog plan0 ~nprocs ~block =
+let refine ?(options = default_options) ?sched ?recorded prog plan0 ~nprocs
+    ~block =
   Fs_obs.Span.timed "refine"
     ~attrs:
       [ ("nprocs", string_of_int nprocs);
@@ -427,7 +428,7 @@ let refine ?(options = default_options) ?recorded prog plan0 ~nprocs ~block =
   @@ fun () ->
   Plan.validate prog plan0;
   let recorded =
-    match recorded with Some r -> r | None -> Sim.record prog ~nprocs
+    match recorded with Some r -> r | None -> Sim.record ?sched prog ~nprocs
   in
   let eval plan =
     let run =

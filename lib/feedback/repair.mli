@@ -124,6 +124,7 @@ type t = {
 
 val refine :
   ?options:options ->
+  ?sched:Fs_sched.Sched.config ->
   ?recorded:Falseshare.Sim.recorded ->
   Fs_ir.Ast.program ->
   Fs_layout.Plan.t ->

@@ -173,3 +173,141 @@ let to_json rows =
               | Some f -> refined_json f);
              ("locks_repaired", Json.Bool r.locks_repaired) ])
        rows)
+
+(* ------------------------------------------------------------------ *)
+(* The stealing table: N/C/F over the dynamic workload family.  The
+   compiler version is planned from the AST, which shows neither the
+   scheduler's deque traffic nor which process a stolen task's writes
+   land on — so C leaves residual false sharing that the profile-guided
+   repair removes.  The deque columns isolate the scheduler's own share:
+   false-sharing misses on blocks owned by the [__sched_] globals.      *)
+
+module Sched = Fs_sched.Sched
+module Attribution = Falseshare.Attribution
+module Layout = Fs_layout.Layout
+module Cell_trace = Fs_trace.Cell_trace
+module Cell_event = Fs_trace.Cell_event
+
+type steal_row = {
+  sname : string;
+  sprocs : int;
+  sblock : int;
+  sseed : int;
+  stasks : int;   (** tasks spawned (0 for a disk-loaded trace) *)
+  ssteals : int;  (** steal events in the trace *)
+  sunopt : cell;
+  scompiler : cell;
+  sfeedback : refined;
+  deque_fs_c : int;  (** false-sharing misses on scheduler blocks under C *)
+  deque_fs_f : int;  (** ... and after repair *)
+}
+
+let steal_count trace =
+  let n = ref 0 in
+  Cell_trace.iter
+    (function Cell_event.Steal _ -> incr n | _ -> ())
+    trace;
+  !n
+
+(* false-sharing misses charged to blocks the scheduler globals own *)
+let sched_fs ~recorded prog plan ~nprocs ~block =
+  let run = Sim.cache_sim ~track_blocks:true ~recorded prog plan ~nprocs ~block in
+  let layout = Layout.realize prog plan ~block in
+  let owner = Attribution.block_owner prog layout ~block in
+  List.fold_left
+    (fun acc (b, (c : Mpcache.counts)) ->
+      if Sched.is_sched_var (owner b) then acc + c.Mpcache.false_sh else acc)
+    0 run.Sim.per_block
+
+let stealing_table ?(blocks = [ 16; 128 ]) ?(seed = 42) ?scale_override
+    ?options ?jobs () =
+  let configs =
+    List.map
+      (fun (w : Workload.t) ->
+        (w, w.fig3_procs, Option.value scale_override ~default:w.default_scale))
+      Workloads.dynamic
+  in
+  let entries = Trace_memo.get_all ?jobs ~seed configs in
+  let tasks =
+    List.concat
+      (List.map2
+         (fun (w, nprocs, scale) (e : Trace_memo.entry) ->
+           let cplan = E.plan_for w Workload.C e.prog ~nprocs ~scale in
+           List.map (fun block -> (w, nprocs, e, cplan, block)) blocks)
+         configs entries)
+  in
+  Par.map ?jobs
+    (fun ((w : Workload.t), nprocs, (e : Trace_memo.entry), cplan, block) ->
+      let recorded = E.recorded_of e in
+      let counts plan =
+        cell_of_counts
+          (Sim.cache_sim ~recorded e.prog plan ~nprocs ~block).Sim.counts
+      in
+      let f = Repair.refine ?options ~recorded e.prog cplan ~nprocs ~block in
+      {
+        sname = w.name;
+        sprocs = nprocs;
+        sblock = block;
+        sseed = seed;
+        stasks =
+          (match e.interp.Fs_interp.Interp.sched with
+           | Some s -> s.Sched.tasks
+           | None -> 0);
+        ssteals = steal_count e.trace;
+        sunopt = counts Plan.empty;
+        scompiler = counts cplan;
+        sfeedback = refined_of f;
+        deque_fs_c = sched_fs ~recorded e.prog cplan ~nprocs ~block;
+        deque_fs_f = sched_fs ~recorded e.prog f.Repair.plan ~nprocs ~block;
+      })
+    tasks
+
+let render_stealing rows =
+  let header =
+    [ "program"; "P"; "block"; "tasks"; "steals"; "N FS"; "C FS"; "F FS";
+      "C->F removed"; "deque FS C"; "deque FS F"; "repairs" ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        let removed =
+          if r.scompiler.false_sharing = 0 then "-"
+          else
+            Table.pct
+              (rate
+                 (r.scompiler.false_sharing - r.sfeedback.rcell.false_sharing)
+                 r.scompiler.false_sharing)
+        in
+        [ r.sname;
+          string_of_int r.sprocs;
+          string_of_int r.sblock;
+          string_of_int r.stasks;
+          string_of_int r.ssteals;
+          string_of_int r.sunopt.false_sharing;
+          string_of_int r.scompiler.false_sharing;
+          string_of_int r.sfeedback.rcell.false_sharing;
+          removed;
+          string_of_int r.deque_fs_c;
+          string_of_int r.deque_fs_f;
+          String.concat "; " r.sfeedback.repairs ])
+      rows
+  in
+  Table.render ~header body
+
+let stealing_to_json rows =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [ ("program", Json.String r.sname);
+             ("procs", Json.Int r.sprocs);
+             ("block", Json.Int r.sblock);
+             ("seed", Json.Int r.sseed);
+             ("tasks", Json.Int r.stasks);
+             ("steals", Json.Int r.ssteals);
+             ("unopt", cell_json r.sunopt);
+             ("compiler", cell_json r.scompiler);
+             ("feedback", refined_json r.sfeedback);
+             ("deque_fs_compiler", Json.Int r.deque_fs_c);
+             ("deque_fs_feedback", Json.Int r.deque_fs_f) ])
+       rows)

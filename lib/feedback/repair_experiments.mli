@@ -54,3 +54,44 @@ val table :
 val render : row list -> string
 
 val to_json : row list -> Fs_obs.Json.t
+
+(** {1 The stealing table}
+
+    N / C / F over the dynamic (task-parallel) workload family, run on
+    the seeded work-stealing scheduler.  The compiler plan is produced
+    from the AST, which shows neither the scheduler's deque traffic nor
+    which process a stolen task's writes land on, so C leaves residual
+    false sharing; the repair loop removes it from the profile —
+    including padding the scheduler's own [__sched_top]/[__sched_bot]
+    index arrays. *)
+
+type steal_row = {
+  sname : string;
+  sprocs : int;
+  sblock : int;
+  sseed : int;       (** the scheduler seed the whole row ran under *)
+  stasks : int;      (** tasks spawned (0 for a disk-loaded trace) *)
+  ssteals : int;     (** steal events counted in the trace *)
+  sunopt : cell;
+  scompiler : cell;
+  sfeedback : refined;
+  deque_fs_c : int;
+      (** false-sharing misses on blocks owned by scheduler globals
+          under the compiler plan *)
+  deque_fs_f : int;  (** the same after repair *)
+}
+
+val stealing_table :
+  ?blocks:int list ->
+  ?seed:int ->
+  ?scale_override:int ->
+  ?options:Repair.options ->
+  ?jobs:int ->
+  unit ->
+  steal_row list
+(** One row per (dynamic workload, block); [blocks] defaults to
+    [[16; 128]], [seed] to 42.  Deterministic: same seed, same rows. *)
+
+val render_stealing : steal_row list -> string
+
+val stealing_to_json : steal_row list -> Fs_obs.Json.t

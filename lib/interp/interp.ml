@@ -4,6 +4,8 @@ module Layout = Fs_layout.Layout
 module Listener = Fs_trace.Listener
 module Cell_listener = Fs_trace.Cell_listener
 module Cell_trace = Fs_trace.Cell_trace
+module Sched = Fs_sched.Sched
+module Rng = Fs_util.Rng
 
 exception Runtime_error of string
 exception Deadlock of string
@@ -14,6 +16,7 @@ type result = {
   accesses : int array;
   barrier_episodes : int;
   store : (string, Value.t array) Hashtbl.t;
+  sched : Sched.stats option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -38,6 +41,45 @@ type ginfo = {
   values : Value.t array;     (* cell id -> current value *)
 }
 
+(* One activation frame per function invocation (entry, call, or task).
+   [sync] joins the frame's own spawned children — except in the entry
+   activation, where it waits for global quiescence so that processes
+   which spawned nothing still steal. *)
+type frame = { mutable fpending : int; fentry : bool }
+
+type env = { proc : int; privs : Value.t array; frame : frame }
+
+type compiled_fun = env -> Value.t option
+
+type task = {
+  t_id : int;
+  t_cf : compiled_fun ref;
+  t_args : Value.t array;
+  t_frame : frame;            (* spawning activation, for the join count *)
+}
+
+(* Shadow state of the per-process Chase–Lev-style deques.  Every state
+   transition is plain OCaml and therefore atomic with respect to the
+   coroutine scheduler; the matching cell traffic on the scheduler's
+   ParC globals is emitted afterwards (emitting can yield). *)
+type sched_state = {
+  s_cap : int;                     (* slots per process *)
+  s_deque : task option array array;
+  s_top : int array;               (* unbounded; slot = idx mod cap *)
+  s_bot : int array;
+  s_fails : int array;             (* consecutive failed random probes *)
+  s_rngs : Rng.t array;            (* per-process victim stream *)
+  s_g_top : ginfo;
+  s_g_bot : ginfo;
+  s_g_deq : ginfo;
+  mutable s_outstanding : int;     (* queued tasks not yet completed *)
+  mutable s_tasks_n : int;
+  mutable s_steals : int;
+  mutable s_attempts : int;
+  mutable s_inline : int;
+  mutable s_next_id : int;
+}
+
 type ctx = {
   prog : Ast.program;
   nprocs : int;
@@ -45,6 +87,7 @@ type ctx = {
   max_steps : int;
   cells : Cell_listener.t;
   ginfos : (string, ginfo) Hashtbl.t;
+  sched : sched_state option;
   pending : int array;        (* work units since last yield, per proc *)
   workpend : int array;       (* work units since last cells.work flush *)
   work : int array;
@@ -52,8 +95,6 @@ type ctx = {
   mutable total : int;
   mutable barrier_episodes : int;
 }
-
-type env = { proc : int; privs : Value.t array }
 
 let err fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
 
@@ -86,6 +127,142 @@ let emit ctx g ~write ~proc cell =
   tick ctx proc access_cost
 
 (* ------------------------------------------------------------------ *)
+(* The work-stealing task runtime behind [spawn]/[sync].
+
+   Help-first child stealing: the spawner pushes the child at the bottom
+   of its own deque and continues; idle processes pop their own bottom
+   (LIFO) or steal from a victim's top (FIFO).  Victims come from a
+   per-thief split PRNG stream seeded by the run's scheduler config, so
+   the whole execution is a pure function of (program, nprocs, seed).
+   After [nprocs - 1] consecutive failed random probes the thief sweeps
+   every victim deterministically, so progress never depends on luck.
+
+   The deque indices and slots are ParC globals ([Sched.top_var] etc.):
+   each operation below emits the cell traffic a real Chase–Lev deque
+   would generate, which is how the scheduler's own false sharing enters
+   the trace. *)
+
+let new_frame fentry = { fpending = 0; fentry }
+
+let[@inline] deq_cell s p idx = (p * s.s_cap) + (idx mod s.s_cap)
+
+let run_task _ctx s env (t : task) =
+  ignore (!(t.t_cf) { proc = env.proc; privs = t.t_args; frame = new_frame false });
+  t.t_frame.fpending <- t.t_frame.fpending - 1;
+  s.s_outstanding <- s.s_outstanding - 1
+
+let spawn_task ctx s env (cf : compiled_fun ref) argv =
+  let p = env.proc in
+  s.s_tasks_n <- s.s_tasks_n + 1;
+  if s.s_bot.(p) - s.s_top.(p) >= s.s_cap then begin
+    (* deque full: run in place — the fullness probe still reads top *)
+    s.s_inline <- s.s_inline + 1;
+    emit ctx s.s_g_top ~write:false ~proc:p p;
+    ignore (!cf { proc = p; privs = argv; frame = new_frame false })
+  end
+  else begin
+    let id = s.s_next_id in
+    s.s_next_id <- id + 1;
+    let b = s.s_bot.(p) in
+    s.s_deque.(p).(b mod s.s_cap) <-
+      Some { t_id = id; t_cf = cf; t_args = argv; t_frame = env.frame };
+    s.s_bot.(p) <- b + 1;
+    env.frame.fpending <- env.frame.fpending + 1;
+    s.s_outstanding <- s.s_outstanding + 1;
+    (* push: fullness check reads top, then the slot and bottom writes *)
+    emit ctx s.s_g_top ~write:false ~proc:p p;
+    let cell = deq_cell s p b in
+    s.s_g_deq.values.(cell) <- Value.Vint id;
+    emit ctx s.s_g_deq ~write:true ~proc:p cell;
+    s.s_g_bot.values.(p) <- Value.Vint (b + 1);
+    emit ctx s.s_g_bot ~write:true ~proc:p p
+  end
+
+let pop_own ctx s p =
+  if s.s_bot.(p) - s.s_top.(p) <= 0 then None
+  else begin
+    let b = s.s_bot.(p) - 1 in
+    s.s_bot.(p) <- b;
+    let t = s.s_deque.(p).(b mod s.s_cap) in
+    s.s_deque.(p).(b mod s.s_cap) <- None;
+    (* owner pop: bottom write, top race check, slot read *)
+    s.s_g_bot.values.(p) <- Value.Vint b;
+    emit ctx s.s_g_bot ~write:true ~proc:p p;
+    emit ctx s.s_g_top ~write:false ~proc:p p;
+    emit ctx s.s_g_deq ~write:false ~proc:p (deq_cell s p b);
+    t
+  end
+
+let steal_from ctx s ~thief ~victim =
+  s.s_attempts <- s.s_attempts + 1;
+  if s.s_bot.(victim) - s.s_top.(victim) <= 0 then begin
+    (* failed probe: the thief still reads both ends of the victim's deque *)
+    emit ctx s.s_g_top ~write:false ~proc:thief victim;
+    emit ctx s.s_g_bot ~write:false ~proc:thief victim;
+    None
+  end
+  else begin
+    let tp = s.s_top.(victim) in
+    let t = s.s_deque.(victim).(tp mod s.s_cap) in
+    s.s_deque.(victim).(tp mod s.s_cap) <- None;
+    s.s_top.(victim) <- tp + 1;
+    emit ctx s.s_g_top ~write:false ~proc:thief victim;
+    emit ctx s.s_g_bot ~write:false ~proc:thief victim;
+    emit ctx s.s_g_deq ~write:false ~proc:thief (deq_cell s victim tp);
+    s.s_g_top.values.(victim) <- Value.Vint (tp + 1);
+    emit ctx s.s_g_top ~write:true ~proc:thief victim;
+    (match t with
+     | Some t ->
+       s.s_steals <- s.s_steals + 1;
+       flush_work ctx thief;
+       ctx.cells.Cell_listener.steal ~thief ~victim ~task:t.t_id
+     | None -> ());
+    t
+  end
+
+let try_steal ctx s p =
+  let n = ctx.nprocs in
+  if n <= 1 then None
+  else
+    let v = (p + 1 + Rng.int s.s_rngs.(p) (n - 1)) mod n in
+    match steal_from ctx s ~thief:p ~victim:v with
+    | Some _ as r ->
+      s.s_fails.(p) <- 0;
+      r
+    | None ->
+      s.s_fails.(p) <- s.s_fails.(p) + 1;
+      if s.s_fails.(p) < n - 1 then None
+      else begin
+        s.s_fails.(p) <- 0;
+        let rec sweep k =
+          if k >= n then None
+          else
+            match steal_from ctx s ~thief:p ~victim:((p + k) mod n) with
+            | Some _ as r -> r
+            | None -> sweep (k + 1)
+        in
+        sweep 1
+      end
+
+let rec sched_sync ctx s env =
+  let done_ () =
+    if env.frame.fentry then s.s_outstanding = 0 else env.frame.fpending <= 0
+  in
+  if not (done_ ()) then begin
+    (match pop_own ctx s env.proc with
+     | Some t -> run_task ctx s env t
+     | None -> (
+       match try_steal ctx s env.proc with
+       | Some t -> run_task ctx s env t
+       | None ->
+         (* nothing visible to run: burn a unit and let the others go *)
+         tick ctx env.proc 1;
+         ctx.pending.(env.proc) <- 0;
+         Effect.perform Yield));
+    sched_sync ctx s env
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Compilation of the AST to closures.                                 *)
 
 (* Private variables of a function are slot-allocated, flow-insensitively:
@@ -102,8 +279,6 @@ let slot_table (f : Ast.func) =
       | _ -> ())
     f.body;
   slots
-
-type compiled_fun = env -> Value.t option
 
 let compile ctx =
   let prog = ctx.prog in
@@ -268,11 +443,35 @@ let compile ctx =
         fun env ->
           tick ctx env.proc 1;
           let argv = Array.map (fun ce -> ce env) cargs in
-          let res = !cf { env with privs = argv } in
+          let callee_frame =
+            (* frames only matter to the task runtime; without it, reusing
+               the caller's frame saves an allocation per call *)
+            match ctx.sched with None -> env.frame | Some _ -> new_frame false
+          in
+          let res = !cf { proc = env.proc; privs = argv; frame = callee_frame } in
           (match (rslot, res) with
            | None, _ -> ()
            | Some s, Some v -> env.privs.(s) <- v
            | Some _, None -> err "function %s returned no value" callee)
+      | Spawn { callee; args } ->
+        let cf =
+          match Hashtbl.find_opt funs callee with
+          | Some r -> r
+          | None -> err "spawn of unknown function %s" callee
+        in
+        let cargs = Array.of_list (List.map compile_expr args) in
+        fun env ->
+          tick ctx env.proc 1;
+          let argv = Array.map (fun ce -> ce env) cargs in
+          (match ctx.sched with
+           | Some s -> spawn_task ctx s env cf argv
+           | None -> err "spawn executed without an active scheduler")
+      | Sync ->
+        fun env ->
+          tick ctx env.proc 1;
+          (match ctx.sched with
+           | Some s -> sched_sync ctx s env
+           | None -> err "sync executed without an active scheduler")
       | Return e ->
         let ce = Option.map compile_expr e in
         fun env ->
@@ -345,7 +544,8 @@ type lockinfo = {
   waiters : (int * (unit, unit) Effect.Deep.continuation) Queue.t;
 }
 
-let run_cells ?(quantum = 12) ?(max_steps = 400_000_000) prog ~nprocs ~cells =
+let run_cells ?(quantum = 12) ?(max_steps = 400_000_000) ?sched prog ~nprocs
+    ~cells =
   if nprocs <= 0 then invalid_arg "Interp.run: nprocs must be positive";
   (match Fs_ir.Validate.check prog with
    | Ok () -> ()
@@ -356,6 +556,50 @@ let run_cells ?(quantum = 12) ?(max_steps = 400_000_000) prog ~nprocs ~cells =
       let n = Cells.count prog gty in
       Hashtbl.add ginfos name { gty; vid; values = Array.make n Value.zero })
     prog.Ast.globals;
+  let sched_state =
+    let uses = Sched.uses_tasks prog in
+    match sched with
+    | Some cfg when uses ->
+      let cap =
+        match Sched.deque_cap ~nprocs prog with
+        | Some c -> c
+        | None ->
+          err
+            "program uses spawn/sync but lacks the scheduler globals; \
+             build it through Sched.instrument"
+      in
+      let gi name =
+        match Hashtbl.find_opt ginfos name with
+        | Some g -> g
+        | None -> err "scheduler global %s missing" name
+      in
+      let master = Rng.create cfg.Sched.seed in
+      Some
+        {
+          s_cap = cap;
+          s_deque = Array.init nprocs (fun _ -> Array.make cap None);
+          s_top = Array.make nprocs 0;
+          s_bot = Array.make nprocs 0;
+          s_fails = Array.make nprocs 0;
+          s_rngs = Array.init nprocs (fun _ -> Rng.split master);
+          s_g_top = gi Sched.top_var;
+          s_g_bot = gi Sched.bot_var;
+          s_g_deq = gi Sched.deq_var;
+          s_outstanding = 0;
+          s_tasks_n = 0;
+          s_steals = 0;
+          s_attempts = 0;
+          s_inline = 0;
+          s_next_id = 0;
+        }
+    | _ ->
+      if uses then
+        raise
+          (Runtime_error
+             "program uses spawn/sync: a scheduler seed is required (pass \
+              --sched-seed)");
+      None
+  in
   let ctx =
     {
       prog;
@@ -364,6 +608,7 @@ let run_cells ?(quantum = 12) ?(max_steps = 400_000_000) prog ~nprocs ~cells =
       max_steps;
       cells;
       ginfos;
+      sched = sched_state;
       pending = Array.make nprocs 0;
       workpend = Array.make nprocs 0;
       work = Array.make nprocs 0;
@@ -411,7 +656,7 @@ let run_cells ?(quantum = 12) ?(max_steps = 400_000_000) prog ~nprocs ~cells =
   in
   let run_proc proc =
     let body () =
-      let res = entry { proc; privs = [||] } in
+      let res = entry { proc; privs = [||]; frame = new_frame true } in
       ignore res;
       flush_work ctx proc
     in
@@ -515,24 +760,38 @@ let run_cells ?(quantum = 12) ?(max_steps = 400_000_000) prog ~nprocs ~cells =
     accesses = ctx.accesses;
     barrier_episodes = ctx.barrier_episodes;
     store;
+    sched =
+      Option.map
+        (fun s ->
+          {
+            Sched.tasks = s.s_tasks_n;
+            steals = s.s_steals;
+            steal_attempts = s.s_attempts;
+            inline_runs = s.s_inline;
+          })
+        sched_state;
   }
 
 let vars prog = Array.of_list (List.map fst prog.Ast.globals)
 
-let record ?quantum ?max_steps prog ~nprocs =
+let record ?quantum ?max_steps ?sched prog ~nprocs =
   let trace = Cell_trace.create ~vars:(vars prog) ~nprocs in
-  let r = run_cells ?quantum ?max_steps prog ~nprocs ~cells:(Cell_trace.recorder trace) in
+  let r =
+    run_cells ?quantum ?max_steps ?sched prog ~nprocs
+      ~cells:(Cell_trace.recorder trace)
+  in
   (trace, r)
 
-let run ?quantum ?max_steps prog ~nprocs ~layout ~listener =
+let run ?quantum ?max_steps ?sched prog ~nprocs ~layout ~listener =
   (* the direct path: translation through the layout's address oracle
      happens inline, as each event is produced *)
   let oracle = Fs_replay.Replay.oracle layout ~vars:(vars prog) in
-  run_cells ?quantum ?max_steps prog ~nprocs
+  run_cells ?quantum ?max_steps ?sched prog ~nprocs
     ~cells:(Fs_replay.Replay.translating oracle listener)
 
-let run_to_sink ?quantum ?max_steps prog ~nprocs ~layout ~sink =
-  run ?quantum ?max_steps prog ~nprocs ~layout ~listener:(Listener.of_sink sink)
+let run_to_sink ?quantum ?max_steps ?sched prog ~nprocs ~layout ~sink =
+  run ?quantum ?max_steps ?sched prog ~nprocs ~layout
+    ~listener:(Listener.of_sink sink)
 
 let read_global r name cell =
   match Hashtbl.find_opt r.store name with

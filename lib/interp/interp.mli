@@ -35,26 +35,39 @@ type result = {
   accesses : int array;    (** shared-memory references per processor *)
   barrier_episodes : int;  (** completed global barriers *)
   store : (string, Value.t array) Hashtbl.t;  (** final shared memory *)
+  sched : Fs_sched.Sched.stats option;
+      (** task-runtime counters; [Some] exactly when the program uses
+          [spawn]/[sync] and a scheduler config was supplied *)
 }
 
 val run_cells :
   ?quantum:int ->
   ?max_steps:int ->
+  ?sched:Fs_sched.Sched.config ->
   Fs_ir.Ast.program ->
   nprocs:int ->
   cells:Fs_trace.Cell_listener.t ->
   result
 (** The layout-free core: one interpreted execution, events delivered at
-    cell granularity.  Everything else is a wrapper. *)
+    cell granularity.  Everything else is a wrapper.
+
+    [sched] seeds the deterministic work-stealing runtime executing any
+    [spawn]/[sync] in the program (see {!Fs_sched.Sched}); running a
+    task-parallel program without it is a [Runtime_error] — never a
+    silent default, because the seed is part of the experiment's
+    identity.  For programs without tasks, [sched] is ignored. *)
 
 val record :
   ?quantum:int ->
   ?max_steps:int ->
+  ?sched:Fs_sched.Sched.config ->
   Fs_ir.Ast.program ->
   nprocs:int ->
   Fs_trace.Cell_trace.t * result
 (** Interpret once, capturing the full cell-event stream for later
-    replay under any layout. *)
+    replay under any layout.  Identical [sched] seeds give bit-identical
+    traces; steals appear as [Cell_event.Steal] alongside the deque cell
+    traffic. *)
 
 val vars : Fs_ir.Ast.program -> string array
 (** Variable ids in declaration order, as used by cell events. *)
@@ -62,6 +75,7 @@ val vars : Fs_ir.Ast.program -> string array
 val run :
   ?quantum:int ->
   ?max_steps:int ->
+  ?sched:Fs_sched.Sched.config ->
   Fs_ir.Ast.program ->
   nprocs:int ->
   layout:Fs_layout.Layout.t ->
@@ -79,6 +93,7 @@ val run :
 val run_to_sink :
   ?quantum:int ->
   ?max_steps:int ->
+  ?sched:Fs_sched.Sched.config ->
   Fs_ir.Ast.program ->
   nprocs:int ->
   layout:Fs_layout.Layout.t ->

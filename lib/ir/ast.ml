@@ -35,6 +35,8 @@ type stmt =
   | While of expr * block
   | For of string * expr * expr * block
   | Call of { ret : string option; callee : string; args : expr list }
+  | Spawn of { callee : string; args : expr list }
+  | Sync
   | Return of expr option
   | Barrier
   | Lock of lvalue
@@ -75,17 +77,18 @@ let iter_exprs_stmt f = function
   | Set (_, e) | Decl (_, e) -> f e
   | If (c, _, _) | While (c, _) -> f c
   | For (_, lo, hi, _) -> f lo; f hi
-  | Call { args; _ } -> List.iter f args
+  | Call { args; _ } | Spawn { args; _ } -> List.iter f args
   | Return (Some e) -> f e
-  | Return None | Barrier -> ()
+  | Return None | Barrier | Sync -> ()
   | Lock lv | Unlock lv ->
     List.iter (function Idx e -> f e | Fld _ -> ()) lv.path
 
 let iter_blocks_stmt f = function
   | If (_, b1, b2) -> f b1; f b2
   | While (_, b) | For (_, _, _, b) -> f b
-  | Store _ | Set _ | Decl _ | Call _ | Return _ | Barrier | Lock _ | Unlock _
-    -> ()
+  | Store _ | Set _ | Decl _ | Call _ | Spawn _ | Sync | Return _ | Barrier
+  | Lock _ | Unlock _ ->
+    ()
 
 let rec iter_stmts f block =
   List.iter

@@ -69,6 +69,14 @@ type stmt =
   | For of string * expr * expr * block
       (** [For (v, lo, hi, body)]: private [v] ranges over [lo .. hi-1] *)
   | Call of { ret : string option; callee : string; args : expr list }
+  | Spawn of { callee : string; args : expr list }
+      (** enqueue a task — a deferred activation of [callee] — on this
+          process's work-stealing deque; the runtime ({!Fs_sched}) decides
+          which process eventually executes it *)
+  | Sync
+      (** join: run and steal tasks until every task spawned by the
+          current activation has completed (at the entry's top level:
+          until the whole program is quiescent) *)
   | Return of expr option
   | Barrier                         (** global barrier over all processes *)
   | Lock of lvalue                  (** acquire; target must be a [Tlock] cell *)

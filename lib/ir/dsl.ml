@@ -45,6 +45,8 @@ let swhile c b = While (c, b)
 let sfor var lo hi body = For (var, lo, hi, body)
 let call callee args = Call { ret = None; callee; args }
 let call_ret ret callee args = Call { ret = Some ret; callee; args }
+let spawn callee args = Spawn { callee; args }
+let sync = Sync
 let ret e = Return (Some e)
 let ret_void = Return None
 let barrier = Barrier

@@ -76,6 +76,12 @@ val call : string -> Ast.expr list -> Ast.stmt
 val call_ret : string -> string -> Ast.expr list -> Ast.stmt
 (** [call_ret x f args] is [x = f (args)] where [x] is private. *)
 
+val spawn : string -> Ast.expr list -> Ast.stmt
+(** [spawn f args] enqueues a task on this process's deque. *)
+
+val sync : Ast.stmt
+(** Join on the current activation's spawned tasks. *)
+
 val ret : Ast.expr -> Ast.stmt
 val ret_void : Ast.stmt
 val barrier : Ast.stmt

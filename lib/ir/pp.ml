@@ -91,6 +91,9 @@ let rec stmt fmt s =
     Format.fprintf fmt "@[<h>%s(%a);@]" callee args_pp args
   | Call { ret = Some r; callee; args } ->
     Format.fprintf fmt "@[<h>%s = %s(%a);@]" r callee args_pp args
+  | Spawn { callee; args } ->
+    Format.fprintf fmt "@[<h>spawn %s(%a);@]" callee args_pp args
+  | Sync -> Format.pp_print_string fmt "sync;"
   | Return None -> Format.pp_print_string fmt "return;"
   | Return (Some e) -> Format.fprintf fmt "@[<h>return %a;@]" expr e
   | Barrier -> Format.pp_print_string fmt "barrier;"

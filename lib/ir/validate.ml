@@ -131,10 +131,65 @@ let check_func p func errs =
                  callee (List.length args) (List.length f.params)
                :: !errs);
         List.iter check_expr args
+      | Spawn { callee; args } ->
+        (match List.find_opt (fun f -> f.fname = callee) p.funcs with
+         | None ->
+           errs := Printf.sprintf "%s: spawn of unknown function %S" where callee :: !errs
+         | Some f ->
+           if List.length f.params <> List.length args then
+             errs :=
+               Printf.sprintf "%s: spawn of %S with %d args, expected %d" where
+                 callee (List.length args) (List.length f.params)
+               :: !errs);
+        List.iter check_expr args
       | Return (Some e) -> check_expr e
-      | Return None | Barrier -> ()
+      | Return None | Barrier | Sync -> ()
       | Lock lv | Unlock lv -> check_access ~want_lock:true lv)
     func.body
+
+(* A spawned task may be executed by any process (a thief), so a barrier
+   inside it — directly or through any call or nested spawn — would tear
+   the global barrier out of the SPMD structure the model depends on. *)
+let check_task_barriers p errs =
+  let memo = Hashtbl.create 16 in
+  let rec has_barrier fname =
+    match Hashtbl.find_opt memo fname with
+    | Some b -> b
+    | None ->
+      Hashtbl.add memo fname false (* cycle cut: recursion adds nothing *)
+      ;
+      let found = ref false in
+      (match List.find_opt (fun f -> f.fname = fname) p.funcs with
+       | None -> ()
+       | Some f ->
+         iter_stmts
+           (fun s ->
+             match s with
+             | Barrier -> found := true
+             | Call { callee; _ } | Spawn { callee; _ } ->
+               if has_barrier callee then found := true
+             | _ -> ())
+           f.body);
+      Hashtbl.replace memo fname !found;
+      !found
+  in
+  List.iter
+    (fun f ->
+      iter_stmts
+        (fun s ->
+          match s with
+          | Spawn { callee; _ } ->
+            if has_barrier callee then
+              errs :=
+                Printf.sprintf
+                  "function %s: spawned function %S reaches a barrier (tasks \
+                   may migrate between processes and cannot synchronize \
+                   globally)"
+                  f.fname callee
+                :: !errs
+          | _ -> ())
+        f.body)
+    p.funcs
 
 let check p =
   let errs = ref [] in
@@ -154,6 +209,7 @@ let check p =
      if f.params <> [] then
        errs := Printf.sprintf "entry function %S must take no parameters" p.entry :: !errs);
   List.iter (fun f -> check_func p f errs) p.funcs;
+  check_task_barriers p errs;
   match List.rev !errs with [] -> Ok () | l -> Error l
 
 exception Invalid_program of string list

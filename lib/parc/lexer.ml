@@ -10,7 +10,7 @@ type token =
 let keywords =
   [ "program"; "shared"; "struct"; "int"; "float"; "lock"; "void"; "let";
     "if"; "else"; "while"; "for"; "return"; "barrier"; "unlock"; "entry";
-    "pid"; "nprocs" ]
+    "pid"; "nprocs"; "spawn"; "sync" ]
 
 (* multi-character operators first: longest match wins *)
 let puncts =

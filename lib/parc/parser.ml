@@ -224,6 +224,16 @@ and stmt st =
     advance st;
     eat_punct st ";";
     Ast.Barrier
+  | KW "spawn" ->
+    advance st;
+    let callee = ident st in
+    let args = call_args st in
+    eat_punct st ";";
+    Ast.Spawn { callee; args }
+  | KW "sync" ->
+    advance st;
+    eat_punct st ";";
+    Ast.Sync
   | KW "lock" ->
     advance st;
     eat_punct st "(";

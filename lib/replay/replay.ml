@@ -48,6 +48,10 @@ let translating o (l : Listener.t) : Cell_listener.t =
     lock_grant =
       (fun ~proc ~var ~cell ~from ->
         l.Listener.lock_grant ~proc ~addr:o.addr.(var).(cell) ~from);
+    (* steals are scheduling annotations, not memory traffic: they have
+       no address under any layout, so the translation drops them — the
+       deque traffic they caused is already in the stream as accesses *)
+    steal = (fun ~thief:_ ~victim:_ ~task:_ -> ());
   }
 
 (* ------------------------------------------------------------------ *)

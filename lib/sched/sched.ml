@@ -1,0 +1,58 @@
+module Ast = Fs_ir.Ast
+
+type config = { seed : int }
+
+let seeded seed = { seed }
+
+type stats = {
+  tasks : int;
+  steals : int;
+  steal_attempts : int;
+  inline_runs : int;
+}
+
+let prefix = "__sched_"
+let top_var = prefix ^ "top"
+let bot_var = prefix ^ "bot"
+let deq_var = prefix ^ "deq"
+
+let is_sched_var name =
+  String.length name >= String.length prefix
+  && String.sub name 0 (String.length prefix) = prefix
+
+let default_cap = 64
+
+let uses_tasks (p : Ast.program) =
+  List.exists
+    (fun (f : Ast.func) ->
+      let found = ref false in
+      Ast.iter_stmts
+        (fun s ->
+          match s with Ast.Spawn _ | Ast.Sync -> found := true | _ -> ())
+        f.body;
+      !found)
+    p.funcs
+
+let instrument ?(cap = default_cap) ~nprocs (p : Ast.program) =
+  if cap <= 0 then invalid_arg "Sched.instrument: cap must be positive";
+  if nprocs <= 0 then invalid_arg "Sched.instrument: nprocs must be positive";
+  if List.mem_assoc top_var p.globals then p
+  else
+    let int_arr n = Ast.Array (Ast.Scalar Ast.Tint, n) in
+    {
+      p with
+      globals =
+        p.globals
+        @ [
+            (top_var, int_arr nprocs);
+            (bot_var, int_arr nprocs);
+            (deq_var, int_arr (nprocs * cap));
+          ];
+    }
+
+let deque_cap ~nprocs (p : Ast.program) =
+  match List.assoc_opt deq_var p.globals with
+  | Some (Ast.Array (Ast.Scalar Ast.Tint, n))
+    when nprocs > 0 && n mod nprocs = 0 && n / nprocs > 0 ->
+    Some (n / nprocs)
+  | _ -> None

@@ -1,0 +1,63 @@
+(** The deterministic work-stealing runtime's shared face.
+
+    ParC's [spawn]/[sync] statements are executed by a per-process
+    Chase–Lev-style deque scheduler living inside the interpreter
+    ({!Fs_interp.Interp}).  This module owns everything about that
+    scheduler which the rest of the pipeline needs to see:
+
+    - the {e configuration} (a single PRNG seed — victim selection is
+      driven by split streams of {!Fs_util.Rng}, so the whole execution
+      is a pure function of the program, [nprocs], and the seed;
+      identical seeds give bit-identical traces);
+    - the {e scheduler globals}: the deque [top]/[bot] index arrays and
+      the slot array are real ParC globals appended by {!instrument}, so
+      deque traffic is recorded as ordinary cell events, flows through
+      every layout, and exhibits — and can be cured of — false sharing
+      like any program data.  Crucially these accesses exist only at run
+      time: the static planner walks the AST, never sees them, and so
+      leaves them packed (the gap the profile-guided repair closes);
+    - the {!stats} the interpreter reports per run.
+
+    Scheduling discipline: help-first (the spawner pushes the child and
+    continues), LIFO pop from the owner's bottom, steals from the
+    victim's top, victims drawn from a per-thief split PRNG stream with
+    a deterministic sweep fallback so progress never depends on luck. *)
+
+type config = { seed : int }
+
+val seeded : int -> config
+
+type stats = {
+  tasks : int;          (** tasks spawned over the whole run *)
+  steals : int;         (** tasks that migrated between processes *)
+  steal_attempts : int; (** steal probes, successful or not *)
+  inline_runs : int;    (** spawns run in place because the deque was full *)
+}
+
+val prefix : string
+(** Name prefix of every scheduler global ([__sched_]).  Phase-level
+    write-sharing cross-checks exempt these, like lock cells: they are
+    invisible to the static analyses by design. *)
+
+val top_var : string
+val bot_var : string
+val deq_var : string
+
+val is_sched_var : string -> bool
+
+val default_cap : int
+(** Per-process deque capacity used by {!instrument} by default (64). *)
+
+val uses_tasks : Fs_ir.Ast.program -> bool
+(** Does any function contain a [spawn] or [sync]? *)
+
+val instrument : ?cap:int -> nprocs:int -> Fs_ir.Ast.program -> Fs_ir.Ast.program
+(** Append the scheduler globals ([top]/[bot]: [int\[nprocs\]], slots:
+    [int\[nprocs * cap\]]) to a task-parallel program.  Idempotent: a
+    program already carrying [__sched_top] is returned unchanged.
+    Workload [build] functions call this so the globals are visible to
+    layouts, plans, and the repair loop alike. *)
+
+val deque_cap : nprocs:int -> Fs_ir.Ast.program -> int option
+(** Recover the per-process capacity from the instrumented slot array,
+    or [None] if the program lacks (consistent) scheduler globals. *)

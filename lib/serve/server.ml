@@ -167,6 +167,8 @@ type params = {
   playout : string;
   ptop : int;
   pmax_iters : int;
+  psched_seed : int option;
+      (** required when the program spawns tasks; [None] otherwise *)
 }
 
 let parse_params endpoint (req : Http.request) =
@@ -218,6 +220,14 @@ let parse_params endpoint (req : Http.request) =
   in
   if max_iters < 0 || max_iters > 100 then
     client_err "max_iters must be in 0..100";
+  let sched_seed =
+    match Json.member "sched_seed" j with
+    | None -> None
+    | Some v -> (
+      match Json.get_int v with
+      | Some n -> Some n
+      | None -> client_err "field \"sched_seed\" must be an integer")
+  in
   let workload, prog, scale, wname =
     match (str_field "workload", str_field "source") with
     | Some _, Some _ -> client_err "give either \"workload\" or \"source\", not both"
@@ -228,7 +238,7 @@ let parse_params endpoint (req : Http.request) =
         if scale < 1 then client_err "scale must be positive";
         (Some w, w.W.build ~nprocs ~scale, scale, w.W.name)
       | exception Not_found ->
-        let names = List.map (fun w -> w.W.name) Ws.all in
+        let names = List.map (fun w -> w.W.name) Ws.every in
         let hint =
           match Fs_util.Strdist.suggest name names with
           | [] -> "GET /statusz lists the suite"
@@ -239,11 +249,26 @@ let parse_params endpoint (req : Http.request) =
         client_err "unknown workload %S (%s)" name hint)
     | None, Some src -> (
       match Fs_parc.Parser.parse_and_validate src with
-      | Ok prog -> (None, prog, int_field "scale" 1, "<source>")
+      | Ok prog ->
+        (* a submitted source that spawns tasks gets the scheduler globals
+           grafted on here, like the registered dynamic workloads do in
+           their builders (instrument is the identity otherwise) *)
+        let prog = Fs_sched.Sched.instrument ~nprocs prog in
+        (None, prog, int_field "scale" 1, "<source>")
       | Error errs -> client_err "source does not validate: %s" (String.concat "; " errs))
     | None, None ->
       client_err "body must name a \"workload\" or carry ParC \"source\""
   in
+  (* dynamic executions refuse to run without an explicit seed — a silent
+     default would let two tenants' "same" request alias different steal
+     schedules the day the default changes *)
+  (match sched_seed with
+   | None when Fs_sched.Sched.uses_tasks prog ->
+     client_err
+       "program %S spawns tasks: the work-stealing schedule needs an \
+        explicit \"sched_seed\" (an integer; same seed, same execution)"
+       wname
+   | _ -> ());
   {
     pendpoint = endpoint;
     pprog = prog;
@@ -256,6 +281,7 @@ let parse_params endpoint (req : Http.request) =
     playout = layout;
     ptop = top;
     pmax_iters = max_iters;
+    psched_seed = sched_seed;
   }
 
 (* every resolved parameter is part of the address: two requests whose
@@ -283,6 +309,9 @@ let cache_key p =
       p.playout;
       string_of_int p.ptop;
       string_of_int p.pmax_iters;
+      (match p.psched_seed with
+       | None -> "seed=-"
+       | Some s -> Printf.sprintf "seed=%d" s);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -309,9 +338,13 @@ let recorded_for p =
     Span.timed "memo"
       ~attrs:[ ("workload", w.W.name) ]
       (fun () ->
-        E.recorded_of (Trace_memo.get w ~nprocs:p.pnprocs ~scale:p.pscale))
+        E.recorded_of
+          (Trace_memo.get ?seed:p.psched_seed w ~nprocs:p.pnprocs
+             ~scale:p.pscale))
   | None ->
-    Span.timed "record" (fun () -> Sim.record p.pprog ~nprocs:p.pnprocs)
+    let sched = Option.map Fs_sched.Sched.seeded p.psched_seed in
+    Span.timed "record" (fun () ->
+        Sim.record ?sched p.pprog ~nprocs:p.pnprocs)
 
 let versions_of p =
   match p.pworkload with
@@ -637,7 +670,14 @@ let statusz t =
                ("disk_loads", Json.Int md);
                ("coalesced", Json.Int (Trace_memo.read_coalesced ())) ] );
          ( "workloads",
-           Json.List (List.map (fun w -> Json.String w.W.name) Ws.all) );
+           Json.List
+             (List.map
+                (fun (w : W.t) ->
+                  Json.Obj
+                    [ ("name", Json.String w.name);
+                      ("scheduling",
+                       Json.String (if w.dynamic then "dynamic" else "static")) ])
+                Ws.every) );
          ( "recent",
            Json.List
              (List.rev_map

@@ -5,6 +5,7 @@ type t =
   | Barrier_release
   | Lock_wait of { proc : int; var : int; cell : int }
   | Lock_grant of { proc : int; var : int; cell : int; from : int }
+  | Steal of { thief : int; victim : int; task : int }
 
 (* Packed representation, one event per OCaml int:
 
@@ -32,6 +33,11 @@ let tag_barrier_arrive = 2
 let tag_barrier_release = 3
 let tag_lock_wait = 4
 let tag_lock_grant = 5
+
+(* Steal reuses the Access field slots: the thief rides in the proc
+   field, the victim in the var field, the task id in the cell payload —
+   so the generic proc/var extractors keep working on it. *)
+let tag_steal = 6
 
 let check what v limit =
   if v < 0 || v > limit then
@@ -65,6 +71,11 @@ let pack = function
     check "cell" cell max_cell;
     tag_lock_grant lor (proc lsl 4) lor (var lsl 12)
     lor ((from + 1) lsl 20) lor (cell lsl 29)
+  | Steal { thief; victim; task } ->
+    check "thief" thief max_proc;
+    check "victim" victim max_proc;
+    check "task" task max_wide_cell;
+    tag_steal lor (thief lsl 4) lor (victim lsl 12) lor (task lsl 20)
 
 (* Field extractors over the packed form, for consumers that cannot
    afford [unpack]'s variant allocation per event (the fused replay
@@ -98,6 +109,9 @@ let[@inline] unsafe_pack_lock_wait ~proc ~var ~cell =
 let[@inline] unsafe_pack_lock_grant ~proc ~var ~from1 ~cell =
   tag_lock_grant lor (proc lsl 4) lor (var lsl 12) lor (from1 lsl 20) lor (cell lsl 29)
 
+let[@inline] unsafe_pack_steal ~thief ~victim ~task =
+  tag_steal lor (thief lsl 4) lor (victim lsl 12) lor (task lsl 20)
+
 let unpack packed =
   let proc = (packed lsr 4) land 0xff in
   let var = (packed lsr 12) land 0xff in
@@ -110,6 +124,7 @@ let unpack packed =
   | 5 ->
     Lock_grant
       { proc; var; from = ((packed lsr 20) land 0x1ff) - 1; cell = packed lsr 29 }
+  | 6 -> Steal { thief = proc; victim = var; task = packed lsr 20 }
   | t -> invalid_arg (Printf.sprintf "Cell_event.unpack: bad tag %d" t)
 
 let pp fmt = function
@@ -122,3 +137,5 @@ let pp fmt = function
     Format.fprintf fmt "P%d lock-wait v%d[%d]" proc var cell
   | Lock_grant { proc; var; cell; from } ->
     Format.fprintf fmt "P%d lock-grant v%d[%d] from %d" proc var cell from
+  | Steal { thief; victim; task } ->
+    Format.fprintf fmt "P%d steals task %d from P%d" thief task victim

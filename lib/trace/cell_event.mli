@@ -21,6 +21,11 @@ type t =
   | Lock_wait of { proc : int; var : int; cell : int }
   | Lock_grant of { proc : int; var : int; cell : int; from : int }
       (** [from = -1] when the lock was free *)
+  | Steal of { thief : int; victim : int; task : int }
+      (** the work-stealing runtime ({!Fs_sched}) moved task [task] from
+          [victim]'s deque to [thief].  Packs the thief in the proc field
+          and the victim in the var field, so the generic extractors
+          below apply. *)
 
 val pack : t -> int
 (** @raise Invalid_argument when a field exceeds its packed range. *)
@@ -43,6 +48,11 @@ val tag_work : int
 val tag_barrier_arrive : int
 val tag_lock_wait : int
 val tag_lock_grant : int
+
+val tag_steal : int
+(** Steal events carry no memory traffic of their own (the deque cell
+    traffic is recorded as ordinary [Access] events on the scheduler's
+    globals); cache simulations skip this tag. *)
 
 val packed_tag : int -> int
 val packed_is_access : int -> bool
@@ -84,5 +94,6 @@ val unsafe_pack_work : proc:int -> amount:int -> int
 val unsafe_pack_barrier_arrive : proc:int -> int
 val unsafe_pack_lock_wait : proc:int -> var:int -> cell:int -> int
 val unsafe_pack_lock_grant : proc:int -> var:int -> from1:int -> cell:int -> int
+val unsafe_pack_steal : thief:int -> victim:int -> task:int -> int
 
 val pp : Format.formatter -> t -> unit

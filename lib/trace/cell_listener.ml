@@ -5,6 +5,7 @@ type t = {
   barrier_release : unit -> unit;
   lock_wait : proc:int -> var:int -> cell:int -> unit;
   lock_grant : proc:int -> var:int -> cell:int -> from:int -> unit;
+  steal : thief:int -> victim:int -> task:int -> unit;
 }
 
 let null =
@@ -15,6 +16,7 @@ let null =
     barrier_release = (fun () -> ());
     lock_wait = (fun ~proc:_ ~var:_ ~cell:_ -> ());
     lock_grant = (fun ~proc:_ ~var:_ ~cell:_ ~from:_ -> ());
+    steal = (fun ~thief:_ ~victim:_ ~task:_ -> ());
   }
 
 let combine a b =
@@ -43,6 +45,10 @@ let combine a b =
       (fun ~proc ~var ~cell ~from ->
         a.lock_grant ~proc ~var ~cell ~from;
         b.lock_grant ~proc ~var ~cell ~from);
+    steal =
+      (fun ~thief ~victim ~task ->
+        a.steal ~thief ~victim ~task;
+        b.steal ~thief ~victim ~task);
   }
 
 let dispatch t = function
@@ -53,3 +59,4 @@ let dispatch t = function
   | Cell_event.Lock_wait { proc; var; cell } -> t.lock_wait ~proc ~var ~cell
   | Cell_event.Lock_grant { proc; var; cell; from } ->
     t.lock_grant ~proc ~var ~cell ~from
+  | Cell_event.Steal { thief; victim; task } -> t.steal ~thief ~victim ~task

@@ -13,6 +13,7 @@ type t = {
   barrier_release : unit -> unit;
   lock_wait : proc:int -> var:int -> cell:int -> unit;
   lock_grant : proc:int -> var:int -> cell:int -> from:int -> unit;
+  steal : thief:int -> victim:int -> task:int -> unit;
 }
 
 val null : t

@@ -47,6 +47,9 @@ let listener_of_push push =
     lock_grant =
       (fun ~proc ~var ~cell ~from ->
         push (Cell_event.pack (Lock_grant { proc; var; cell; from })));
+    steal =
+      (fun ~thief ~victim ~task ->
+        push (Cell_event.pack (Steal { thief; victim; task })));
   }
 
 let recorder t = listener_of_push (push t)
@@ -105,7 +108,11 @@ let equal a b =
                    proc touched, cell = last cell there + 1 (the
                    sequential inner-loop pattern).  Bits 3-7 hold q:
                    q <= 29 encodes zigzag(proc - prev proc) inline,
-                   q = 31 means an explicit proc varint follows.
+                   q = 31 means an explicit proc varint follows, and
+                   lead byte 0xF6 (tag 6, q = 30) escapes to a Steal
+                   event: varints thief, victim, task follow and the
+                   previous-proc register becomes the thief.  0xFE
+                   (tag 7, q = 30) stays reserved.
      tags 0-5      standard form: bit 3 = write flag (Access),
                    bits 4-5 proc code (0 same as previous event's,
                    1 previous + 1, 2 explicit varint), bits 6-7
@@ -345,6 +352,18 @@ let enc_event e packed =
     e.en_last_var.(proc) <- var;
     e.en_last_cell.(ctx) <- cell;
     e.en_prev_proc <- proc
+  | 6 ->
+    (* steal: escape through the reserved compact-access lead byte *)
+    let thief = Cell_event.packed_proc packed in
+    let victim = Cell_event.packed_var packed in
+    let task = Cell_event.packed_cell packed in
+    if thief >= e.en_nprocs || victim >= e.en_nprocs then
+      invalid_arg "Cell_trace: steal thief/victim exceeds the trace header";
+    Buffer.add_char buf '\xf6';
+    put_varint buf thief;
+    put_varint buf victim;
+    put_varint buf task;
+    e.en_prev_proc <- thief
   | _ -> invalid_arg "Cell_trace: bad packed tag"
 
 (* Streaming v2 emitter over an out_channel: header at create, one block
@@ -510,23 +529,37 @@ let decode_v2_payload map ~pos ~plen ~count ~block ~nprocs ~nvars dst dst_off =
     incr pos;
     let tag = b land 7 in
     if tag >= 6 then begin
-      (* compact access *)
       let q = b lsr 3 in
-      let proc =
-        if q = 31 then read_varint map pos limit ~block
-        else if q = 30 then corrupt "block %d: reserved proc code" block
-        else !prev_proc + unzigzag q
-      in
-      if proc < 0 || proc >= nprocs then
-        corrupt "block %d: proc %d out of range" block proc;
-      let var = last_var.(proc) in
-      let ctx = (proc * nvars) + var in
-      let cell = last_cell.(ctx) + 1 in
-      if cell > Cell_event.max_wide_cell then
-        corrupt "block %d: cell out of range" block;
-      dst.(n) <- Cell_event.unsafe_pack_access ~write:(tag = 7) ~proc ~var ~cell;
-      last_cell.(ctx) <- cell;
-      prev_proc := proc
+      if q = 30 then begin
+        (* 0xF6: steal escape (0xFE stays reserved) *)
+        if tag = 7 then corrupt "block %d: reserved proc code" block;
+        let thief = read_varint map pos limit ~block in
+        let victim = read_varint map pos limit ~block in
+        let task = read_varint map pos limit ~block in
+        if thief >= nprocs || victim >= nprocs then
+          corrupt "block %d: steal proc out of range" block;
+        if task > Cell_event.max_wide_cell then
+          corrupt "block %d: task out of range" block;
+        dst.(n) <- Cell_event.unsafe_pack_steal ~thief ~victim ~task;
+        prev_proc := thief
+      end
+      else begin
+        (* compact access *)
+        let proc =
+          if q = 31 then read_varint map pos limit ~block
+          else !prev_proc + unzigzag q
+        in
+        if proc < 0 || proc >= nprocs then
+          corrupt "block %d: proc %d out of range" block proc;
+        let var = last_var.(proc) in
+        let ctx = (proc * nvars) + var in
+        let cell = last_cell.(ctx) + 1 in
+        if cell > Cell_event.max_wide_cell then
+          corrupt "block %d: cell out of range" block;
+        dst.(n) <- Cell_event.unsafe_pack_access ~write:(tag = 7) ~proc ~var ~cell;
+        last_cell.(ctx) <- cell;
+        prev_proc := proc
+      end
     end
     else if tag = 3 then begin
       if b <> 3 then corrupt "block %d: bad release lead byte" block;

@@ -1,0 +1,62 @@
+(** Dstress — the deque-stress microbenchmark.
+
+    The master streams a long run of near-empty tasks through its deque
+    while every other process steals as fast as it can.  Each task does
+    one read-modify-write on the running process's slot of a packed
+    per-process hit counter and one store into a small shared sink.  The
+    program is all scheduler: steals, deque index traffic, and the
+    thinnest possible task bodies.
+
+    Sharing patterns modelled (deliberately, as a magnifying glass):
+    - the scheduler's [__sched_top]/[__sched_bot] arrays — one int per
+      process, packed — ping-pong on every push, pop, and steal probe;
+    - [hits] is the textbook per-process counter array: written at
+      [hits\[Pdv\]] by whoever runs the task, but the planner evaluates
+      the spawned body on the spawning process and sees a single writer,
+      so the compiler version leaves it packed.  The profile sees the
+      truth and pads both. *)
+
+open Fs_ir.Dsl
+open Wl_common
+
+let build ~nprocs ~scale =
+  let stream = 48 * scale in
+  let sink = 16 in
+  Fs_sched.Sched.instrument ~nprocs
+    (Fs_ir.Validate.validate_exn
+       (program ~name:"dstress"
+          ~globals:
+            [ ("hits", arr int_t nprocs);
+              ("sink", arr int_t sink);
+              ("result", int_t) ]
+          [ fn "tick" [ "t" ]
+              [ bump ((v "hits").%(pdv)) (i 1);
+                (v "sink").%(p "t" %% i sink) <-- p "t" ];
+            fn "main" []
+              [ master
+                  [ sfor "t" (i 0) (i stream) [ spawn "tick" [ p "t" ] ] ];
+                sync;
+                barrier;
+                master
+                  [ decl "sum" (i 0);
+                    sfor "q" (i 0) (i nprocs)
+                      [ set "sum" (p "sum" +% ld (v "hits").%(p "q")) ];
+                    (v "result") <-- p "sum" ] ] ]))
+
+let spec =
+  {
+    Workload.name = "dstress";
+    description = "Deque-stress: a stream of near-empty stolen tasks";
+    lines_of_c = 0;
+    versions = [ Workload.N; Workload.C ];
+    dynamic = true;
+    fig3_procs = 8;
+    default_scale = 4;
+    build;
+    programmer_plan = None;
+    notes =
+      "Almost pure scheduler traffic: packed deque index arrays \
+       ping-ponging between owner and thieves, and a per-process counter \
+       array the planner believes has one writer.  The workload exists \
+       to make the static-vs-profile gap unmissable.";
+  }

@@ -1,0 +1,65 @@
+(** Fib — divide-and-conquer Fibonacci over an explicit result tree.
+
+    The canonical work-stealing benchmark: every task spawns its [n-1]
+    subproblem, computes the [n-2] subproblem inline (help-first), syncs,
+    and combines into its slot of a heap-numbered result tree.  The
+    master spawns the root; every other process reaches the entry [sync]
+    immediately and lives entirely off steals.
+
+    Sharing patterns modelled:
+    - the result tree is written at whichever slot a task owns, by
+      whichever process stole it — neighbouring slots land on the same
+      block under different processes, false sharing no static analysis
+      can attribute: the planner sees every task body as run by the
+      spawning process and calls the tree single-writer;
+    - the scheduler's own [top]/[bot] index arrays ping-pong between the
+      owner popping at the bottom and thieves advancing the top — the
+      residual false sharing the profile-guided repair exists to cure. *)
+
+open Fs_ir.Dsl
+open Wl_common
+
+let left slot = (i 2 *% slot) +% i 1
+let right slot = (i 2 *% slot) +% i 2
+
+let build ~nprocs ~scale =
+  let n = 7 + scale in
+  let tree = (1 lsl (n + 1)) - 1 in
+  Fs_sched.Sched.instrument ~nprocs
+    (Fs_ir.Validate.validate_exn
+       (program ~name:"fib"
+          ~globals:[ ("tree", arr int_t tree); ("result", int_t) ]
+          [ fn "fibtask" [ "n"; "slot" ]
+              [ sif
+                  (p "n" <% i 2)
+                  (spin 8 @ [ (v "tree").%(p "slot") <-- p "n" ])
+                  [ spawn "fibtask" [ p "n" -% i 1; left (p "slot") ];
+                    call "fibtask" [ p "n" -% i 2; right (p "slot") ];
+                    sync;
+                    (v "tree").%(p "slot")
+                    <-- ld (v "tree").%(left (p "slot"))
+                        +% ld (v "tree").%(right (p "slot")) ] ];
+            fn "main" []
+              [ master [ spawn "fibtask" [ i n; i 0 ] ];
+                sync;
+                barrier;
+                master [ (v "result") <-- ld (v "tree").%(i 0) ] ] ]))
+
+let spec =
+  {
+    Workload.name = "fib";
+    description = "Divide-and-conquer Fibonacci on the task runtime";
+    lines_of_c = 0;
+    versions = [ Workload.N; Workload.C ];
+    dynamic = true;
+    fig3_procs = 8;
+    default_scale = 4;
+    build;
+    programmer_plan = None;
+    notes =
+      "Result-tree slots written by whichever process steals the task \
+       (the planner attributes every task to its spawner and sees a \
+       single writer), plus deque index ping-pong in the scheduler's own \
+       globals — both invisible to the static planner, both repairable \
+       from the profile.";
+  }

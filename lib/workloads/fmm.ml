@@ -112,6 +112,7 @@ let spec =
     description = "Fast multipole method (n-body)";
     lines_of_c = 4395;
     versions = [ Workload.N; Workload.C; Workload.P ];
+    dynamic = false;
     fig3_procs = 12;
     default_scale = 5;
     build;

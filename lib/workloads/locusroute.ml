@@ -79,6 +79,7 @@ let spec =
     description = "VLSI standard cell router";
     lines_of_c = 6709;
     versions = [ Workload.C; Workload.P ];  (* Table 1: no unoptimized run *)
+    dynamic = false;
     fig3_procs = 12;
     default_scale = 2;
     build;

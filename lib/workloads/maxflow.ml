@@ -120,6 +120,7 @@ let spec =
     description = "Maximum flow in a directed graph";
     lines_of_c = 810;
     versions = [ Workload.N; Workload.C ];
+    dynamic = false;
     fig3_procs = 12;
     default_scale = 4;
     build;

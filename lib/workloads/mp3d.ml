@@ -98,6 +98,7 @@ let spec =
     description = "Rarefied fluid flow";
     lines_of_c = 1653;
     versions = [ Workload.C; Workload.P ];
+    dynamic = false;
     fig3_procs = 12;
     default_scale = 2;
     build;

@@ -81,6 +81,7 @@ let spec =
     description = "Circuit simulator";
     lines_of_c = 9420;
     versions = [ Workload.C; Workload.P ];
+    dynamic = false;
     fig3_procs = 12;
     default_scale = 2;
     build;

@@ -111,6 +111,7 @@ let spec =
     description = "Logic verification";
     lines_of_c = 2759;
     versions = [ Workload.N; Workload.C; Workload.P ];
+    dynamic = false;
     fig3_procs = 12;
     default_scale = 2;
     build;

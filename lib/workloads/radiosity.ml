@@ -115,6 +115,7 @@ let spec =
     description = "Equilibrium distribution of light";
     lines_of_c = 10908;
     versions = [ Workload.N; Workload.C; Workload.P ];
+    dynamic = false;
     fig3_procs = 12;
     default_scale = 2;
     build;

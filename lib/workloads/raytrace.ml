@@ -106,6 +106,7 @@ let spec =
     description = "Rendering of a 3-dimensional scene";
     lines_of_c = 12391;
     versions = [ Workload.N; Workload.C; Workload.P ];
+    dynamic = false;
     fig3_procs = 12;
     default_scale = 2;
     build;

@@ -1,0 +1,82 @@
+(** Stencil — a 1-D three-point stencil whose tiles migrate by stealing.
+
+    A classic SPMD stencil assigns tiles to processes statically, so the
+    compiler can block-align the partition.  Here each sweep's tiles are
+    spawned as tasks: which process writes a tile is decided by the
+    deques at run time, and changes from sweep to sweep.  The source and
+    destination arrays alternate by sweep parity.
+
+    Sharing patterns modelled:
+    - tile-boundary blocks of the destination array are written by the
+      two (dynamically chosen) processes owning adjacent tiles — false
+      sharing that moves around between sweeps and that the static
+      planner, seeing every write on the spawning process, cannot even
+      classify as shared;
+    - reads reach one cell across each boundary, so padding tiles to
+      block boundaries trades the false sharing for true neighbour
+      communication, exactly the paper's stencil story. *)
+
+open Fs_ir.Dsl
+open Wl_common
+
+let tile = 16
+let sweeps = 4
+
+let build ~nprocs ~scale =
+  let n = 64 * scale in
+  let ntiles = n / tile in
+  let body ~dst ~src =
+    [ sfor "idx"
+        (max_ (p "lo") (i 1))
+        (min_ (p "lo" +% i tile) (i (n - 1)))
+        (spin 6
+        @ [ (v dst).%(p "idx")
+            <-- (ld (v src).%(p "idx" -% i 1)
+                 +% ld (v src).%(p "idx")
+                 +% ld (v src).%(p "idx" +% i 1))
+                %% i 1021 ]) ]
+  in
+  Fs_sched.Sched.instrument ~nprocs
+    (Fs_ir.Validate.validate_exn
+       (program ~name:"stencil"
+          ~globals:
+            [ ("a", arr int_t n); ("b", arr int_t n); ("result", int_t) ]
+          [ fn "tile_sweep" [ "t"; "par" ]
+              [ decl "lo" (p "t" *% i tile);
+                sif (p "par" ==% i 0) (body ~dst:"b" ~src:"a")
+                  (body ~dst:"a" ~src:"b") ];
+            fn "main" []
+              [ master
+                  [ sfor "idx" (i 0) (i n)
+                      [ (v "a").%(p "idx") <-- p "idx" %% i 13;
+                        (v "b").%(p "idx") <-- i 0 ] ];
+                barrier;
+                sfor "s" (i 0) (i sweeps)
+                  [ master
+                      [ sfor "t" (i 0) (i ntiles)
+                          [ spawn "tile_sweep" [ p "t"; p "s" %% i 2 ] ] ];
+                    sync;
+                    barrier ];
+                master
+                  [ decl "sum" (i 0);
+                    sfor "idx" (i 0) (i n)
+                      [ set "sum" (p "sum" +% ld (v "a").%(p "idx")) ];
+                    (v "result") <-- p "sum" ] ] ]))
+
+let spec =
+  {
+    Workload.name = "stencil";
+    description = "Three-point stencil with stolen tiles";
+    lines_of_c = 0;
+    versions = [ Workload.N; Workload.C ];
+    dynamic = true;
+    fig3_procs = 8;
+    default_scale = 4;
+    build;
+    programmer_plan = None;
+    notes =
+      "Tile-boundary false sharing whose writer pair is chosen by the \
+       deques each sweep; the static planner sees one writer and leaves \
+       the arrays packed.  Repair block-aligns the tiles from the \
+       profile.";
+  }

@@ -1,0 +1,83 @@
+(** Taskbag — iterative relaxation over a random graph, a bag of tasks
+    per round.
+
+    Each round the master dumps one task per node-batch into its deque
+    and the other processes strip-mine it by stealing.  A task relaxes
+    its batch: it accumulates neighbour values into its own nodes and
+    bumps a touch counter on each neighbour — scattered read-modify-write
+    traffic through the adjacency indirection, on top of the batch-local
+    writes.
+
+    Sharing patterns modelled:
+    - [value]/[touched] are written by whichever process a task lands
+      on: batches are contiguous, so adjacent batches executed by
+      different thieves falsely share the boundary blocks — and the
+      touch counters are scattered everywhere;
+    - round structure (sync, then a barrier) alternates task-parallel
+      epochs with SPMD epochs, exercising the entry-frame [sync]. *)
+
+open Fs_ir.Dsl
+open Wl_common
+
+let deg = 4
+let batch = 4
+let rounds = 3
+
+let build ~nprocs ~scale =
+  let n = 32 * scale in
+  let ne = n * deg in
+  let ntasks = n / batch in
+  Fs_sched.Sched.instrument ~nprocs
+    (Fs_ir.Validate.validate_exn
+       (program ~name:"taskbag"
+          ~globals:
+            [ ("adj", arr int_t ne);
+              ("value", arr int_t n);
+              ("touched", arr int_t n);
+              ("result", int_t) ]
+          [ fn "relax" [ "t" ]
+              [ sfor "u" (p "t" *% i batch) ((p "t" +% i 1) *% i batch)
+                  (spin 12
+                  @ [ decl "acc" (i 0);
+                      sfor "e" (i 0) (i deg)
+                        [ decl "w" (ld (v "adj").%((p "u" *% i deg) +% p "e"));
+                          set "acc" (p "acc" +% ld (v "value").%(p "w"));
+                          bump ((v "touched").%(p "w")) (i 1) ];
+                      bump ((v "value").%(p "u")) (p "acc" %% i 97) ]) ];
+            fn "main" []
+              [ master
+                  [ decl "s" (i 777);
+                    sfor "e" (i 0) (i ne)
+                      [ lcg_next "s"; (v "adj").%(p "e") <-- lcg_mod "s" n ];
+                    sfor "u" (i 0) (i n)
+                      [ (v "value").%(p "u") <-- p "u" %% i 17;
+                        (v "touched").%(p "u") <-- i 0 ] ];
+                barrier;
+                sfor "round" (i 0) (i rounds)
+                  [ master
+                      [ sfor "t" (i 0) (i ntasks) [ spawn "relax" [ p "t" ] ] ];
+                    sync;
+                    barrier ];
+                master
+                  [ decl "sum" (i 0);
+                    sfor "u" (i 0) (i n)
+                      [ set "sum" (p "sum" +% ld (v "touched").%(p "u")) ];
+                    (v "result") <-- p "sum" ] ] ]))
+
+let spec =
+  {
+    Workload.name = "taskbag";
+    description = "Task-bag graph relaxation, one bag per round";
+    lines_of_c = 0;
+    versions = [ Workload.N; Workload.C ];
+    dynamic = true;
+    fig3_procs = 8;
+    default_scale = 4;
+    build;
+    programmer_plan = None;
+    notes =
+      "Batch-contiguous node updates whose process assignment is decided \
+       by steals (boundary false sharing the planner attributes to one \
+       writer), scattered touch counters through the adjacency \
+       indirection, and deque traffic between rounds.";
+  }

@@ -84,6 +84,7 @@ let spec =
     description = "Topological optimization";
     lines_of_c = 2206;
     versions = [ Workload.N; Workload.C; Workload.P ];
+    dynamic = false;
     fig3_procs = 9;  (* as in Figure 3 *)
     default_scale = 2;
     build;

@@ -87,6 +87,7 @@ let spec =
     description = "N-body molecular dynamics";
     lines_of_c = 1451;
     versions = [ Workload.C; Workload.P ];
+    dynamic = false;
     fig3_procs = 12;
     default_scale = 2;
     build;

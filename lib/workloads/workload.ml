@@ -7,6 +7,7 @@ type t = {
   description : string;
   lines_of_c : int;
   versions : version list;
+  dynamic : bool;
   fig3_procs : int;
   default_scale : int;
   build : nprocs:int -> scale:int -> Fs_ir.Ast.program;

@@ -26,6 +26,10 @@ type t = {
   lines_of_c : int;
       (** size of the original C program (Table 1), for documentation *)
   versions : version list;  (** which versions the paper evaluates *)
+  dynamic : bool;
+      (** uses [spawn]/[sync]: scheduling is decided at run time by the
+          work-stealing runtime, so simulating it needs a scheduler seed
+          and the static planner cannot see the schedule *)
   fig3_procs : int;         (** processor count used in Figure 3 *)
   default_scale : int;
   build : nprocs:int -> scale:int -> Fs_ir.Ast.program;

@@ -21,5 +21,6 @@ let () =
       ("serve", Test_serve.suite);
       ("telemetry", Test_telemetry.suite);
       ("phases", Test_phases.suite);
+      ("sched", Test_sched.suite);
       ("feedback", Test_feedback.suite);
       ("fuzz", Test_fuzz.suite) ]

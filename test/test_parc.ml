@@ -21,7 +21,7 @@ let test_roundtrip_workloads () =
     (fun (w : W.t) ->
       roundtrip_fixed w.name (w.build ~nprocs:5 ~scale:1);
       roundtrip_fixed (w.name ^ "@12") (w.build ~nprocs:12 ~scale:2))
-    Fs_workloads.Workloads.all
+    Fs_workloads.Workloads.every
 
 let test_roundtrip_is_ast_identical () =
   (* for most programs the AST itself round-trips exactly *)
@@ -30,7 +30,7 @@ let test_roundtrip_is_ast_identical () =
       let p = w.build ~nprocs:4 ~scale:1 in
       let p2 = Parser.parse (Pp.program_to_string p) in
       Alcotest.(check bool) (w.name ^ " ast equal") true (p = p2))
-    Fs_workloads.Workloads.all
+    Fs_workloads.Workloads.every
 
 let test_parse_literal_program () =
   let src = {|

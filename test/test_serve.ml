@@ -339,6 +339,7 @@ let gated_workload =
       description = "gated build for coalescing tests";
       lines_of_c = 0;
       versions = [ W.N ];
+      dynamic = false;
       fig3_procs = 2;
       default_scale = 1;
       build;
@@ -506,6 +507,40 @@ let test_server_end_to_end () =
       in
       Alcotest.(check int) "bad source" 400 s)
 
+(* Dynamic workloads over HTTP: no seed is a client error, the seed is
+   part of the content address (distinct seeds never alias), and the same
+   seed is served from the store on repeat. *)
+let test_server_sched_seed () =
+  let cache_dir = fresh_dir "seed" in
+  let cfg =
+    { Srv.default_config with workers = 1; queue_capacity = 4; jobs = 2; cache_dir }
+  in
+  let t = Srv.start cfg in
+  let port = Srv.port t in
+  Fun.protect
+    ~finally:(fun () -> Srv.stop t)
+    (fun () ->
+      let s, _, body =
+        Http.request ~port ~body:{|{"workload":"dstress","nprocs":4}|} "/analyze"
+      in
+      Alcotest.(check int) "seedless dynamic is a client error" 400 s;
+      Tutil.check_contains "names the missing field" body "sched_seed";
+      let q seed =
+        Printf.sprintf {|{"workload":"dstress","nprocs":4,"sched_seed":%d}|} seed
+      in
+      let s, _, cold = Http.request ~port ~body:(q 7) "/analyze" in
+      Alcotest.(check int) "seeded status" 200 s;
+      Alcotest.(check bool) "seeded cold" false
+        (member_bool "cold" (get_json "cold" cold) "cached");
+      let s, _, warm = Http.request ~port ~body:(q 7) "/analyze" in
+      Alcotest.(check int) "repeat status" 200 s;
+      Alcotest.(check bool) "same seed hits the store" true
+        (member_bool "warm" (get_json "warm" warm) "cached");
+      let s, _, other = Http.request ~port ~body:(q 8) "/analyze" in
+      Alcotest.(check int) "other-seed status" 200 s;
+      Alcotest.(check bool) "distinct seed is a distinct address" false
+        (member_bool "other" (get_json "other" other) "cached"))
+
 let test_server_backpressure () =
   let cache_dir = fresh_dir "bp" in
   let cfg =
@@ -570,5 +605,6 @@ let suite =
     Alcotest.test_case "memo coalescing (threads)" `Quick test_memo_coalescing;
     Alcotest.test_case "memo coalescing (domains)" `Quick test_memo_coalescing_domains;
     Alcotest.test_case "daemon end to end" `Quick test_server_end_to_end;
+    Alcotest.test_case "daemon sched seed" `Quick test_server_sched_seed;
     Alcotest.test_case "daemon backpressure" `Quick test_server_backpressure;
     Alcotest.test_case "daemon quitquitquit" `Quick test_server_quitquitquit ]
